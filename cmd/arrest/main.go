@@ -1,0 +1,180 @@
+// Command arrest runs one aircraft-arrestment scenario on the simulated
+// target and reports the trajectory and the failure classification.
+// With -flip it becomes a single-run fault-injection debugger in the
+// spirit of the authors' FI tool: inject one transient bit-flip, deploy
+// the full assertion bank, and report which assertions fired and where
+// the run diverged from the golden run.
+//
+// Usage:
+//
+//	arrest -mass 12000 -velocity 65 [-seed 1] [-interval 1000]
+//	arrest -flip PACNT:3@2000          # flip bit 3 of PACNT's read at 2 s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/failure"
+	"repro/internal/fi"
+	"repro/internal/model"
+	"repro/internal/target"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "arrest:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	mass := flag.Float64("mass", 12000, "aircraft mass in kg")
+	velocity := flag.Float64("velocity", 65, "engaging velocity in m/s")
+	seed := flag.Int64("seed", 1, "sensor-noise seed")
+	interval := flag.Int64("interval", 1000, "trajectory print interval in ms")
+	maxMs := flag.Int64("max", 30000, "maximum simulated time in ms")
+	flipSpec := flag.String("flip", "", "inject one transient flip: signal:bit@ms (e.g. PACNT:3@2000)")
+	flag.Parse()
+
+	if *flipSpec != "" {
+		return debugInjection(*mass, *velocity, *seed, *maxMs, *flipSpec)
+	}
+
+	rig, err := target.NewRig(target.DefaultConfig(*mass, *velocity, *seed))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("arrestment: %.0f kg at %.1f m/s (seed %d)\n\n", *mass, *velocity, *seed)
+	fmt.Printf("%8s %8s %8s %9s %9s %9s %7s %5s %5s\n",
+		"t(ms)", "x(m)", "v(m/s)", "SetValue", "IsValue", "OutValue", "i", "slow", "stop")
+
+	print := func() {
+		fmt.Printf("%8d %8.1f %8.2f %9d %9d %9d %7d %5d %5d\n",
+			rig.Sched.NowMs(), rig.Plant.Distance(), rig.Plant.Velocity(),
+			rig.Bus.Peek(target.SigSetValue), rig.Bus.Peek(target.SigIsValue),
+			rig.Bus.Peek(target.SigOutValue), rig.Bus.Peek(target.SigI),
+			rig.Bus.Peek(target.SigSlowSpeed), rig.Bus.Peek(target.SigStopped))
+	}
+	print()
+	arrested := false
+	for rig.Sched.NowMs() < *maxMs {
+		if err := rig.RunFor(*interval); err != nil {
+			return err
+		}
+		print()
+		if rig.Arrested() {
+			arrested = true
+			break
+		}
+	}
+	rep := failure.Classify(rig.Plant, arrested, failure.DefaultLimits())
+	fmt.Printf("\n%s\n", rep)
+	fmt.Printf("arrest time %.2f s, force limit %.0f kN\n", rep.ArrestTimeS, rep.ForceLimitN/1000)
+	return nil
+}
+
+// parseFlip parses "signal:bit@ms".
+func parseFlip(spec string) (model.SignalID, uint8, int64, error) {
+	colon := strings.Index(spec, ":")
+	at := strings.Index(spec, "@")
+	if colon < 1 || at < colon+2 || at == len(spec)-1 {
+		return "", 0, 0, fmt.Errorf("bad -flip %q, want signal:bit@ms", spec)
+	}
+	sig := model.SignalID(spec[:colon])
+	bit, err := strconv.ParseUint(spec[colon+1:at], 10, 8)
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("bad bit in -flip %q: %v", spec, err)
+	}
+	ms, err := strconv.ParseInt(spec[at+1:], 10, 64)
+	if err != nil || ms < 0 {
+		return "", 0, 0, fmt.Errorf("bad time in -flip %q", spec)
+	}
+	return sig, uint8(bit), ms, nil
+}
+
+// debugInjection runs a golden run and one injected run, then reports
+// detections and per-signal divergence.
+func debugInjection(mass, velocity float64, seed, maxMs int64, spec string) error {
+	sig, bit, fromMs, err := parseFlip(spec)
+	if err != nil {
+		return err
+	}
+	cfg := target.DefaultConfig(mass, velocity, seed)
+
+	runOne := func(inject bool) (*trace.Trace, *fi.ReadFlip, []string, int64, error) {
+		rig, err := target.NewRig(cfg)
+		if err != nil {
+			return nil, nil, nil, 0, err
+		}
+		bank, err := target.NewBank(rig, target.EHSet())
+		if err != nil {
+			return nil, nil, nil, 0, err
+		}
+		rig.Sched.OnPostSlot(bank.Hook)
+
+		var flip *fi.ReadFlip
+		if inject {
+			consumers := rig.Sys.ConsumersOf(sig)
+			if len(consumers) == 0 {
+				return nil, nil, nil, 0, fmt.Errorf("signal %s has no consuming module to observe the flip", sig)
+			}
+			flip = &fi.ReadFlip{Port: consumers[0], Bit: bit, FromMs: fromMs}
+			inj := fi.NewInjector(flip)
+			rig.Sched.OnPreSlot(inj.Hook)
+			rig.Bus.OnRead(inj.ReadHook())
+		}
+		rec := trace.NewRecorder(rig.Bus, target.AllSignals(), 1, maxMs)
+		rig.Sched.OnPostSlot(rec.Hook)
+		if _, err := rig.RunUntilArrested(maxMs); err != nil {
+			return nil, nil, nil, 0, err
+		}
+		end := rig.Sched.NowMs()
+		return rec.Trace(), flip, bank.DetectedBy(), end, nil
+	}
+
+	golden, _, _, goldenEnd, err := runOne(false)
+	if err != nil {
+		return err
+	}
+	injected, flip, detected, _, err := runOne(true)
+	if err != nil {
+		return err
+	}
+
+	if _, ok := rigSignalCheck(sig); !ok {
+		return fmt.Errorf("unknown signal %s", sig)
+	}
+	applied, at := flip.Applied()
+	fmt.Printf("injection: flip bit %d of %s at first read >= %d ms\n", bit, sig, fromMs)
+	if !applied {
+		fmt.Println("the flip was never observed (no read after the requested time)")
+		return nil
+	}
+	fmt.Printf("observed at %d ms (golden arrest at %d ms)\n\n", at, goldenEnd)
+
+	fmt.Println("signal divergence (first sample differing from the golden run):")
+	for _, s := range target.AllSignals() {
+		fd := trace.FirstDifference(golden, injected, s)
+		if fd == trace.NoDifference {
+			fmt.Printf("  %-12s -\n", s)
+		} else {
+			fmt.Printf("  %-12s %d ms\n", s, fd)
+		}
+	}
+	if len(detected) == 0 {
+		fmt.Println("\nno assertion fired")
+	} else {
+		fmt.Printf("\nassertions fired: %v\n", detected)
+	}
+	return nil
+}
+
+// rigSignalCheck verifies the signal exists in the target system.
+func rigSignalCheck(sig model.SignalID) (*model.Signal, bool) {
+	return target.NewSystem().Signal(sig)
+}

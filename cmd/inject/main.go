@@ -1,0 +1,114 @@
+// Command inject runs the fault-injection coverage campaigns:
+//
+//   - input: single transient bit-flips at the system inputs (the
+//     paper's Section 6.2 experiment, Table 4), plus detection-latency
+//     and subsumption analyses
+//   - internal: periodic bit-flips in RAM and stack (the paper's
+//     Section 7 experiment, Figure 3)
+//   - models: coverage across five input error models (sensitivity
+//     extension, DESIGN.md index A1)
+//   - recovery: failure rates with and without containment (wrappers
+//     vs module-internal hardening, guideline R2)
+//
+// Usage:
+//
+//	inject -campaign input [-per-signal 2000]
+//	inject -campaign internal [-ram 150] [-stack 50]
+//	inject -campaign models [-per-signal 1000]
+//	inject -campaign recovery [-ram 150] [-stack 50]
+//	inject -campaign tightness [-per-signal 500]
+//	inject -campaign integration [-per-signal 500]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/model"
+	"repro/internal/report"
+	"repro/internal/target"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "inject:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	campaign := flag.String("campaign", "input", "campaign: input or internal")
+	perSignal := flag.Int("per-signal", 2000, "injections per system input (input campaign)")
+	ram := flag.Int("ram", 150, "RAM locations (internal campaign)")
+	stack := flag.Int("stack", 50, "stack locations (internal campaign)")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	workers := flag.Int("workers", 8, "campaign parallelism")
+	flag.Parse()
+
+	opts := experiment.DefaultOptions(*seed)
+	opts.Workers = *workers
+
+	switch *campaign {
+	case "input":
+		fmt.Fprintf(os.Stderr, "input-model campaign: %d injections per signal over %d cases...\n",
+			*perSignal, len(opts.Cases))
+		res, err := experiment.InputCoverage(opts, *perSignal, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Table4(res, target.EHSet()))
+		for _, row := range res.Rows {
+			if row.Signal == target.SigPACNT {
+				fmt.Println(report.Subsumption(row, target.EHSet()))
+				if sub := report.SubsumedBy(row, target.EA4); len(sub) > 0 {
+					fmt.Printf("fully subsumed by EA4: %v\n\n", sub)
+				}
+			}
+		}
+		fmt.Println(report.LatencySummary("Detection latency (time from corruption to first detection)",
+			res.All.SetLatenciesMs))
+	case "models":
+		fmt.Fprintf(os.Stderr, "error-model sensitivity: %d injections per model...\n", *perSignal)
+		res, err := experiment.ErrorModelSensitivity(opts, *perSignal)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.ModelSensitivity(res))
+	case "recovery":
+		fmt.Fprintf(os.Stderr, "recovery study: %d RAM + %d stack locations x %d cases x 3 arms...\n",
+			*ram, *stack, len(opts.Cases))
+		res, err := experiment.RecoveryStudy(opts, *ram, *stack, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.RecoveryTable(res))
+	case "tightness":
+		steps := []model.Word{2, 4, 8, 16, 32, 64}
+		fmt.Fprintf(os.Stderr, "EA tightness sweep: %d injections per setting...\n", *perSignal)
+		res, err := experiment.EATightnessStudy(opts, *perSignal, steps)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.TightnessTable(res))
+	case "integration":
+		fmt.Fprintf(os.Stderr, "EA integration-mode study: %d injections...\n", *perSignal)
+		res, err := experiment.EAIntegrationStudy(opts, *perSignal)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.IntegrationTable(res))
+	case "internal":
+		fmt.Fprintf(os.Stderr, "internal-model campaign: %d RAM + %d stack locations x %d cases...\n",
+			*ram, *stack, len(opts.Cases))
+		res, err := experiment.InternalCoverage(opts, *ram, *stack)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Figure3(res))
+	default:
+		return fmt.Errorf("unknown -campaign %q", *campaign)
+	}
+	return nil
+}

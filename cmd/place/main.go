@@ -1,0 +1,92 @@
+// Command place runs the EDM placement study: it derives the EH, PA and
+// extended selections over the paper's permeability matrix or over a
+// freshly measured one, and prints the selections with their motivating
+// rules and the resource comparison of Table 3.
+//
+// Usage:
+//
+//	place [-source paper|measure] [-per-input 500]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/ea"
+	"repro/internal/experiment"
+	"repro/internal/paper"
+	"repro/internal/report"
+	"repro/internal/target"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "place:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	source := flag.String("source", "paper", "permeability source: paper or measure")
+	perInput := flag.Int("per-input", 500, "injections per module input (measure mode)")
+	seed := flag.Int64("seed", 1, "campaign seed (measure mode)")
+	workers := flag.Int("workers", 8, "campaign parallelism (measure mode)")
+	flag.Parse()
+
+	var p *core.Permeability
+	switch *source {
+	case "paper":
+		p = paper.Table1()
+	case "measure":
+		opts := experiment.DefaultOptions(*seed)
+		opts.Workers = *workers
+		fmt.Fprintln(os.Stderr, "measuring permeabilities...")
+		res, err := experiment.EstimatePermeability(opts, *perInput)
+		if err != nil {
+			return err
+		}
+		p = res.Matrix
+	default:
+		return fmt.Errorf("unknown -source %q", *source)
+	}
+
+	pr, err := core.BuildProfile(p)
+	if err != nil {
+		return err
+	}
+	th := core.DefaultThresholds()
+
+	eh := core.SelectEH(p.System())
+	pa := core.SelectPA(pr, th)
+	ext := core.SelectExtended(pr, th)
+
+	fmt.Println("EH-approach selection (experience/heuristics, Section 5.1):")
+	fmt.Println(" ", eh.Selected())
+	fmt.Println("PA-approach selection (propagation analysis, Section 5.3):")
+	fmt.Println(" ", pa.Selected())
+	fmt.Println("Extended selection (propagation + effect analysis, Section 10):")
+	fmt.Println(" ", ext.Selected())
+	fmt.Println()
+
+	fmt.Println(report.Table2(pr, pa))
+
+	inPA := map[string]bool{}
+	for _, n := range target.PASet() {
+		inPA[n] = true
+	}
+	var rows []report.Table3Row
+	for _, spec := range target.AllEASpecs() {
+		a, err := ea.New(spec)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, report.Table3Row{
+			Name: spec.Name, Signal: spec.Signal,
+			InEH: true, InPA: inPA[spec.Name], Cost: a.Cost(),
+		})
+	}
+	fmt.Println(report.Table3(rows))
+	return nil
+}

@@ -1,0 +1,153 @@
+// Command propan runs the error propagation analysis of the target
+// system: it prints the permeability matrix (Table 1), module measures,
+// signal exposures, and — on request — trace, backtrack or impact trees.
+//
+// The matrix comes either from the paper's published values (-source
+// paper) or from a fault-injection campaign on the reimplemented target
+// (-source measure).
+//
+// Usage:
+//
+//	propan [-source paper|measure] [-per-input 2000] [-tree sig] [-backtrack sig] [-impact sig]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/model"
+	"repro/internal/paper"
+	"repro/internal/report"
+	"repro/internal/target"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "propan:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	source := flag.String("source", "paper", "permeability source: paper or measure")
+	perInput := flag.Int("per-input", 500, "injections per module input (measure mode)")
+	seed := flag.Int64("seed", 1, "campaign seed (measure mode)")
+	workers := flag.Int("workers", 8, "campaign parallelism (measure mode)")
+	traceSig := flag.String("tree", "", "render the trace tree of this signal")
+	backSig := flag.String("backtrack", "", "render the backtrack tree of this signal")
+	impactSig := flag.String("impact", "", "render the impact tree of this signal")
+	dotOut := flag.String("dot", "", "write Graphviz profiles (exposure + impact) with this file prefix")
+	saveMatrix := flag.String("save-matrix", "", "write the permeability matrix to this JSON file")
+	loadMatrix := flag.String("load-matrix", "", "read the permeability matrix from this JSON file instead of -source")
+	flag.Parse()
+
+	var p *core.Permeability
+	if *loadMatrix != "" {
+		data, err := os.ReadFile(*loadMatrix)
+		if err != nil {
+			return err
+		}
+		p, err = core.UnmarshalPermeability(target.NewSystem(), data)
+		if err != nil {
+			return err
+		}
+		*source = "file"
+	}
+	switch *source {
+	case "file":
+		// Loaded above.
+	case "paper":
+		p = paper.Table1()
+	case "measure":
+		opts := experiment.DefaultOptions(*seed)
+		opts.Workers = *workers
+		fmt.Fprintf(os.Stderr, "measuring permeabilities: %d injections per input over %d cases...\n",
+			*perInput, len(opts.Cases))
+		res, err := experiment.EstimatePermeability(opts, *perInput)
+		if err != nil {
+			return err
+		}
+		p = res.Matrix
+	default:
+		return fmt.Errorf("unknown -source %q", *source)
+	}
+
+	if *saveMatrix != "" {
+		data, err := p.MarshalJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*saveMatrix, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "matrix written to %s\n", *saveMatrix)
+	}
+
+	fmt.Println(report.Table1(p))
+
+	sys := p.System()
+	fmt.Println("Module measures:")
+	fmt.Printf("%-8s %22s %24s %16s\n", "Module", "relative permeability", "non-weighted permeability", "exposure")
+	for _, id := range sys.ModuleIDs() {
+		rel, err := p.RelativePermeability(id)
+		if err != nil {
+			return err
+		}
+		nw, err := p.NonWeightedPermeability(id)
+		if err != nil {
+			return err
+		}
+		x, err := p.ModuleExposure(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %22.3f %24.3f %16.3f\n", id, rel, nw, x)
+	}
+	fmt.Println()
+
+	pr, err := core.BuildProfile(p)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.ProfileFigure(pr, core.ByExposure, "Signal error exposure profile (Figure 5)"))
+	fmt.Println(report.ProfileFigure(pr, core.ByImpact, "Signal impact profile (Figure 6)"))
+
+	if *dotOut != "" {
+		for metric, name := range map[core.Metric]string{
+			core.ByExposure: "exposure",
+			core.ByImpact:   "impact",
+		} {
+			path := *dotOut + "-" + name + ".dot"
+			if err := os.WriteFile(path, []byte(report.DotProfile(pr, metric, name)), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+
+	if *traceSig != "" {
+		tree, err := core.BuildTraceTree(sys, model.SignalID(*traceSig))
+		if err != nil {
+			return err
+		}
+		fmt.Println(tree.Render())
+	}
+	if *backSig != "" {
+		tree, err := core.BuildBacktrackTree(sys, model.SignalID(*backSig))
+		if err != nil {
+			return err
+		}
+		fmt.Println(tree.Render())
+	}
+	if *impactSig != "" {
+		fig, err := report.Figure4(p, model.SignalID(*impactSig), target.SigTOC2)
+		if err != nil {
+			return err
+		}
+		fmt.Println(fig)
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+// Command reproduce regenerates every table and figure of the paper's
+// evaluation, in two modes:
+//
+//   - paper: feed the published Table 1 permeabilities into the analysis
+//     framework and regenerate the derived artifacts exactly (Tables 2,
+//     3, 5; Figures 4, 5, 6).
+//   - measured: run the full fault-injection campaigns on the
+//     reimplemented target and regenerate everything from scratch
+//     (Tables 1–5, Figures 3–6), at the paper's campaign sizes.
+//
+// Usage:
+//
+//	reproduce [-mode both|paper|measured] [-quick] [-artifact all|table1|...|figure6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ea"
+	"repro/internal/experiment"
+	"repro/internal/paper"
+	"repro/internal/report"
+	"repro/internal/target"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(1)
+	}
+}
+
+type sizes struct {
+	perInput  int // permeability campaign, per module input
+	perSignal int // input-coverage campaign, per system input
+	ram       int // internal campaign RAM locations
+	stack     int // internal campaign stack locations
+}
+
+func fullSizes() sizes  { return sizes{perInput: 2000, perSignal: 2000, ram: 150, stack: 50} }
+func quickSizes() sizes { return sizes{perInput: 100, perSignal: 100, ram: 30, stack: 15} }
+
+func run() error {
+	mode := flag.String("mode", "both", "paper, measured, or both")
+	artifact := flag.String("artifact", "all", "one of all, table1..table5, figure3..figure6, extensions")
+	quick := flag.Bool("quick", false, "reduced campaign sizes for a fast pass")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	workers := flag.Int("workers", 8, "campaign parallelism")
+	flag.Parse()
+
+	want := func(name string) bool {
+		if name == "extensions" {
+			// The extension campaigns are opt-in, not part of "all".
+			return *artifact == "extensions"
+		}
+		return *artifact == "all" || *artifact == name
+	}
+	sz := fullSizes()
+	if *quick {
+		sz = quickSizes()
+	}
+
+	if *mode == "paper" || *mode == "both" {
+		header("PAPER MODE: analytical reproduction from the published Table 1")
+		if err := paperMode(want); err != nil {
+			return err
+		}
+	}
+	if *mode == "measured" || *mode == "both" {
+		header("MEASURED MODE: end-to-end reproduction on the reimplemented target")
+		if err := measuredMode(want, sz, *seed, *workers); err != nil {
+			return err
+		}
+	}
+	if *mode != "paper" && *mode != "measured" && *mode != "both" {
+		return fmt.Errorf("unknown -mode %q", *mode)
+	}
+	return nil
+}
+
+func header(s string) {
+	line := strings.Repeat("=", len(s))
+	fmt.Printf("%s\n%s\n%s\n\n", line, s, line)
+}
+
+func section(s string) {
+	fmt.Printf("--- %s %s\n\n", s, strings.Repeat("-", 60-len(s)))
+}
+
+// analyticalArtifacts renders everything derivable from a permeability
+// matrix alone.
+func analyticalArtifacts(want func(string) bool, p *core.Permeability) error {
+	pr, err := core.BuildProfile(p)
+	if err != nil {
+		return err
+	}
+	th := core.DefaultThresholds()
+
+	if want("table1") {
+		section("Table 1")
+		fmt.Println(report.Table1(p))
+	}
+	if want("table2") {
+		section("Table 2")
+		fmt.Println(report.Table2(pr, core.SelectPA(pr, th)))
+	}
+	if want("table3") {
+		section("Table 3")
+		inPA := map[string]bool{}
+		for _, n := range target.PASet() {
+			inPA[n] = true
+		}
+		var rows []report.Table3Row
+		for _, spec := range target.AllEASpecs() {
+			a, err := ea.New(spec)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, report.Table3Row{
+				Name: spec.Name, Signal: spec.Signal,
+				InEH: true, InPA: inPA[spec.Name], Cost: a.Cost(),
+			})
+		}
+		fmt.Println(report.Table3(rows))
+	}
+	if want("figure4") {
+		section("Figure 4")
+		fig, err := report.Figure4(p, target.SigPulscnt, target.SigTOC2)
+		if err != nil {
+			return err
+		}
+		fmt.Println(fig)
+	}
+	if want("table5") {
+		section("Table 5")
+		fmt.Println(report.Table5(pr, target.SigTOC2))
+	}
+	if want("figure5") {
+		section("Figure 5")
+		fmt.Println(report.ProfileFigure(pr, core.ByExposure, "Exposure profile of target system"))
+	}
+	if want("figure6") {
+		section("Figure 6")
+		fmt.Println(report.ProfileFigure(pr, core.ByImpact, "Impact profile of target system"))
+	}
+
+	section("Selections")
+	fmt.Println("EH :", core.SelectEH(p.System()).Selected())
+	fmt.Println("PA :", core.SelectPA(pr, th).Selected())
+	fmt.Println("EXT:", core.SelectExtended(pr, th).Selected())
+	fmt.Println()
+	return nil
+}
+
+func paperMode(want func(string) bool) error {
+	return analyticalArtifacts(want, paper.Table1())
+}
+
+func measuredMode(want func(string) bool, sz sizes, seed int64, workers int) error {
+	opts := experiment.DefaultOptions(seed)
+	opts.Workers = workers
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "permeability campaign: %d per input x 13 inputs...\n", sz.perInput)
+	perm, err := experiment.EstimatePermeability(opts, sz.perInput)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "  %d runs in %v\n", perm.TotalRuns, time.Since(start).Round(time.Millisecond))
+
+	if err := analyticalArtifacts(want, perm.Matrix); err != nil {
+		return err
+	}
+
+	section("Paper vs measured permeabilities")
+	fmt.Println(report.PermeabilityComparison(paper.Table1(), perm.Matrix))
+
+	if want("table4") {
+		start = time.Now()
+		fmt.Fprintf(os.Stderr, "input-coverage campaign: %d per signal x 4 signals...\n", sz.perSignal)
+		cov, err := experiment.InputCoverage(opts, sz.perSignal, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "  done in %v\n", time.Since(start).Round(time.Millisecond))
+		section("Table 4")
+		fmt.Println(report.Table4(cov, target.EHSet()))
+	}
+	if want("figure3") {
+		start = time.Now()
+		fmt.Fprintf(os.Stderr, "internal-coverage campaign: %d RAM + %d stack locations x %d cases...\n",
+			sz.ram, sz.stack, len(opts.Cases))
+		internal, err := experiment.InternalCoverage(opts, sz.ram, sz.stack)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "  %d runs in %v\n", internal.Total.Runs, time.Since(start).Round(time.Millisecond))
+		section("Figure 3")
+		fmt.Println(report.Figure3(internal))
+		section("Detection latency (internal error model)")
+		fmt.Println(report.LatencySummary("time from first corruption to first detection", internal.Total.SetLatenciesMs))
+	}
+	if want("extensions") {
+		fmt.Fprintln(os.Stderr, "extension campaigns: error-model sensitivity + recovery study...")
+		ms, err := experiment.ErrorModelSensitivity(opts, sz.perSignal/2)
+		if err != nil {
+			return err
+		}
+		section("Extension: error-model sensitivity")
+		fmt.Println(report.ModelSensitivity(ms))
+		rs, err := experiment.RecoveryStudy(opts, sz.ram/2, sz.stack/2, nil)
+		if err != nil {
+			return err
+		}
+		section("Extension: recovery study")
+		fmt.Println(report.RecoveryTable(rs))
+	}
+	return nil
+}

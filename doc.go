@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of Hiller, Jhumka and
+// Suri, "On the Placement of Software Mechanisms for Detection of Data
+// Errors" (DSN 2002): an error propagation and effect analysis framework
+// for placing executable assertions in black-box modular software,
+// evaluated by fault injection on a reimplemented aircraft-arrestment
+// control system.
+//
+// See README.md for the tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured record. The benchmarks in
+// bench_test.go regenerate every table and figure of the paper's
+// evaluation.
+package repro
+
+// Version identifies this reproduction release.
+const Version = "1.0.0"

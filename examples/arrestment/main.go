@@ -1,0 +1,45 @@
+// Arrestment: run the reimplemented aircraft-arrestment target across
+// the paper's 25-case mass/velocity envelope and verify every fault-free
+// run meets the MIL-A-38202C-derived specification of Section 4.2.
+//
+// Run with: go run ./examples/arrestment
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/failure"
+	"repro/internal/target"
+)
+
+func main() {
+	limits := failure.DefaultLimits()
+	fmt.Println("case  mass(kg)  v0(m/s)   stop(m)  time(s)  max(g)  maxF(kN)  limit(kN)  verdict")
+
+	failures := 0
+	for _, tc := range target.DefaultTestCases() {
+		rig, err := target.NewRig(tc.Config(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		arrested, err := rig.RunUntilArrested(30_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := failure.Classify(rig.Plant, arrested, limits)
+		verdict := "OK"
+		if rep.Failed() {
+			verdict = "FAILURE"
+			failures++
+		}
+		fmt.Printf("%4d  %8.0f  %7.1f  %8.1f  %7.2f  %6.2f  %8.0f  %9.0f  %s\n",
+			tc.ID, tc.MassKg, tc.EngageVelocityMps,
+			rep.StoppingDistanceM, rep.ArrestTimeS, rep.MaxRetardationG,
+			rep.MaxForceN/1000, rep.ForceLimitN/1000, verdict)
+	}
+	fmt.Printf("\n%d/25 cases within specification\n", 25-failures)
+	if failures > 0 {
+		log.Fatal("specification violations in fault-free runs")
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// MonteCarloImpact estimates Pr{error in to | error in from} under the
+// edge-independence reading of the permeability matrix: in each sample,
+// every module input/output pair independently passes errors with its
+// permeability, and an error placed on from propagates over the
+// resulting subgraph (to a fixpoint, so cycles are handled).
+//
+// This is the quantity Eq. 2 would equal "if one could assume
+// independence all over" (paper Section 8) — except that Eq. 2
+// additionally assumes the propagation paths are independent, which
+// fails when paths share edges. Since path events are positively
+// associated (Harris/FKG), the analytic impact of Eq. 2 can only
+// overestimate this simulation; the gap measures how much the shared
+// structure matters (ablation A4 in EXPERIMENTS.md).
+func MonteCarloImpact(p *Permeability, from, to model.SignalID, samples int, seed int64) (float64, error) {
+	if _, ok := p.sys.Signal(from); !ok {
+		return 0, fmt.Errorf("core: unknown signal %q", from)
+	}
+	if _, ok := p.sys.Signal(to); !ok {
+		return 0, fmt.Errorf("core: unknown signal %q", to)
+	}
+	if samples < 1 {
+		return 0, fmt.Errorf("core: samples %d must be >= 1", samples)
+	}
+	if from == to {
+		return 1, nil
+	}
+
+	edges := p.sys.Edges()
+	rng := rand.New(rand.NewSource(seed))
+	hits := 0
+	passed := make([]bool, len(edges))
+	erroneous := make(map[model.SignalID]bool, len(p.sys.SignalIDs()))
+
+	for s := 0; s < samples; s++ {
+		for i, e := range edges {
+			passed[i] = rng.Float64() < p.Get(e)
+		}
+		for k := range erroneous {
+			delete(erroneous, k)
+		}
+		erroneous[from] = true
+		// Propagate to a fixpoint: the erroneous set grows monotonically
+		// and is bounded by the signal count, so this terminates.
+		for changed := true; changed; {
+			changed = false
+			for i, e := range edges {
+				if passed[i] && erroneous[e.From] && !erroneous[e.To] {
+					erroneous[e.To] = true
+					changed = true
+				}
+			}
+		}
+		if erroneous[to] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(samples), nil
+}

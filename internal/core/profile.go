@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// SignalProfile collects every per-signal measure of the framework — the
+// material of Table 5 and the graphical profiles of Figures 5 and 6.
+type SignalProfile struct {
+	Signal model.SignalID
+	Kind   model.Kind
+	IsBool bool
+
+	// Exposure is the (non-weighted) signal error exposure X^S_s.
+	Exposure float64
+	// ImpactOn maps each system output o to I(s → o). A system output's
+	// entry for itself is 1.
+	ImpactOn map[model.SignalID]float64
+	// Impact is the largest per-output impact — for single-output
+	// systems, exactly the Table 5 column.
+	Impact float64
+	// Criticality is C_s per Eq. 4 under the system's declared output
+	// criticalities.
+	Criticality float64
+	// MaxInPermeability is the largest permeability among the signal's
+	// producing pairs — the "witness" property that brings ms_slot_nbr
+	// back into the extended selection (Section 10).
+	MaxInPermeability float64
+}
+
+// Profile is the full dependability profile of a system under one
+// permeability matrix.
+type Profile struct {
+	perm    *Permeability
+	signals []SignalProfile
+	byID    map[model.SignalID]int
+}
+
+// BuildProfile computes every per-signal measure.
+func BuildProfile(p *Permeability) (*Profile, error) {
+	sys := p.sys
+	outs := sys.SystemOutputs()
+	pr := &Profile{
+		perm: p,
+		byID: make(map[model.SignalID]int, len(sys.SignalIDs())),
+	}
+	for _, sig := range sys.Signals() {
+		sp := SignalProfile{
+			Signal:   sig.ID,
+			Kind:     sig.Kind,
+			IsBool:   sig.IsBool(),
+			ImpactOn: make(map[model.SignalID]float64, len(outs)),
+		}
+		x, err := p.SignalExposure(sig.ID)
+		if err != nil {
+			return nil, err
+		}
+		sp.Exposure = x
+		for _, o := range outs {
+			imp, err := Impact(p, sig.ID, o)
+			if err != nil {
+				return nil, err
+			}
+			sp.ImpactOn[o] = imp
+			if imp > sp.Impact {
+				sp.Impact = imp
+			}
+		}
+		c, err := Criticality(p, sig.ID)
+		if err != nil {
+			return nil, err
+		}
+		sp.Criticality = c
+		for _, e := range sys.InEdges(sig.ID) {
+			if v := p.Get(e); v > sp.MaxInPermeability {
+				sp.MaxInPermeability = v
+			}
+		}
+		pr.byID[sig.ID] = len(pr.signals)
+		pr.signals = append(pr.signals, sp)
+	}
+	return pr, nil
+}
+
+// Permeability returns the matrix the profile was built from.
+func (pr *Profile) Permeability() *Permeability { return pr.perm }
+
+// System returns the profiled system.
+func (pr *Profile) System() *model.System { return pr.perm.sys }
+
+// Signal returns the profile of one signal.
+func (pr *Profile) Signal(s model.SignalID) (SignalProfile, error) {
+	i, ok := pr.byID[s]
+	if !ok {
+		return SignalProfile{}, fmt.Errorf("core: unknown signal %q", s)
+	}
+	return pr.signals[i], nil
+}
+
+// Signals returns all signal profiles in declaration order.
+func (pr *Profile) Signals() []SignalProfile {
+	return append([]SignalProfile(nil), pr.signals...)
+}
+
+// Metric selects a ranking dimension.
+type Metric int
+
+// Ranking metrics.
+const (
+	ByExposure Metric = iota + 1
+	ByImpact
+	ByCriticality
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case ByExposure:
+		return "exposure"
+	case ByImpact:
+		return "impact"
+	case ByCriticality:
+		return "criticality"
+	default:
+		return "unknown metric"
+	}
+}
+
+// Ranked returns the signal profiles sorted by the metric, descending,
+// with ties broken by signal name for determinism.
+func (pr *Profile) Ranked(m Metric) []SignalProfile {
+	out := pr.Signals()
+	key := func(sp SignalProfile) float64 {
+		switch m {
+		case ByExposure:
+			return sp.Exposure
+		case ByImpact:
+			return sp.Impact
+		case ByCriticality:
+			return sp.Criticality
+		default:
+			return 0
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ki, kj := key(out[i]), key(out[j])
+		if ki != kj {
+			return ki > kj
+		}
+		return out[i].Signal < out[j].Signal
+	})
+	return out
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+// randomDAG builds a layered random system: nLayers layers of width
+// signals each, with every consecutive-layer pair connected through one
+// module per layer. Returns the system and the generator used to assign
+// permeabilities.
+func randomDAG(seed int64) (*model.System, *Permeability) {
+	rng := rand.New(rand.NewSource(seed))
+	layers := 2 + rng.Intn(3) // 2..4 layers
+	width := 1 + rng.Intn(3)  // 1..3 signals per layer
+
+	b := model.NewBuilder("dag")
+	name := func(l, w int) model.SignalID {
+		return model.SignalID(string(rune('a'+l)) + string(rune('0'+w)))
+	}
+	for l := 0; l < layers; l++ {
+		for w := 0; w < width; w++ {
+			switch l {
+			case 0:
+				b.AddSignal(name(l, w), model.Uint(8), model.AsSystemInput())
+			case layers - 1:
+				b.AddSignal(name(l, w), model.Uint(8), model.AsSystemOutput(1))
+			default:
+				b.AddSignal(name(l, w), model.Uint(8))
+			}
+		}
+	}
+	for l := 0; l < layers-1; l++ {
+		ins := make([]model.SignalID, width)
+		outs := make([]model.SignalID, width)
+		for w := 0; w < width; w++ {
+			ins[w] = name(l, w)
+			outs[w] = name(l+1, w)
+		}
+		b.AddModule(model.ModuleID("M"+string(rune('0'+l))), ins, outs)
+	}
+	sys := b.MustBuild()
+
+	p := NewPermeability(sys)
+	for _, e := range sys.Edges() {
+		if err := p.SetEdge(e, rng.Float64()); err != nil {
+			panic(err)
+		}
+	}
+	return sys, p
+}
+
+// Property: impact is always within [0, 1] for random DAGs and random
+// permeabilities, for every signal/output pair.
+func TestQuickImpactBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		sys, p := randomDAG(seed)
+		for _, s := range sys.SignalIDs() {
+			for _, o := range sys.SystemOutputs() {
+				imp, err := Impact(p, s, o)
+				if err != nil || imp < 0 || imp > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: increasing any single edge permeability never decreases any
+// impact value (monotonicity of Eq. 2).
+func TestQuickImpactMonotoneInPermeability(t *testing.T) {
+	f := func(seed int64, edgeSel uint8) bool {
+		sys, p := randomDAG(seed)
+		edges := sys.Edges()
+		e := edges[int(edgeSel)%len(edges)]
+
+		before := map[[2]model.SignalID]float64{}
+		for _, s := range sys.SignalIDs() {
+			for _, o := range sys.SystemOutputs() {
+				imp, err := Impact(p, s, o)
+				if err != nil {
+					return false
+				}
+				before[[2]model.SignalID{s, o}] = imp
+			}
+		}
+		// Raise the edge toward 1.
+		old := p.Get(e)
+		if err := p.SetEdge(e, old+(1-old)/2); err != nil {
+			return false
+		}
+		for key, b := range before {
+			after, err := Impact(p, key[0], key[1])
+			if err != nil {
+				return false
+			}
+			if after < b-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: criticality is bounded by the maximum output criticality and
+// by 1, and single-output criticality equals C_o times impact.
+func TestQuickCriticalityBounds(t *testing.T) {
+	f := func(seed int64, coRaw uint8) bool {
+		sys, p := randomDAG(seed)
+		co := float64(coRaw) / 255
+		crits := map[model.SignalID]float64{}
+		for _, o := range sys.SystemOutputs() {
+			crits[o] = co
+		}
+		for _, s := range sys.SignalIDs() {
+			c, err := CriticalityWith(p, s, crits)
+			if err != nil {
+				return false
+			}
+			if c < -1e-12 || c > co+1e-9 && len(crits) == 1 || c > 1 {
+				return false
+			}
+			if len(crits) == 1 {
+				for o := range crits {
+					imp, err := Impact(p, s, o)
+					if err != nil {
+						return false
+					}
+					if diff := c - co*imp; diff > 1e-9 || diff < -1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every tree path is acyclic and its weight equals the product
+// of its edge permeabilities.
+func TestQuickTreePathWeightsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		sys, p := randomDAG(seed)
+		for _, s := range sys.SignalIDs() {
+			tree, err := BuildImpactTree(p, s)
+			if err != nil {
+				return false
+			}
+			for _, path := range tree.Paths() {
+				seen := map[model.SignalID]bool{}
+				prod := 1.0
+				for _, sig := range path.Signals {
+					if seen[sig] {
+						return false
+					}
+					seen[sig] = true
+				}
+				for _, e := range path.Edges {
+					prod *= p.Get(e)
+				}
+				if diff := prod - path.Weight; diff > 1e-12 || diff < -1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: signal exposure equals the sum of incoming edge values and
+// the relative form is the mean.
+func TestQuickExposureIsIncomingSum(t *testing.T) {
+	f := func(seed int64) bool {
+		sys, p := randomDAG(seed)
+		for _, s := range sys.SignalIDs() {
+			var want float64
+			for _, e := range sys.InEdges(s) {
+				want += p.Get(e)
+			}
+			got, err := p.SignalExposure(s)
+			if err != nil {
+				return false
+			}
+			if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: removing a path (zeroing one of its edges) never increases
+// impact.
+func TestQuickImpactPathRemoval(t *testing.T) {
+	f := func(seed int64, edgeSel uint8) bool {
+		sys, p := randomDAG(seed)
+		edges := sys.Edges()
+		e := edges[int(edgeSel)%len(edges)]
+		var before []float64
+		for _, s := range sys.SignalIDs() {
+			for _, o := range sys.SystemOutputs() {
+				imp, err := Impact(p, s, o)
+				if err != nil {
+					return false
+				}
+				before = append(before, imp)
+			}
+		}
+		if err := p.SetEdge(e, 0); err != nil {
+			return false
+		}
+		i := 0
+		for _, s := range sys.SignalIDs() {
+			for _, o := range sys.SystemOutputs() {
+				after, err := Impact(p, s, o)
+				if err != nil {
+					return false
+				}
+				if after > before[i]+1e-12 {
+					return false
+				}
+				i++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// TreeKind distinguishes the propagation-path structures of Section 5.2.
+type TreeKind int
+
+// Tree kinds.
+const (
+	// KindTraceTree depicts propagation paths from a signal downstream
+	// toward system outputs.
+	KindTraceTree TreeKind = iota + 1
+	// KindBacktrackTree depicts the paths errors can take to reach a
+	// signal, expanding upstream toward system inputs.
+	KindBacktrackTree
+	// KindImpactTree is a trace tree whose paths carry weights — the
+	// product of the permeabilities along the path (Section 8, Fig. 4).
+	KindImpactTree
+)
+
+// String implements fmt.Stringer.
+func (k TreeKind) String() string {
+	switch k {
+	case KindTraceTree:
+		return "trace tree"
+	case KindBacktrackTree:
+		return "backtrack tree"
+	case KindImpactTree:
+		return "impact tree"
+	default:
+		return "unknown tree"
+	}
+}
+
+// Node is one vertex of a propagation tree.
+type Node struct {
+	// Signal at this vertex.
+	Signal model.SignalID
+	// Edge is the module input/output pair traversed from the parent
+	// (zero Edge at the root).
+	Edge model.Edge
+	// Weight is the product of permeabilities from the root to this
+	// node (1 at the root; only meaningful for impact trees).
+	Weight float64
+	// Children are the continuations; a node with no children is a leaf
+	// (a system boundary signal or a cycle cut).
+	Children []*Node
+}
+
+// Tree is a propagation tree rooted at a signal.
+type Tree struct {
+	Kind TreeKind
+	Root *Node
+}
+
+// Path is one root-to-leaf propagation path.
+type Path struct {
+	// Signals traversed, root first.
+	Signals []model.SignalID
+	// Edges traversed (len(Signals)-1 of them).
+	Edges []model.Edge
+	// Weight is the product of edge permeabilities (impact trees only;
+	// 0 otherwise).
+	Weight float64
+}
+
+// String renders "a -> b -> c (w=0.021)".
+func (p Path) String() string {
+	parts := make([]string, len(p.Signals))
+	for i, s := range p.Signals {
+		parts[i] = string(s)
+	}
+	return fmt.Sprintf("%s (w=%.3f)", strings.Join(parts, " -> "), p.Weight)
+}
+
+// BuildTraceTree expands the propagation paths from a signal downstream.
+// A path never revisits a signal (cycles are cut), which is what makes
+// the i→i self-loop of the target harmless in Table 5.
+func BuildTraceTree(sys *model.System, from model.SignalID) (*Tree, error) {
+	if _, ok := sys.Signal(from); !ok {
+		return nil, fmt.Errorf("core: unknown signal %q", from)
+	}
+	root := &Node{Signal: from, Weight: 1}
+	expandDown(sys, nil, root, map[model.SignalID]bool{from: true})
+	return &Tree{Kind: KindTraceTree, Root: root}, nil
+}
+
+// BuildImpactTree is BuildTraceTree with path weights accumulated from
+// the permeability matrix.
+func BuildImpactTree(p *Permeability, from model.SignalID) (*Tree, error) {
+	if _, ok := p.sys.Signal(from); !ok {
+		return nil, fmt.Errorf("core: unknown signal %q", from)
+	}
+	root := &Node{Signal: from, Weight: 1}
+	expandDown(p.sys, p, root, map[model.SignalID]bool{from: true})
+	return &Tree{Kind: KindImpactTree, Root: root}, nil
+}
+
+func expandDown(sys *model.System, p *Permeability, n *Node, onPath map[model.SignalID]bool) {
+	for _, e := range sys.OutEdges(n.Signal) {
+		if onPath[e.To] {
+			continue // cycle cut
+		}
+		w := n.Weight
+		if p != nil {
+			w *= p.Get(e)
+		}
+		child := &Node{Signal: e.To, Edge: e, Weight: w}
+		n.Children = append(n.Children, child)
+		onPath[e.To] = true
+		expandDown(sys, p, child, onPath)
+		delete(onPath, e.To)
+	}
+}
+
+// BuildBacktrackTree expands the paths errors can take to reach a signal,
+// upstream toward system inputs. Cycles are cut as in trace trees.
+func BuildBacktrackTree(sys *model.System, to model.SignalID) (*Tree, error) {
+	if _, ok := sys.Signal(to); !ok {
+		return nil, fmt.Errorf("core: unknown signal %q", to)
+	}
+	root := &Node{Signal: to, Weight: 1}
+	expandUp(sys, root, map[model.SignalID]bool{to: true})
+	return &Tree{Kind: KindBacktrackTree, Root: root}, nil
+}
+
+func expandUp(sys *model.System, n *Node, onPath map[model.SignalID]bool) {
+	for _, e := range sys.InEdges(n.Signal) {
+		if onPath[e.From] {
+			continue
+		}
+		child := &Node{Signal: e.From, Edge: e, Weight: 0}
+		n.Children = append(n.Children, child)
+		onPath[e.From] = true
+		expandUp(sys, child, onPath)
+		delete(onPath, e.From)
+	}
+}
+
+// Paths returns every root-to-leaf path of the tree.
+func (t *Tree) Paths() []Path {
+	var out []Path
+	collectPaths(t.Root, nil, nil, &out, nil)
+	return out
+}
+
+// PathsTo returns every root-to-node path ending at the given signal —
+// for impact trees, the paths whose weights enter Eq. 2.
+func (t *Tree) PathsTo(dest model.SignalID) []Path {
+	var out []Path
+	collectPaths(t.Root, nil, nil, &out, &dest)
+	return out
+}
+
+func collectPaths(n *Node, sigs []model.SignalID, edges []model.Edge, out *[]Path, dest *model.SignalID) {
+	sigs = append(sigs, n.Signal)
+	if n.Edge != (model.Edge{}) {
+		edges = append(edges, n.Edge)
+	}
+	hit := dest != nil && n.Signal == *dest && len(edges) > 0
+	leaf := len(n.Children) == 0 && dest == nil
+	if hit || leaf {
+		*out = append(*out, Path{
+			Signals: append([]model.SignalID(nil), sigs...),
+			Edges:   append([]model.Edge(nil), edges...),
+			Weight:  n.Weight,
+		})
+	}
+	for _, c := range n.Children {
+		collectPaths(c, sigs, edges, out, dest)
+	}
+}
+
+// Size returns the number of nodes in the tree.
+func (t *Tree) Size() int { return countNodes(t.Root) }
+
+func countNodes(n *Node) int {
+	total := 1
+	for _, c := range n.Children {
+		total += countNodes(c)
+	}
+	return total
+}
+
+// Render draws the tree as indented ASCII, one node per line, with path
+// weights on impact trees.
+func (t *Tree) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s rooted at %s\n", t.Kind, t.Root.Signal)
+	renderNode(&b, t.Root, "", t.Kind == KindImpactTree)
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, n *Node, prefix string, weights bool) {
+	for i, c := range n.Children {
+		connector := "├─"
+		childPrefix := prefix + "│ "
+		if i == len(n.Children)-1 {
+			connector = "└─"
+			childPrefix = prefix + "  "
+		}
+		if weights {
+			fmt.Fprintf(b, "%s%s %s (w=%.3f)\n", prefix, connector, c.Signal, c.Weight)
+		} else {
+			fmt.Fprintf(b, "%s%s %s\n", prefix, connector, c.Signal)
+		}
+		renderNode(b, c, childPrefix, weights)
+	}
+}

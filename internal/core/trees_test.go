@@ -1,0 +1,186 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestTraceTreeStructure(t *testing.T) {
+	sys := chainSystem(t)
+	tree, err := BuildTraceTree(sys, "in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Kind != KindTraceTree {
+		t.Errorf("Kind = %v", tree.Kind)
+	}
+	paths := tree.Paths()
+	// in->m1->out and in->m2->out.
+	if len(paths) != 2 {
+		t.Fatalf("paths = %d, want 2", len(paths))
+	}
+	for _, p := range paths {
+		if p.Signals[0] != "in" || p.Signals[len(p.Signals)-1] != "out" {
+			t.Errorf("path %v does not run in..out", p.Signals)
+		}
+		if len(p.Edges) != len(p.Signals)-1 {
+			t.Errorf("path has %d edges for %d signals", len(p.Edges), len(p.Signals))
+		}
+	}
+	if tree.Size() != 5 { // in, m1, out, m2, out
+		t.Errorf("Size = %d, want 5", tree.Size())
+	}
+}
+
+func TestBacktrackTreeStructure(t *testing.T) {
+	sys := chainSystem(t)
+	tree, err := BuildBacktrackTree(sys, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := tree.Paths()
+	if len(paths) != 2 {
+		t.Fatalf("paths = %d, want 2", len(paths))
+	}
+	for _, p := range paths {
+		if p.Signals[0] != "out" || p.Signals[len(p.Signals)-1] != "in" {
+			t.Errorf("backtrack path %v does not run out..in", p.Signals)
+		}
+	}
+}
+
+func TestTreesRejectUnknownSignals(t *testing.T) {
+	sys := chainSystem(t)
+	if _, err := BuildTraceTree(sys, "ghost"); err == nil {
+		t.Error("trace tree of unknown signal accepted")
+	}
+	if _, err := BuildBacktrackTree(sys, "ghost"); err == nil {
+		t.Error("backtrack tree of unknown signal accepted")
+	}
+	p := NewPermeability(sys)
+	if _, err := BuildImpactTree(p, "ghost"); err == nil {
+		t.Error("impact tree of unknown signal accepted")
+	}
+}
+
+func TestTreesAreAcyclic(t *testing.T) {
+	sys := loopSystem(t)
+	tree, err := BuildTraceTree(sys, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range tree.Paths() {
+		seen := map[model.SignalID]bool{}
+		for _, s := range p.Signals {
+			if seen[s] {
+				t.Fatalf("path %v revisits %s", p.Signals, s)
+			}
+			seen[s] = true
+		}
+	}
+	bt, err := BuildBacktrackTree(sys, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range bt.Paths() {
+		seen := map[model.SignalID]bool{}
+		for _, s := range p.Signals {
+			if seen[s] {
+				t.Fatalf("backtrack path %v revisits %s", p.Signals, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestImpactTreeWeights(t *testing.T) {
+	sys := chainSystem(t)
+	p := NewPermeability(sys)
+	p.MustSet("A", 1, 1, 0.5)
+	p.MustSet("A", 1, 2, 0.2)
+	p.MustSet("B", 1, 1, 0.8)
+	p.MustSet("B", 2, 1, 0.5)
+
+	tree, err := BuildImpactTree(p, "in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := tree.PathsTo("out")
+	if len(paths) != 2 {
+		t.Fatalf("PathsTo(out) = %d, want 2", len(paths))
+	}
+	weights := map[string]float64{}
+	for _, path := range paths {
+		weights[string(path.Signals[1])] = path.Weight
+	}
+	if !approx(weights["m1"], 0.4) {
+		t.Errorf("weight via m1 = %v, want 0.4", weights["m1"])
+	}
+	if !approx(weights["m2"], 0.1) {
+		t.Errorf("weight via m2 = %v, want 0.1", weights["m2"])
+	}
+}
+
+func TestPathsToMatchesIntermediate(t *testing.T) {
+	sys := chainSystem(t)
+	p := NewPermeability(sys)
+	p.MustSet("A", 1, 1, 0.5)
+	tree, err := BuildImpactTree(p, "in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := tree.PathsTo("m1")
+	if len(paths) != 1 {
+		t.Fatalf("PathsTo(m1) = %d, want 1", len(paths))
+	}
+	if !approx(paths[0].Weight, 0.5) {
+		t.Errorf("weight = %v, want 0.5", paths[0].Weight)
+	}
+	// The root does not count as a path to itself.
+	if got := tree.PathsTo("in"); len(got) != 0 {
+		t.Errorf("PathsTo(root) = %d paths, want 0", len(got))
+	}
+}
+
+func TestImpactFromPathsClamps(t *testing.T) {
+	if got := ImpactFromPaths(nil); got != 0 {
+		t.Errorf("ImpactFromPaths(nil) = %v, want 0", got)
+	}
+	paths := []Path{{Weight: 1}, {Weight: 0.5}}
+	if got := ImpactFromPaths(paths); got != 1 {
+		t.Errorf("ImpactFromPaths = %v, want 1", got)
+	}
+}
+
+func TestRenderShowsStructureAndWeights(t *testing.T) {
+	sys := chainSystem(t)
+	p := NewPermeability(sys)
+	p.MustSet("A", 1, 1, 0.5)
+	p.MustSet("B", 1, 1, 0.8)
+	tree, err := BuildImpactTree(p, "in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tree.Render()
+	for _, want := range []string{"impact tree rooted at in", "m1", "out", "w=0.400"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("Render() missing %q:\n%s", want, r)
+		}
+	}
+	tt, err := BuildTraceTree(sys, "in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := tt.Render(); strings.Contains(r, "w=") {
+		t.Error("trace tree render shows weights")
+	}
+}
+
+func TestPathString(t *testing.T) {
+	p := Path{Signals: []model.SignalID{"a", "b"}, Weight: 0.25}
+	if got := p.String(); got != "a -> b (w=0.250)" {
+		t.Errorf("String() = %q", got)
+	}
+}

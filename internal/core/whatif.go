@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Clone returns an independent copy of the matrix.
+func (p *Permeability) Clone() *Permeability {
+	cp := NewPermeability(p.sys)
+	for e, v := range p.values {
+		cp.values[e] = v
+	}
+	return cp
+}
+
+// ScaleModule returns a copy of the matrix with every input/output pair
+// of the module scaled by factor (clamped to [0, 1]) — the what-if of
+// adding containment to a module (factor < 1, e.g. a wrapper that masks
+// 80% of propagating errors scales by 0.2) or of removing it
+// (factor > 1). Use with CheckConformance to iterate on Section 9's
+// process: find the violated condition, strengthen a module, re-profile.
+func (p *Permeability) ScaleModule(mod model.ModuleID, factor float64) (*Permeability, error) {
+	if factor < 0 {
+		return nil, fmt.Errorf("core: negative scale factor %v", factor)
+	}
+	m, ok := p.sys.Module(mod)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown module %q", mod)
+	}
+	cp := p.Clone()
+	for _, in := range m.Inputs {
+		for _, out := range m.Outputs {
+			e := model.Edge{Module: mod, In: in.Index, Out: out.Index, From: in.Signal, To: out.Signal}
+			v := cp.values[e] * factor
+			if v > 1 {
+				v = 1
+			}
+			cp.values[e] = v
+		}
+	}
+	return cp, nil
+}
+
+// ScaleEdge returns a copy with one pair scaled — the what-if of
+// guarding a single signal path.
+func (p *Permeability) ScaleEdge(mod model.ModuleID, in, out int, factor float64) (*Permeability, error) {
+	if factor < 0 {
+		return nil, fmt.Errorf("core: negative scale factor %v", factor)
+	}
+	e, err := p.edge(mod, in, out)
+	if err != nil {
+		return nil, err
+	}
+	cp := p.Clone()
+	v := cp.values[e] * factor
+	if v > 1 {
+		v = 1
+	}
+	cp.values[e] = v
+	return cp, nil
+}
+
+// ContainmentPlan evaluates, for every module, how much scaling its
+// permeabilities by factor would reduce a signal's impact on a system
+// output — a ranking of where containment buys the most protection for
+// that signal/output pair.
+type ContainmentOption struct {
+	Module model.ModuleID
+	// Before and After are the impact values without and with the
+	// hypothetical containment.
+	Before, After float64
+}
+
+// PlanContainment ranks modules by the impact reduction that scaling
+// their pair permeabilities by factor would achieve for from → to.
+// Options are returned in system module order; callers sort as needed.
+func PlanContainment(p *Permeability, from, to model.SignalID, factor float64) ([]ContainmentOption, error) {
+	before, err := Impact(p, from, to)
+	if err != nil {
+		return nil, err
+	}
+	var out []ContainmentOption
+	for _, mod := range p.sys.ModuleIDs() {
+		scaled, err := p.ScaleModule(mod, factor)
+		if err != nil {
+			return nil, err
+		}
+		after, err := Impact(scaled, from, to)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ContainmentOption{Module: mod, Before: before, After: after})
+	}
+	return out, nil
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCloneIsIndependent(t *testing.T) {
+	sys := chainSystem(t)
+	p := NewPermeability(sys)
+	p.MustSet("A", 1, 1, 0.5)
+	cp := p.Clone()
+	cp.MustSet("A", 1, 1, 0.9)
+	if got, _ := p.Value("A", 1, 1); got != 0.5 {
+		t.Errorf("mutating clone changed original: %v", got)
+	}
+	if got, _ := cp.Value("A", 1, 1); got != 0.9 {
+		t.Errorf("clone value = %v", got)
+	}
+}
+
+func TestScaleModule(t *testing.T) {
+	sys := chainSystem(t)
+	p := NewPermeability(sys)
+	p.MustSet("A", 1, 1, 0.8)
+	p.MustSet("A", 1, 2, 0.4)
+	p.MustSet("B", 1, 1, 0.6)
+
+	scaled, err := p.ScaleModule("A", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := scaled.Value("A", 1, 1); !approx(got, 0.4) {
+		t.Errorf("A(1,1) = %v, want 0.4", got)
+	}
+	if got, _ := scaled.Value("A", 1, 2); !approx(got, 0.2) {
+		t.Errorf("A(1,2) = %v, want 0.2", got)
+	}
+	// Other modules untouched; original untouched.
+	if got, _ := scaled.Value("B", 1, 1); got != 0.6 {
+		t.Errorf("B(1,1) = %v, want 0.6", got)
+	}
+	if got, _ := p.Value("A", 1, 1); got != 0.8 {
+		t.Errorf("original mutated: %v", got)
+	}
+
+	// Scaling up clamps at 1.
+	up, err := p.ScaleModule("A", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := up.Value("A", 1, 1); got != 1 {
+		t.Errorf("upscaled = %v, want clamp 1", got)
+	}
+
+	if _, err := p.ScaleModule("Z", 0.5); err == nil {
+		t.Error("unknown module accepted")
+	}
+	if _, err := p.ScaleModule("A", -1); err == nil {
+		t.Error("negative factor accepted")
+	}
+}
+
+func TestScaleEdge(t *testing.T) {
+	sys := chainSystem(t)
+	p := NewPermeability(sys)
+	p.MustSet("A", 1, 1, 0.8)
+	p.MustSet("A", 1, 2, 0.4)
+
+	scaled, err := p.ScaleEdge("A", 1, 1, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := scaled.Value("A", 1, 1); !approx(got, 0.2) {
+		t.Errorf("scaled edge = %v", got)
+	}
+	if got, _ := scaled.Value("A", 1, 2); got != 0.4 {
+		t.Errorf("sibling edge touched: %v", got)
+	}
+	if _, err := p.ScaleEdge("A", 9, 1, 0.5); err == nil {
+		t.Error("bad port accepted")
+	}
+}
+
+func TestPlanContainmentRanksEffectiveModules(t *testing.T) {
+	sys := chainSystem(t)
+	p := NewPermeability(sys)
+	p.MustSet("A", 1, 1, 0.9)
+	p.MustSet("B", 1, 1, 0.9)
+
+	options, err := PlanContainment(p, "in", "out", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(options) != 2 {
+		t.Fatalf("options = %d, want 2", len(options))
+	}
+	for _, o := range options {
+		if o.Before <= o.After {
+			t.Errorf("containing %s did not reduce impact: %v -> %v", o.Module, o.Before, o.After)
+		}
+		// The single path goes through both modules: scaling either by
+		// 0.1 scales the path weight by 0.1.
+		if !approx(o.Before, 0.81) || !approx(o.After, 0.081) {
+			t.Errorf("option %s = %v -> %v, want 0.81 -> 0.081", o.Module, o.Before, o.After)
+		}
+	}
+	if _, err := PlanContainment(p, "ghost", "out", 0.1); err == nil {
+		t.Error("unknown signal accepted")
+	}
+}
+
+// Property: scaling any module by f in [0,1] never increases any
+// impact (monotonicity under containment).
+func TestQuickContainmentMonotone(t *testing.T) {
+	f := func(seed int64, modSel, fRaw uint8) bool {
+		sys, p := randomDAG(seed)
+		mods := sys.ModuleIDs()
+		mod := mods[int(modSel)%len(mods)]
+		factor := float64(fRaw) / 255
+		scaled, err := p.ScaleModule(mod, factor)
+		if err != nil {
+			return false
+		}
+		for _, s := range sys.SignalIDs() {
+			for _, o := range sys.SystemOutputs() {
+				before, err1 := Impact(p, s, o)
+				after, err2 := Impact(scaled, s, o)
+				if err1 != nil || err2 != nil {
+					return false
+				}
+				if after > before+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWhatIfDrivesConformanceLoop(t *testing.T) {
+	// The Section 9 loop: a violated impact condition, fixed by
+	// containing the module the plan ranks highest.
+	pr, _ := placementSystem(t)
+	p := pr.Permeability()
+	conds := Conditions{
+		MaxModulePermeability: -1,
+		MaxModuleExposure:     -1,
+		MaxSignalExposure:     -1,
+		MaxSignalImpact:       0.5,
+	}
+	findings, err := CheckConformance(pr, conds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("setup: no impact violations")
+	}
+
+	contained, err := p.ScaleModule("SINK", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr2, err := BuildProfile(contained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings2, err := CheckConformance(pr2, conds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings2) >= len(findings) {
+		t.Errorf("containment did not reduce findings: %d -> %d", len(findings), len(findings2))
+	}
+}

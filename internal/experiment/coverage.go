@@ -1,0 +1,417 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ea"
+	"repro/internal/failure"
+	"repro/internal/fi"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/target"
+)
+
+// EA set names used across coverage results.
+const (
+	SetEH       = "EH"
+	SetPA       = "PA"
+	SetExtended = "extended"
+)
+
+// setMembers resolves a set name to assertion names.
+func setMembers() map[string][]string {
+	return map[string][]string{
+		SetEH:       target.EHSet(),
+		SetPA:       target.PASet(),
+		SetExtended: target.ExtendedSet(),
+	}
+}
+
+// CoverageRow is the Table 4 accounting for errors injected into one
+// system input signal.
+type CoverageRow struct {
+	Signal model.SignalID
+	// Injected counts all runs; Active the errors "injected before the
+	// arrestment ... was completed" (the paper's n_err).
+	Injected, Active int
+	// PerEA is the detection coverage of each individual assertion over
+	// active errors.
+	PerEA map[string]stats.Proportion
+	// PerSet is the combined coverage of each assertion set.
+	PerSet map[string]stats.Proportion
+	// PairDetections counts, for each ordered assertion pair (a, b),
+	// the active runs detected by both — the raw material for the
+	// subsumption analysis behind the paper's remark that every EA1,
+	// EA2 or EA7 detection was also an EA4 detection.
+	PairDetections map[string]map[string]int
+	// SetLatenciesMs holds, per assertion set, the detection latency of
+	// every detected run: time from the injected corruption to the
+	// set's first firing assertion.
+	SetLatenciesMs map[string][]float64
+}
+
+// InputCoverageResult is the measured Table 4.
+type InputCoverageResult struct {
+	Rows []CoverageRow
+	// All aggregates across all injected signals (the paper's All row).
+	All CoverageRow
+}
+
+// InputCoverage runs the Section 6.2 campaign: errors enter "via the
+// system inputs (e.g., by noisy and/or faulty sensors)" — single
+// transient bit-flips observed at the consuming module's read of each
+// system input — and every EA's detections are recorded. perSignal is
+// the number of injections per input signal across all cases (2000 in
+// the paper). Signals defaults to the target's four system inputs when
+// nil.
+func InputCoverage(opts Options, perSignal int, signals []model.SignalID) (*InputCoverageResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if perSignal < 1 {
+		return nil, fmt.Errorf("experiment: perSignal %d must be >= 1", perSignal)
+	}
+	if signals == nil {
+		signals = target.SystemInputs()
+	}
+	golds, err := goldens(opts)
+	if err != nil {
+		return nil, err
+	}
+	sys := target.NewSystem()
+
+	perCase := perSignal / len(opts.Cases)
+	if perCase < 1 {
+		perCase = 1
+	}
+
+	type job struct {
+		sig     model.SignalID
+		port    model.PortRef
+		caseIdx int
+	}
+	var plan []job
+	for _, sig := range signals {
+		consumers := sys.ConsumersOf(sig)
+		if len(consumers) != 1 {
+			return nil, fmt.Errorf("experiment: system input %s has %d consumers, want 1", sig, len(consumers))
+		}
+		for ci := range opts.Cases {
+			for k := 0; k < perCase; k++ {
+				plan = append(plan, job{sig: sig, port: consumers[0], caseIdx: ci})
+			}
+		}
+	}
+
+	type outcome struct {
+		active     bool
+		injectedAt int64
+		detectedAt map[string]int64
+		err        error
+	}
+	results := make([]outcome, len(plan))
+	parallelFor(len(plan), opts.Workers, func(i int) {
+		j := plan[i]
+		active, injectedAt, detected, err := coverageRun(opts, golds[j.caseIdx], j.port, j.sig, i)
+		results[i] = outcome{active: active, injectedAt: injectedAt, detectedAt: detected, err: err}
+	})
+
+	rows := make(map[model.SignalID]*CoverageRow, len(signals))
+	for _, sig := range signals {
+		rows[sig] = newCoverageRow(sig)
+	}
+	all := newCoverageRow("All")
+	for i, j := range plan {
+		out := results[i]
+		if out.err != nil {
+			return nil, out.err
+		}
+		rows[j.sig].accumulate(out.active, out.injectedAt, out.detectedAt)
+		all.accumulate(out.active, out.injectedAt, out.detectedAt)
+	}
+
+	res := &InputCoverageResult{All: *all}
+	for _, sig := range signals {
+		res.Rows = append(res.Rows, *rows[sig])
+	}
+	return res, nil
+}
+
+func newCoverageRow(sig model.SignalID) *CoverageRow {
+	r := &CoverageRow{
+		Signal:         sig,
+		PerEA:          make(map[string]stats.Proportion),
+		PerSet:         make(map[string]stats.Proportion),
+		PairDetections: make(map[string]map[string]int),
+		SetLatenciesMs: make(map[string][]float64),
+	}
+	for _, s := range target.AllEASpecs() {
+		r.PerEA[s.Name] = stats.Proportion{}
+		r.PairDetections[s.Name] = make(map[string]int)
+	}
+	for name := range setMembers() {
+		r.PerSet[name] = stats.Proportion{}
+	}
+	return r
+}
+
+// accumulate folds one run into the row. detectedAt maps each fired
+// assertion to its first detection time; injectedAt is when the
+// corruption was observed.
+func (r *CoverageRow) accumulate(active bool, injectedAt int64, detectedAt map[string]int64) {
+	r.Injected++
+	if !active {
+		return
+	}
+	r.Active++
+	for ea, p := range r.PerEA {
+		_, hit := detectedAt[ea]
+		p.Add(hit)
+		r.PerEA[ea] = p
+	}
+	for a := range detectedAt {
+		for b := range detectedAt {
+			r.PairDetections[a][b]++
+		}
+	}
+	for set, members := range setMembers() {
+		first := int64(-1)
+		for _, ea := range members {
+			if at, ok := detectedAt[ea]; ok && (first < 0 || at < first) {
+				first = at
+			}
+		}
+		p := r.PerSet[set]
+		p.Add(first >= 0)
+		r.PerSet[set] = p
+		if first >= 0 {
+			lat := first - injectedAt
+			if lat < 0 {
+				lat = 0
+			}
+			r.SetLatenciesMs[set] = append(r.SetLatenciesMs[set], float64(lat))
+		}
+	}
+}
+
+// coverageRun executes one input-model injection run with the full EA
+// bank deployed and reports when the corruption was observed and which
+// assertions fired, with their first detection times.
+func coverageRun(opts Options, g *golden, port model.PortRef, sig model.SignalID, index int) (bool, int64, map[string]int64, error) {
+	rng := rand.New(rand.NewSource(runSeed(opts, "cov", index)))
+
+	rig, err := target.NewRig(g.tc.Config(caseSeed(opts, g.tc)))
+	if err != nil {
+		return false, 0, nil, err
+	}
+	bank, err := target.NewBank(rig, target.EHSet())
+	if err != nil {
+		return false, 0, nil, err
+	}
+	rig.Sched.OnPostSlot(bank.Hook)
+
+	flip := &fi.ReadFlip{
+		Port:   port,
+		Bit:    pickBit(rng, rig.Sys, sig),
+		FromMs: rng.Int63n(g.arrestMs),
+	}
+	inj := fi.NewInjector(flip)
+	rig.Sched.OnPreSlot(inj.Hook)
+	rig.Bus.OnRead(inj.ReadHook())
+
+	if err := rig.RunFor(g.horizonMs); err != nil {
+		return false, 0, nil, err
+	}
+
+	applied, at := flip.Applied()
+	active := applied && at < g.arrestMs
+	return active, at, detectionTimes(bank), nil
+}
+
+// detectionTimes extracts each fired assertion's first detection time.
+func detectionTimes(bank *ea.Bank) map[string]int64 {
+	out := make(map[string]int64)
+	for _, a := range bank.Assertions() {
+		if at := a.FirstDetectionMs(); at >= 0 {
+			out[a.Spec().Name] = at
+		}
+	}
+	return out
+}
+
+// SetCoverage is one bar group of Figure 3: total coverage, coverage
+// over failed runs, and coverage over non-failed runs.
+type SetCoverage struct {
+	Tot, Fail, NoFail stats.Proportion
+}
+
+// RegionCoverage aggregates one memory region of the internal error
+// model.
+type RegionCoverage struct {
+	Region string
+	PerSet map[string]SetCoverage
+	// SetLatenciesMs holds, per set, the latency from the first
+	// injected corruption to the set's first detection, for every
+	// detected run.
+	SetLatenciesMs map[string][]float64
+	// Runs and Failures account for campaign volume.
+	Runs, Failures int
+}
+
+// InternalCoverageResult is the measured Figure 3.
+type InternalCoverageResult struct {
+	RAM, Stack, Total RegionCoverage
+	// RAMLocations and StackLocations are the sampled location counts.
+	RAMLocations, StackLocations int
+}
+
+// InternalCoverage runs the Section 7 campaign: single bit-flips
+// injected periodically (every opts.PeriodicMs) into sampled RAM and
+// stack locations, every test case, with all assertions deployed; runs
+// are classified against the failure specification so coverage can be
+// split into c_tot, c_fail and c_nofail. ramLocations and stackLocations
+// are the sampled location counts (the paper used 150 and 50; with 25
+// cases that is the paper's 5000 runs).
+func InternalCoverage(opts Options, ramLocations, stackLocations int) (*InternalCoverageResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if ramLocations < 1 || stackLocations < 1 {
+		return nil, fmt.Errorf("experiment: location counts must be >= 1")
+	}
+	golds, err := goldens(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Enumerate targets on a scratch rig (cell IDs are stable across
+	// rigs: allocation order is fixed by construction).
+	scratch, err := target.NewRig(opts.Cases[0].Config(1))
+	if err != nil {
+		return nil, err
+	}
+	ramTargets := fi.SampleTargets(fi.EnumerateRAMTargets(scratch.Sys, scratch.Mem), ramLocations, opts.Seed*7+1)
+	stackTargets := fi.SampleTargets(fi.EnumerateStackTargets(scratch.Mem), stackLocations, opts.Seed*7+2)
+
+	type job struct {
+		tgt     fi.MemTarget
+		caseIdx int
+		stack   bool
+	}
+	var plan []job
+	for _, tgt := range ramTargets {
+		for ci := range opts.Cases {
+			plan = append(plan, job{tgt: tgt, caseIdx: ci})
+		}
+	}
+	for _, tgt := range stackTargets {
+		for ci := range opts.Cases {
+			plan = append(plan, job{tgt: tgt, caseIdx: ci, stack: true})
+		}
+	}
+
+	type outcome struct {
+		detectedAt map[string]int64
+		failed     bool
+		err        error
+	}
+	results := make([]outcome, len(plan))
+	parallelFor(len(plan), opts.Workers, func(i int) {
+		j := plan[i]
+		detected, failed, err := internalRun(opts, golds[j.caseIdx], j.tgt)
+		results[i] = outcome{detectedAt: detected, failed: failed, err: err}
+	})
+
+	res := &InternalCoverageResult{
+		RAM:            newRegionCoverage("RAM"),
+		Stack:          newRegionCoverage("Stack"),
+		Total:          newRegionCoverage("Total"),
+		RAMLocations:   len(ramTargets),
+		StackLocations: len(stackTargets),
+	}
+	for i, j := range plan {
+		out := results[i]
+		if out.err != nil {
+			return nil, out.err
+		}
+		region := &res.RAM
+		if j.stack {
+			region = &res.Stack
+		}
+		region.accumulate(out.detectedAt, out.failed, opts.PeriodicMs)
+		res.Total.accumulate(out.detectedAt, out.failed, opts.PeriodicMs)
+	}
+	return res, nil
+}
+
+func newRegionCoverage(name string) RegionCoverage {
+	rc := RegionCoverage{
+		Region:         name,
+		PerSet:         make(map[string]SetCoverage),
+		SetLatenciesMs: make(map[string][]float64),
+	}
+	for set := range setMembers() {
+		rc.PerSet[set] = SetCoverage{}
+	}
+	return rc
+}
+
+func (rc *RegionCoverage) accumulate(detectedAt map[string]int64, failed bool, injectedAt int64) {
+	rc.Runs++
+	if failed {
+		rc.Failures++
+	}
+	for set, members := range setMembers() {
+		first := int64(-1)
+		for _, ea := range members {
+			if at, ok := detectedAt[ea]; ok && (first < 0 || at < first) {
+				first = at
+			}
+		}
+		sc := rc.PerSet[set]
+		sc.Tot.Add(first >= 0)
+		if failed {
+			sc.Fail.Add(first >= 0)
+		} else {
+			sc.NoFail.Add(first >= 0)
+		}
+		rc.PerSet[set] = sc
+		if first >= 0 {
+			lat := first - injectedAt
+			if lat < 0 {
+				lat = 0
+			}
+			rc.SetLatenciesMs[set] = append(rc.SetLatenciesMs[set], float64(lat))
+		}
+	}
+}
+
+// internalRun executes one severe-model run: periodic flips of one
+// memory target, full EA bank, failure classification. It returns each
+// fired assertion's first detection time.
+func internalRun(opts Options, g *golden, tgt fi.MemTarget) (map[string]int64, bool, error) {
+	rig, err := target.NewRig(g.tc.Config(caseSeed(opts, g.tc)))
+	if err != nil {
+		return nil, false, err
+	}
+	bank, err := target.NewBank(rig, target.EHSet())
+	if err != nil {
+		return nil, false, err
+	}
+	rig.Sched.OnPostSlot(bank.Hook)
+
+	pi, err := fi.NewPeriodicInjector(tgt, opts.PeriodicMs, opts.PeriodicMs, rig.Bus, rig.Mem)
+	if err != nil {
+		return nil, false, err
+	}
+	rig.Sched.OnPreSlot(pi.Hook)
+	rig.Mem.OnRead(pi.MemHook())
+
+	arrested, err := rig.RunUntilArrested(g.horizonMs + opts.GraceMs)
+	if err != nil {
+		return nil, false, err
+	}
+	rep := failure.Classify(rig.Plant, arrested, failure.DefaultLimits())
+	return detectionTimes(bank), rep.Failed(), nil
+}

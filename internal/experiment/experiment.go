@@ -1,0 +1,175 @@
+// Package experiment orchestrates the paper's fault-injection campaigns
+// end to end on the reimplemented target: permeability estimation
+// (Table 1), detection coverage under the input error model (Table 4)
+// and under the internal error model (Figure 3). It is the "measured
+// mode" of DESIGN.md §3 — absolute numbers are properties of our
+// reconstructed target, the shape is compared against the paper in
+// EXPERIMENTS.md and integration tests.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/target"
+	"repro/internal/trace"
+)
+
+// Options configures a campaign.
+type Options struct {
+	// Cases is the test-case workload (the paper's 25 arrestments).
+	Cases []target.TestCase
+	// Seed drives all campaign randomness (bit and time choices) and
+	// plant noise. Same seed, same results, regardless of Workers.
+	Seed int64
+	// Workers bounds campaign parallelism (runs are independent).
+	Workers int
+	// MaxRunMs bounds a single run.
+	MaxRunMs int64
+	// TailMs extends recording past software arrest, so detections
+	// around standstill are observed.
+	TailMs int64
+	// GraceMs extends injected runs past the golden horizon before
+	// declaring "not arrested".
+	GraceMs int64
+	// PeriodicMs is the injection period of the internal error model.
+	PeriodicMs int64
+}
+
+// DefaultOptions returns the full-size campaign configuration.
+func DefaultOptions(seed int64) Options {
+	return Options{
+		Cases:      target.DefaultTestCases(),
+		Seed:       seed,
+		Workers:    8,
+		MaxRunMs:   30_000,
+		TailMs:     500,
+		GraceMs:    5_000,
+		PeriodicMs: 20,
+	}
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	switch {
+	case len(o.Cases) == 0:
+		return fmt.Errorf("experiment: no test cases")
+	case o.Workers < 1:
+		return fmt.Errorf("experiment: Workers %d must be >= 1", o.Workers)
+	case o.MaxRunMs <= 0:
+		return fmt.Errorf("experiment: MaxRunMs %d must be positive", o.MaxRunMs)
+	case o.TailMs < 0 || o.GraceMs < 0:
+		return fmt.Errorf("experiment: negative tail/grace")
+	case o.PeriodicMs <= 0:
+		return fmt.Errorf("experiment: PeriodicMs %d must be positive", o.PeriodicMs)
+	}
+	return nil
+}
+
+// golden is the reference data of one test case.
+type golden struct {
+	tc        target.TestCase
+	trace     *trace.Trace
+	arrestMs  int64
+	horizonMs int64
+}
+
+// caseSeed derives the plant-noise seed of a test case. Golden and
+// injection runs of the same case share it, so sensor noise replays
+// identically — the precondition for golden-run comparison.
+func caseSeed(opts Options, tc target.TestCase) int64 {
+	return opts.Seed*1009 + int64(tc.ID)
+}
+
+// runSeed derives the randomness seed of one injection run.
+func runSeed(opts Options, campaign string, index int) int64 {
+	h := opts.Seed
+	for _, c := range campaign {
+		h = h*131 + int64(c)
+	}
+	return h*1_000_003 + int64(index)
+}
+
+// runGolden executes the fault-free reference run of a test case,
+// recording every signal at the 1 ms slot period.
+func runGolden(opts Options, tc target.TestCase) (*golden, error) {
+	rig, err := target.NewRig(tc.Config(caseSeed(opts, tc)))
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.NewRecorder(rig.Bus, target.AllSignals(), 1, opts.MaxRunMs)
+	rig.Sched.OnPostSlot(rec.Hook)
+	arrested, err := rig.RunUntilArrested(opts.MaxRunMs)
+	if err != nil {
+		return nil, err
+	}
+	if !arrested {
+		return nil, fmt.Errorf("experiment: golden run of %v did not arrest within %d ms", tc, opts.MaxRunMs)
+	}
+	arrest := rig.Sched.NowMs()
+	if err := rig.RunFor(opts.TailMs); err != nil {
+		return nil, err
+	}
+	return &golden{
+		tc:        tc,
+		trace:     rec.Trace(),
+		arrestMs:  arrest,
+		horizonMs: rig.Sched.NowMs(),
+	}, nil
+}
+
+// goldens computes the reference data of every case, in parallel.
+func goldens(opts Options) ([]*golden, error) {
+	out := make([]*golden, len(opts.Cases))
+	errs := make([]error, len(opts.Cases))
+	parallelFor(len(opts.Cases), opts.Workers, func(i int) {
+		out[i], errs[i] = runGolden(opts, opts.Cases[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// parallelFor runs fn(0..n-1) on up to workers goroutines and waits.
+// fn must only touch index-owned state.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// pickBit draws a uniformly random bit index for a signal.
+func pickBit(rng *rand.Rand, sys *model.System, sig model.SignalID) uint8 {
+	s, ok := sys.Signal(sig)
+	if !ok {
+		panic(fmt.Sprintf("experiment: unknown signal %q", sig))
+	}
+	return uint8(rng.Intn(int(s.Type.Width)))
+}

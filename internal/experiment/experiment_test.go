@@ -1,0 +1,348 @@
+package experiment
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/target"
+)
+
+func smallOpts() Options {
+	opts := DefaultOptions(1)
+	opts.Cases = []target.TestCase{
+		{ID: 1, MassKg: 8000, EngageVelocityMps: 50},
+		{ID: 2, MassKg: 16000, EngageVelocityMps: 80},
+	}
+	opts.Workers = 8
+	return opts
+}
+
+func TestOptionsValidate(t *testing.T) {
+	good := DefaultOptions(1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Options)
+	}{
+		{"no cases", func(o *Options) { o.Cases = nil }},
+		{"zero workers", func(o *Options) { o.Workers = 0 }},
+		{"zero max run", func(o *Options) { o.MaxRunMs = 0 }},
+		{"negative tail", func(o *Options) { o.TailMs = -1 }},
+		{"zero period", func(o *Options) { o.PeriodicMs = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			o := good
+			tt.mutate(&o)
+			if err := o.Validate(); err == nil {
+				t.Error("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestParallelFor(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		var sum int64
+		hit := make([]int32, 100)
+		parallelFor(100, workers, func(i int) {
+			atomic.AddInt64(&sum, int64(i))
+			atomic.AddInt32(&hit[i], 1)
+		})
+		if sum != 99*100/2 {
+			t.Errorf("workers=%d: sum = %d", workers, sum)
+		}
+		for i, h := range hit {
+			if h != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+	parallelFor(0, 4, func(int) { t.Error("fn called for n=0") })
+}
+
+func TestGoldenRunsProduceAlignedTraces(t *testing.T) {
+	opts := smallOpts()
+	golds, err := goldens(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range golds {
+		if g.arrestMs <= 0 || g.arrestMs > opts.MaxRunMs {
+			t.Errorf("%v: arrest at %d ms", g.tc, g.arrestMs)
+		}
+		if g.horizonMs != g.arrestMs+opts.TailMs {
+			t.Errorf("%v: horizon %d != arrest %d + tail", g.tc, g.horizonMs, g.arrestMs)
+		}
+		// One sample per slot from t=0 through the horizon.
+		if got, want := g.trace.Len(), int(g.horizonMs); got != want {
+			t.Errorf("%v: trace has %d samples, want %d", g.tc, got, want)
+		}
+	}
+}
+
+func TestEstimatePermeabilityRejectsBadArgs(t *testing.T) {
+	opts := smallOpts()
+	if _, err := EstimatePermeability(opts, 0); err == nil {
+		t.Error("perInput 0 accepted")
+	}
+	bad := opts
+	bad.Workers = 0
+	if _, err := EstimatePermeability(bad, 10); err == nil {
+		t.Error("invalid options accepted")
+	}
+}
+
+func TestEstimatePermeabilitySmallCampaign(t *testing.T) {
+	opts := smallOpts()
+	res, err := EstimatePermeability(opts, 8) // 4 per case per input
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalRuns != 13*8 { // 13 module input ports
+		t.Errorf("TotalRuns = %d, want %d", res.TotalRuns, 13*8)
+	}
+	if res.ActiveRuns < res.TotalRuns*9/10 {
+		t.Errorf("only %d/%d runs active", res.ActiveRuns, res.TotalRuns)
+	}
+	sys := target.NewSystem()
+	for _, e := range sys.Edges() {
+		v := res.Matrix.Get(e)
+		if v < 0 || v > 1 {
+			t.Errorf("edge %v permeability %v outside [0,1]", e, v)
+		}
+	}
+	// Structural facts that hold even at tiny sample sizes.
+	for _, e := range sys.Edges() {
+		switch {
+		case e.From == target.SigTIC1 || e.From == target.SigTCNT:
+			if got := res.Matrix.Get(e); got != 0 {
+				t.Errorf("%s -> %s = %v, want 0 (timer inputs are masked)", e.From, e.To, got)
+			}
+		case e.From == target.SigI && e.To == target.SigMsSlotNbr:
+			if got := res.Matrix.Get(e); got != 1 {
+				t.Errorf("i -> ms_slot_nbr = %v, want 1", got)
+			}
+		case e.From == target.SigI && e.To == target.SigMscnt:
+			if got := res.Matrix.Get(e); got != 0 {
+				t.Errorf("i -> mscnt = %v, want 0", got)
+			}
+		}
+	}
+}
+
+func TestEstimatePermeabilityDeterministic(t *testing.T) {
+	opts := smallOpts()
+	a, err := EstimatePermeability(opts, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 2 // determinism must not depend on parallelism
+	b, err := EstimatePermeability(opts, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range target.NewSystem().Edges() {
+		if a.Matrix.Get(e) != b.Matrix.Get(e) {
+			t.Errorf("edge %v differs across identical campaigns: %v vs %v",
+				e, a.Matrix.Get(e), b.Matrix.Get(e))
+		}
+	}
+}
+
+func TestInputCoverageSmallCampaign(t *testing.T) {
+	opts := smallOpts()
+	res, err := InputCoverage(opts, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 system inputs", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		switch row.Signal {
+		case target.SigADC, target.SigTIC1, target.SigTCNT:
+			// The paper: these errors do not propagate to guarded
+			// signals, so no EA may fire.
+			if got := row.PerSet[SetEH].Successes; got != 0 {
+				t.Errorf("%s: %d EH detections, want 0", row.Signal, got)
+			}
+		case target.SigPACNT:
+			if got := row.PerSet[SetPA].Estimate(); got < 0.5 {
+				t.Errorf("PACNT PA coverage = %v, want majority detection", got)
+			}
+		}
+		if row.Active > row.Injected {
+			t.Errorf("%s: active %d > injected %d", row.Signal, row.Active, row.Injected)
+		}
+	}
+	if res.All.Injected == 0 {
+		t.Error("All row empty")
+	}
+}
+
+func TestInputCoverageEHEqualsPA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium campaign")
+	}
+	opts := smallOpts()
+	res, err := InputCoverage(opts, 60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Table 4 headline: "the obtained coverage for the two
+	// sets of EA's is the same".
+	eh := res.All.PerSet[SetEH]
+	pa := res.All.PerSet[SetPA]
+	if eh.Trials != pa.Trials {
+		t.Fatalf("trial mismatch: %d vs %d", eh.Trials, pa.Trials)
+	}
+	diff := eh.Successes - pa.Successes
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff) > 0.02*float64(eh.Trials)+1 {
+		t.Errorf("EH detections %d vs PA %d differ beyond tolerance", eh.Successes, pa.Successes)
+	}
+	// And EA4 (pulscnt) dominates detection.
+	var pacnt *CoverageRow
+	for i := range res.Rows {
+		if res.Rows[i].Signal == target.SigPACNT {
+			pacnt = &res.Rows[i]
+		}
+	}
+	if pacnt == nil {
+		t.Fatal("no PACNT row")
+	}
+	ea4 := pacnt.PerEA[target.EA4].Estimate()
+	for name, p := range pacnt.PerEA {
+		if name != target.EA4 && p.Estimate() > ea4 {
+			t.Errorf("%s coverage %v exceeds EA4 %v", name, p.Estimate(), ea4)
+		}
+	}
+}
+
+func TestInternalCoverageSmallCampaign(t *testing.T) {
+	opts := smallOpts()
+	res, err := InternalCoverage(opts, 20, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RAMLocations != 20 || res.StackLocations != 12 {
+		t.Errorf("sampled %d/%d locations, want 20/12", res.RAMLocations, res.StackLocations)
+	}
+	wantRuns := (20 + 12) * len(opts.Cases)
+	if got := res.Total.Runs; got != wantRuns {
+		t.Errorf("total runs = %d, want %d", got, wantRuns)
+	}
+	for _, rc := range []RegionCoverage{res.RAM, res.Stack, res.Total} {
+		eh := rc.PerSet[SetEH].Tot.Estimate()
+		pa := rc.PerSet[SetPA].Tot.Estimate()
+		if pa > eh {
+			t.Errorf("%s: PA coverage %v exceeds EH %v (PA is a subset)", rc.Region, pa, eh)
+		}
+		ext := rc.PerSet[SetExtended].Tot
+		ehp := rc.PerSet[SetEH].Tot
+		if ext != ehp {
+			t.Errorf("%s: extended coverage %v != EH %v (same EA set)", rc.Region, ext, ehp)
+		}
+	}
+}
+
+func TestInternalCoveragePASignificantlyBelowEH(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium campaign")
+	}
+	opts := smallOpts()
+	res, err := InternalCoverage(opts, 60, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Figure 3 headline: under the internal error model the
+	// PA set loses substantial coverage versus the EH set, more on the
+	// stack than in RAM.
+	ramEH := res.RAM.PerSet[SetEH].Tot.Estimate()
+	ramPA := res.RAM.PerSet[SetPA].Tot.Estimate()
+	if ramPA >= ramEH*0.95 {
+		t.Errorf("RAM: PA %v not clearly below EH %v", ramPA, ramEH)
+	}
+	stkEH := res.Stack.PerSet[SetEH].Tot.Estimate()
+	stkPA := res.Stack.PerSet[SetPA].Tot.Estimate()
+	if stkPA >= stkEH*0.8 {
+		t.Errorf("Stack: PA %v not well below EH %v", stkPA, stkEH)
+	}
+	if res.Total.Failures == 0 {
+		t.Error("no failures induced; c_fail undefined")
+	}
+}
+
+// TestMeasuredSelectionsReproducePaper is the headline end-to-end test:
+// estimate permeabilities on OUR target by fault injection, run the
+// placement rules on the measured matrix, and require the paper's
+// selections — PA set {SetValue, i, pulscnt, OutValue} and extended set
+// equal to the EH set of seven signals.
+func TestMeasuredSelectionsReproducePaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium campaign")
+	}
+	opts := smallOpts()
+	res, err := EstimatePermeability(opts, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSelections(t, res)
+}
+
+func TestInternalCoverageRejectsBadCounts(t *testing.T) {
+	opts := smallOpts()
+	if _, err := InternalCoverage(opts, 0, 5); err == nil {
+		t.Error("zero RAM locations accepted")
+	}
+	if _, err := InputCoverage(opts, 0, nil); err == nil {
+		t.Error("zero perSignal accepted")
+	}
+}
+
+// requireSelections asserts that placement over the measured matrix
+// reproduces the paper's PA and extended selections.
+func requireSelections(t *testing.T, res *PermeabilityResult) {
+	t.Helper()
+	pr, err := core.BuildProfile(res.Matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := core.DefaultThresholds()
+
+	wantPA := map[model.SignalID]bool{
+		target.SigSetValue: true, target.SigI: true,
+		target.SigPulscnt: true, target.SigOutValue: true,
+	}
+	gotPA := core.SelectPA(pr, th).Selected()
+	if len(gotPA) != len(wantPA) {
+		t.Errorf("PA selection = %v, want 4 signals", gotPA)
+	}
+	for _, s := range gotPA {
+		if !wantPA[s] {
+			t.Errorf("PA selected %s, paper did not", s)
+		}
+	}
+
+	wantExt := map[model.SignalID]bool{
+		target.SigSetValue: true, target.SigI: true,
+		target.SigPulscnt: true, target.SigOutValue: true,
+		target.SigIsValue: true, target.SigMscnt: true, target.SigMsSlotNbr: true,
+	}
+	gotExt := core.SelectExtended(pr, th).Selected()
+	if len(gotExt) != len(wantExt) {
+		t.Errorf("extended selection = %v, want 7 signals", gotExt)
+	}
+	for _, s := range gotExt {
+		if !wantExt[s] {
+			t.Errorf("extended selected %s, paper did not", s)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/erm"
+	"repro/internal/failure"
+	"repro/internal/fi"
+	"repro/internal/stats"
+	"repro/internal/target"
+)
+
+// ModelSensitivityResult compares detection coverage across input error
+// models (DESIGN.md index A1): the paper shows its conclusions are
+// error-model dependent for internal errors; this probes the same
+// question on the sensor side.
+type ModelSensitivityResult struct {
+	// Models lists the evaluated error models in evaluation order.
+	Models []string
+	// PerModel maps model -> assertion set -> coverage over active
+	// errors.
+	PerModel map[string]map[string]stats.Proportion
+	// ActivePerModel counts active errors per model.
+	ActivePerModel map[string]int
+}
+
+// sensitivityModels returns the evaluated corruption templates.
+func sensitivityModels() []fi.Corruption {
+	return []fi.Corruption{
+		{Kind: fi.CorruptTransient},
+		{Kind: fi.CorruptStuckAt0},
+		{Kind: fi.CorruptStuckAt1},
+		{Kind: fi.CorruptBurst, BurstWidth: 3},
+		{Kind: fi.CorruptIntermittent, PeriodReads: 5},
+	}
+}
+
+// ErrorModelSensitivity injects perModel errors into the PACNT input
+// (the one input whose errors are detectable at all) under each error
+// model and measures EH/PA coverage.
+func ErrorModelSensitivity(opts Options, perModel int) (*ModelSensitivityResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if perModel < 1 {
+		return nil, fmt.Errorf("experiment: perModel %d must be >= 1", perModel)
+	}
+	golds, err := goldens(opts)
+	if err != nil {
+		return nil, err
+	}
+	sys := target.NewSystem()
+	consumers := sys.ConsumersOf(target.SigPACNT)
+	if len(consumers) != 1 {
+		return nil, fmt.Errorf("experiment: PACNT has %d consumers", len(consumers))
+	}
+	port := consumers[0]
+	sig, _ := sys.Signal(target.SigPACNT)
+
+	models := sensitivityModels()
+	perCase := perModel / len(opts.Cases)
+	if perCase < 1 {
+		perCase = 1
+	}
+
+	type job struct {
+		modelIdx int
+		caseIdx  int
+	}
+	var plan []job
+	for mi := range models {
+		for ci := range opts.Cases {
+			for k := 0; k < perCase; k++ {
+				plan = append(plan, job{modelIdx: mi, caseIdx: ci})
+			}
+		}
+	}
+
+	type outcome struct {
+		active     bool
+		detectedAt map[string]int64
+		err        error
+	}
+	results := make([]outcome, len(plan))
+	parallelFor(len(plan), opts.Workers, func(i int) {
+		j := plan[i]
+		rng := rand.New(rand.NewSource(runSeed(opts, "modsens", i)))
+		c := models[j.modelIdx]
+		c.Port = port
+		g := golds[j.caseIdx]
+		c.FromMs = rng.Int63n(g.arrestMs)
+		switch c.Kind {
+		case fi.CorruptBurst:
+			c.Bit = uint8(rng.Intn(int(sig.Type.Width) - int(c.BurstWidth) + 1))
+		default:
+			c.Bit = uint8(rng.Intn(int(sig.Type.Width)))
+		}
+		active, detected, err := corruptionCoverageRun(opts, g, c)
+		results[i] = outcome{active: active, detectedAt: detected, err: err}
+	})
+
+	res := &ModelSensitivityResult{
+		PerModel:       make(map[string]map[string]stats.Proportion, len(models)),
+		ActivePerModel: make(map[string]int, len(models)),
+	}
+	for _, m := range models {
+		res.Models = append(res.Models, m.Kind.String())
+		sets := make(map[string]stats.Proportion, len(setMembers()))
+		for set := range setMembers() {
+			sets[set] = stats.Proportion{}
+		}
+		res.PerModel[m.Kind.String()] = sets
+	}
+	for i, j := range plan {
+		out := results[i]
+		if out.err != nil {
+			return nil, out.err
+		}
+		if !out.active {
+			continue
+		}
+		name := models[j.modelIdx].Kind.String()
+		res.ActivePerModel[name]++
+		for set, members := range setMembers() {
+			hit := false
+			for _, ea := range members {
+				if _, ok := out.detectedAt[ea]; ok {
+					hit = true
+					break
+				}
+			}
+			p := res.PerModel[name][set]
+			p.Add(hit)
+			res.PerModel[name][set] = p
+		}
+	}
+	return res, nil
+}
+
+// corruptionCoverageRun is coverageRun generalized over error models.
+func corruptionCoverageRun(opts Options, g *golden, c fi.Corruption) (bool, map[string]int64, error) {
+	rig, err := target.NewRig(g.tc.Config(caseSeed(opts, g.tc)))
+	if err != nil {
+		return false, nil, err
+	}
+	bank, err := target.NewBank(rig, target.EHSet())
+	if err != nil {
+		return false, nil, err
+	}
+	rig.Sched.OnPostSlot(bank.Hook)
+
+	ci, err := fi.NewCorruptionInjector(c, rig.Bus)
+	if err != nil {
+		return false, nil, err
+	}
+	rig.Sched.OnPreSlot(ci.Hook)
+	rig.Bus.OnRead(ci.ReadHook())
+
+	if err := rig.RunFor(g.horizonMs); err != nil {
+		return false, nil, err
+	}
+	n, first := ci.Applied()
+	active := n > 0 && first < g.arrestMs
+	return active, detectionTimes(bank), nil
+}
+
+// RecoveryArm is one arm of the recovery study.
+type RecoveryArm struct {
+	Runs, Failures int
+	// Recoveries counts wrapper substitutions (wrapped arm only).
+	Recoveries int
+}
+
+// FailureRate returns the arm's failure fraction.
+func (a RecoveryArm) FailureRate() float64 {
+	if a.Runs == 0 {
+		return 0
+	}
+	return float64(a.Failures) / float64(a.Runs)
+}
+
+// RecoveryRegion compares outcomes per region across three arms: no
+// recovery, signal-level containment wrappers (write filters on the
+// PA-selected signals), and module-internal containment (a hardened
+// DIST_S that rejects implausible pulse deltas — guideline R2 applied
+// inside the most failure-prone module).
+type RecoveryRegion struct {
+	Region                      string
+	Baseline, Wrapped, Hardened RecoveryArm
+}
+
+// RecoveryStudyResult quantifies how much the R2-placed containment
+// wrappers reduce specification failures under the internal error model.
+type RecoveryStudyResult struct {
+	RAM, Stack, Total RecoveryRegion
+	// RAMLocations and StackLocations echo the sampled campaign size.
+	RAMLocations, StackLocations int
+}
+
+// RecoveryStudy runs the internal error model three times over the same
+// sampled locations — without recovery, with the containment wrappers,
+// and with the hardened DIST_S — and compares failure rates. specs
+// defaults to target.DefaultERMSpecs() when nil.
+func RecoveryStudy(opts Options, ramLocations, stackLocations int, specs []erm.Spec) (*RecoveryStudyResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if ramLocations < 1 || stackLocations < 1 {
+		return nil, fmt.Errorf("experiment: location counts must be >= 1")
+	}
+	if specs == nil {
+		specs = target.DefaultERMSpecs()
+	}
+	golds, err := goldens(opts)
+	if err != nil {
+		return nil, err
+	}
+	scratch, err := target.NewRig(opts.Cases[0].Config(1))
+	if err != nil {
+		return nil, err
+	}
+	ramTargets := fi.SampleTargets(fi.EnumerateRAMTargets(scratch.Sys, scratch.Mem), ramLocations, opts.Seed*7+1)
+	stackTargets := fi.SampleTargets(fi.EnumerateStackTargets(scratch.Mem), stackLocations, opts.Seed*7+2)
+
+	type job struct {
+		tgt     fi.MemTarget
+		caseIdx int
+		stack   bool
+		arm     int // 0 baseline, 1 wrapped, 2 hardened
+	}
+	var plan []job
+	add := func(tgts []fi.MemTarget, stack bool) {
+		for _, tgt := range tgts {
+			for ci := range opts.Cases {
+				for arm := 0; arm < 3; arm++ {
+					plan = append(plan, job{tgt: tgt, caseIdx: ci, stack: stack, arm: arm})
+				}
+			}
+		}
+	}
+	add(ramTargets, false)
+	add(stackTargets, true)
+
+	type outcome struct {
+		failed     bool
+		recoveries int
+		err        error
+	}
+	results := make([]outcome, len(plan))
+	parallelFor(len(plan), opts.Workers, func(i int) {
+		j := plan[i]
+		var ws []erm.Spec
+		if j.arm == 1 {
+			ws = specs
+		}
+		failed, rec, err := severeRun(opts, golds[j.caseIdx], j.tgt, ws, j.arm == 2)
+		results[i] = outcome{failed: failed, recoveries: rec, err: err}
+	})
+
+	res := &RecoveryStudyResult{
+		RAM:            RecoveryRegion{Region: "RAM"},
+		Stack:          RecoveryRegion{Region: "Stack"},
+		Total:          RecoveryRegion{Region: "Total"},
+		RAMLocations:   len(ramTargets),
+		StackLocations: len(stackTargets),
+	}
+	for i, j := range plan {
+		out := results[i]
+		if out.err != nil {
+			return nil, out.err
+		}
+		regions := []*RecoveryRegion{&res.Total, &res.RAM}
+		if j.stack {
+			regions[1] = &res.Stack
+		}
+		for _, region := range regions {
+			arm := &region.Baseline
+			switch j.arm {
+			case 1:
+				arm = &region.Wrapped
+			case 2:
+				arm = &region.Hardened
+			}
+			arm.Runs++
+			if out.failed {
+				arm.Failures++
+			}
+			arm.Recoveries += out.recoveries
+		}
+	}
+	return res, nil
+}
+
+// severeRun executes one internal-model run, optionally with recovery
+// wrappers and/or the hardened DIST_S deployed, and classifies the
+// outcome.
+func severeRun(opts Options, g *golden, tgt fi.MemTarget, wrapSpecs []erm.Spec, hardened bool) (bool, int, error) {
+	cfg := g.tc.Config(caseSeed(opts, g.tc))
+	cfg.HardenedDistS = hardened
+	rig, err := target.NewRig(cfg)
+	if err != nil {
+		return false, 0, err
+	}
+	var wrappers *erm.Bank
+	if len(wrapSpecs) > 0 {
+		wrappers, err = target.NewERMBank(rig, wrapSpecs)
+		if err != nil {
+			return false, 0, err
+		}
+	}
+	pi, err := fi.NewPeriodicInjector(tgt, opts.PeriodicMs, opts.PeriodicMs, rig.Bus, rig.Mem)
+	if err != nil {
+		return false, 0, err
+	}
+	rig.Sched.OnPreSlot(pi.Hook)
+	rig.Mem.OnRead(pi.MemHook())
+
+	arrested, err := rig.RunUntilArrested(g.horizonMs + opts.GraceMs)
+	if err != nil {
+		return false, 0, err
+	}
+	rep := failure.Classify(rig.Plant, arrested, failure.DefaultLimits())
+	recoveries := 0
+	if wrappers != nil {
+		recoveries = wrappers.TotalRecoveries()
+	}
+	return rep.Failed(), recoveries, nil
+}

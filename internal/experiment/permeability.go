@@ -1,0 +1,206 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/fi"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/target"
+	"repro/internal/trace"
+)
+
+// PermeabilityResult is the outcome of the Table 1 campaign: the
+// estimated permeability matrix plus the raw counts behind every entry.
+type PermeabilityResult struct {
+	// Matrix holds the estimates P^M_{i,k} = direct deviations / active
+	// injections.
+	Matrix *core.Permeability
+	// Samples holds the per-edge counts (successes = direct output
+	// deviations, trials = active injections of that input).
+	Samples map[model.Edge]stats.Proportion
+	// ActiveRuns and TotalRuns account for the campaign volume.
+	ActiveRuns, TotalRuns int
+}
+
+// EstimatePermeability runs the Section 5.3 campaign on the
+// reimplemented target: for every module input, inject single transient
+// bit-flips at the module's reads (spread over the test cases and over
+// run time), compare every module output against the golden run, and
+// count only direct errors — output deviations observed before any other
+// input of the module deviates, so errors that loop back through
+// downstream modules are excluded.
+//
+// perInput is the total number of injections per module input across all
+// test cases (the paper used 2000 per target signal).
+func EstimatePermeability(opts Options, perInput int) (*PermeabilityResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if perInput < 1 {
+		return nil, fmt.Errorf("experiment: perInput %d must be >= 1", perInput)
+	}
+	golds, err := goldens(opts)
+	if err != nil {
+		return nil, err
+	}
+	sys := target.NewSystem()
+
+	perCase := perInput / len(opts.Cases)
+	if perCase < 1 {
+		perCase = 1
+	}
+
+	type job struct {
+		mod     *model.ModuleDecl
+		port    model.PortRef
+		sig     model.SignalID
+		caseIdx int
+	}
+	var plan []job
+	for _, mod := range sys.Modules() {
+		for _, in := range mod.Inputs {
+			for ci := range opts.Cases {
+				for k := 0; k < perCase; k++ {
+					plan = append(plan, job{
+						mod:     mod,
+						port:    model.PortRef{Module: mod.ID, Dir: model.DirIn, Index: in.Index},
+						sig:     in.Signal,
+						caseIdx: ci,
+					})
+				}
+			}
+		}
+	}
+
+	type outcome struct {
+		active bool
+		direct map[int]bool // output index -> deviated directly
+		err    error
+	}
+	results := make([]outcome, len(plan))
+	parallelFor(len(plan), opts.Workers, func(i int) {
+		results[i] = permeabilityRun(opts, golds[plan[i].caseIdx], plan[i].mod, plan[i].port, plan[i].sig, i)
+	})
+
+	res := &PermeabilityResult{
+		Matrix:  core.NewPermeability(sys),
+		Samples: make(map[model.Edge]stats.Proportion),
+	}
+	for i, job := range plan {
+		out := results[i]
+		if out.err != nil {
+			return nil, out.err
+		}
+		res.TotalRuns++
+		if !out.active {
+			continue
+		}
+		res.ActiveRuns++
+		for _, op := range job.mod.Outputs {
+			e := model.Edge{
+				Module: job.mod.ID, In: job.port.Index, Out: op.Index,
+				From: job.sig, To: op.Signal,
+			}
+			p := res.Samples[e]
+			p.Add(out.direct[op.Index])
+			res.Samples[e] = p
+		}
+	}
+	for e, p := range res.Samples {
+		if err := res.Matrix.SetEdge(e, p.Estimate()); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// permeabilityRun executes one injection run and evaluates direct output
+// deviations against the golden trace.
+func permeabilityRun(opts Options, g *golden, mod *model.ModuleDecl, port model.PortRef, sig model.SignalID, index int) (out struct {
+	active bool
+	direct map[int]bool
+	err    error
+}) {
+	rng := rand.New(rand.NewSource(runSeed(opts, "perm", index)))
+
+	rig, err := target.NewRig(g.tc.Config(caseSeed(opts, g.tc)))
+	if err != nil {
+		out.err = err
+		return out
+	}
+
+	flip := &fi.ReadFlip{
+		Port:   port,
+		Bit:    pickBit(rng, rig.Sys, sig),
+		FromMs: rng.Int63n(g.arrestMs),
+	}
+	inj := fi.NewInjector(flip)
+	rig.Sched.OnPreSlot(inj.Hook)
+	rig.Bus.OnRead(inj.ReadHook())
+
+	// Record the module's outputs plus its other pure inputs (inputs
+	// that are not also outputs): the cutoff signals of the
+	// direct-errors-only rule.
+	outputs := make(map[model.SignalID]bool, len(mod.Outputs))
+	for _, op := range mod.Outputs {
+		outputs[op.Signal] = true
+	}
+	var watch []model.SignalID
+	var cutoffSigs []model.SignalID
+	for _, op := range mod.Outputs {
+		watch = append(watch, op.Signal)
+	}
+	for _, in := range mod.Inputs {
+		if in.Signal == sig || outputs[in.Signal] {
+			continue
+		}
+		watch = append(watch, in.Signal)
+		cutoffSigs = append(cutoffSigs, in.Signal)
+	}
+	watch = dedupSignals(watch)
+
+	rec := trace.NewRecorder(rig.Bus, watch, 1, g.horizonMs)
+	rig.Sched.OnPostSlot(rec.Hook)
+
+	if err := rig.RunFor(g.horizonMs); err != nil {
+		out.err = err
+		return out
+	}
+
+	applied, at := flip.Applied()
+	out.active = applied && at < g.arrestMs
+	out.direct = make(map[int]bool, len(mod.Outputs))
+	if !out.active {
+		return out
+	}
+
+	ir := rec.Trace()
+	cutoff := -1 // sample index of the earliest other-input deviation
+	for _, s := range cutoffSigs {
+		if fd := trace.FirstDifference(g.trace, ir, s); fd != trace.NoDifference {
+			if cutoff < 0 || fd < cutoff {
+				cutoff = fd
+			}
+		}
+	}
+	for _, op := range mod.Outputs {
+		fd := trace.FirstDifference(g.trace, ir, op.Signal)
+		out.direct[op.Index] = fd != trace.NoDifference && (cutoff < 0 || fd <= cutoff)
+	}
+	return out
+}
+
+func dedupSignals(in []model.SignalID) []model.SignalID {
+	seen := make(map[model.SignalID]bool, len(in))
+	out := in[:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

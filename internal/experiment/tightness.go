@@ -1,0 +1,155 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ea"
+	"repro/internal/fi"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/target"
+)
+
+// TightnessPoint is one setting of the EA-tightness ablation
+// (DESIGN.md index A2): the pulscnt assertion's step budget against the
+// coverage it buys and the false positives it costs.
+type TightnessPoint struct {
+	// MaxStep is the assertion's per-period step budget.
+	MaxStep model.Word
+	// Coverage is the detection coverage over active PACNT injections.
+	Coverage stats.Proportion
+	// FalsePositiveRuns counts fault-free runs (one per test case) in
+	// which the assertion fired.
+	FalsePositiveRuns int
+	// GoldenRuns is the fault-free run count.
+	GoldenRuns int
+}
+
+// EATightnessStudy sweeps the pulscnt assertion's MaxStep and measures,
+// for each setting, (a) detection coverage for transient PACNT errors
+// and (b) false positives on fault-free runs — the trade the paper's EA
+// parameters navigate implicitly. perStep is the number of injections
+// per setting across all cases.
+func EATightnessStudy(opts Options, perStep int, steps []model.Word) ([]TightnessPoint, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if perStep < 1 {
+		return nil, fmt.Errorf("experiment: perStep %d must be >= 1", perStep)
+	}
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("experiment: no step settings")
+	}
+	golds, err := goldens(opts)
+	if err != nil {
+		return nil, err
+	}
+	sys := target.NewSystem()
+	consumers := sys.ConsumersOf(target.SigPACNT)
+	if len(consumers) != 1 {
+		return nil, fmt.Errorf("experiment: PACNT has %d consumers", len(consumers))
+	}
+	port := consumers[0]
+	sig, _ := sys.Signal(target.SigPACNT)
+
+	spec := func(maxStep model.Word) ea.Spec {
+		return ea.Spec{
+			Name: "EA4t", Signal: target.SigPulscnt, Kind: ea.KindCounter,
+			MinStep: 0, MaxStep: maxStep, WrapWidth: 16, WarmupChecks: 2,
+		}
+	}
+
+	perCase := perStep / len(opts.Cases)
+	if perCase < 1 {
+		perCase = 1
+	}
+
+	type job struct {
+		stepIdx int
+		caseIdx int
+		k       int
+		golden  bool
+	}
+	var plan []job
+	for si := range steps {
+		for ci := range opts.Cases {
+			plan = append(plan, job{stepIdx: si, caseIdx: ci, golden: true})
+			for k := 0; k < perCase; k++ {
+				plan = append(plan, job{stepIdx: si, caseIdx: ci, k: k})
+			}
+		}
+	}
+
+	type outcome struct {
+		active   bool
+		detected bool
+		err      error
+	}
+	results := make([]outcome, len(plan))
+	parallelFor(len(plan), opts.Workers, func(i int) {
+		j := plan[i]
+		g := golds[j.caseIdx]
+		rig, err := target.NewRig(g.tc.Config(caseSeed(opts, g.tc)))
+		if err != nil {
+			results[i] = outcome{err: err}
+			return
+		}
+		bank, err := ea.NewBank(rig.Bus, target.ControlPeriodMs, []ea.Spec{spec(steps[j.stepIdx])})
+		if err != nil {
+			results[i] = outcome{err: err}
+			return
+		}
+		rig.Sched.OnPostSlot(bank.Hook)
+
+		active := true
+		if !j.golden {
+			// Identical injections across settings: the seed depends on
+			// the case and iteration only, so every budget is evaluated
+			// against the same error set and coverage is exactly monotone
+			// in the budget.
+			rng := rand.New(rand.NewSource(runSeed(opts, "tight", j.caseIdx*1_000_000+j.k)))
+			flip := &fi.ReadFlip{
+				Port:   port,
+				Bit:    uint8(rng.Intn(int(sig.Type.Width))),
+				FromMs: rng.Int63n(g.arrestMs),
+			}
+			inj := fi.NewInjector(flip)
+			rig.Sched.OnPreSlot(inj.Hook)
+			rig.Bus.OnRead(inj.ReadHook())
+			if err := rig.RunFor(g.horizonMs); err != nil {
+				results[i] = outcome{err: err}
+				return
+			}
+			applied, at := flip.Applied()
+			active = applied && at < g.arrestMs
+		} else if err := rig.RunFor(g.horizonMs); err != nil {
+			results[i] = outcome{err: err}
+			return
+		}
+		results[i] = outcome{active: active, detected: bank.Detected()}
+	})
+
+	points := make([]TightnessPoint, len(steps))
+	for i := range steps {
+		points[i].MaxStep = steps[i]
+	}
+	for i, j := range plan {
+		out := results[i]
+		if out.err != nil {
+			return nil, out.err
+		}
+		pt := &points[j.stepIdx]
+		if j.golden {
+			pt.GoldenRuns++
+			if out.detected {
+				pt.FalsePositiveRuns++
+			}
+			continue
+		}
+		if out.active {
+			pt.Coverage.Add(out.detected)
+		}
+	}
+	return points, nil
+}

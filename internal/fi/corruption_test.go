@@ -1,0 +1,179 @@
+package fi
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func corruptionRig(t *testing.T) (*model.Bus, func(now int64) model.Word, model.PortRef) {
+	t.Helper()
+	sys, bus := fiSystem(t)
+	a, _ := sys.Module("A")
+	port := model.PortRef{Module: "A", Dir: model.DirIn, Index: 1}
+	read := func(now int64) model.Word {
+		return model.NewExec(bus, a, now).In(1)
+	}
+	return bus, read, port
+}
+
+func installCorruption(t *testing.T, bus *model.Bus, c Corruption) (*CorruptionInjector, func(now int64)) {
+	t.Helper()
+	ci, err := NewCorruptionInjector(c, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.OnRead(ci.ReadHook())
+	return ci, ci.Hook
+}
+
+func TestCorruptTransientOneShot(t *testing.T) {
+	bus, read, port := corruptionRig(t)
+	bus.Poke("in", 0)
+	ci, tick := installCorruption(t, bus, Corruption{Kind: CorruptTransient, Port: port, Bit: 2, FromMs: 10})
+
+	tick(0)
+	if got := read(0); got != 0 {
+		t.Errorf("corrupted before FromMs: %d", got)
+	}
+	tick(10)
+	if got := read(10); got != 4 {
+		t.Errorf("first read = %d, want 4", got)
+	}
+	if got := read(10); got != 0 {
+		t.Errorf("second read = %d, want pristine", got)
+	}
+	if n, at := ci.Applied(); n != 1 || at != 10 {
+		t.Errorf("Applied = %d,%d", n, at)
+	}
+}
+
+func TestCorruptStuckAt(t *testing.T) {
+	bus, read, port := corruptionRig(t)
+	bus.Poke("in", 0b0100)
+	_, tick := installCorruption(t, bus, Corruption{Kind: CorruptStuckAt0, Port: port, Bit: 2})
+	tick(0)
+	for k := 0; k < 3; k++ {
+		if got := read(int64(k)); got != 0 {
+			t.Fatalf("stuck-at-0 read %d = %d, want 0", k, got)
+		}
+	}
+
+	bus2, read2, port2 := corruptionRig(t)
+	bus2.Poke("in", 0)
+	ci, tick2 := installCorruption(t, bus2, Corruption{Kind: CorruptStuckAt1, Port: port2, Bit: 3})
+	tick2(0)
+	for k := 0; k < 3; k++ {
+		if got := read2(int64(k)); got != 8 {
+			t.Fatalf("stuck-at-1 read %d = %d, want 8", k, got)
+		}
+	}
+	if n, _ := ci.Applied(); n != 3 {
+		t.Errorf("stuck-at applied %d times, want 3", n)
+	}
+}
+
+func TestCorruptStuckAtNoOpNotCounted(t *testing.T) {
+	bus, read, port := corruptionRig(t)
+	bus.Poke("in", 0b1000)
+	ci, tick := installCorruption(t, bus, Corruption{Kind: CorruptStuckAt1, Port: port, Bit: 3})
+	tick(0)
+	read(0)
+	if n, at := ci.Applied(); n != 0 || at != -1 {
+		t.Errorf("no-op stuck-at counted: %d,%d", n, at)
+	}
+}
+
+func TestCorruptBurst(t *testing.T) {
+	bus, read, port := corruptionRig(t)
+	bus.Poke("in", 0)
+	ci, tick := installCorruption(t, bus, Corruption{Kind: CorruptBurst, Port: port, Bit: 4, BurstWidth: 3})
+	tick(0)
+	if got := read(0); got != 0b1110000 {
+		t.Errorf("burst read = %#b, want bits 4..6 flipped", got)
+	}
+	if got := read(0); got != 0 {
+		t.Errorf("burst is one-shot; second read = %d", got)
+	}
+	if n, _ := ci.Applied(); n != 1 {
+		t.Errorf("Applied = %d", n)
+	}
+}
+
+func TestCorruptIntermittent(t *testing.T) {
+	bus, read, port := corruptionRig(t)
+	bus.Poke("in", 0)
+	ci, tick := installCorruption(t, bus, Corruption{Kind: CorruptIntermittent, Port: port, Bit: 0, PeriodReads: 3})
+	tick(0)
+	want := []model.Word{1, 0, 0, 1, 0, 0, 1}
+	for k, w := range want {
+		if got := read(int64(k)); got != w {
+			t.Fatalf("intermittent read %d = %d, want %d", k, got, w)
+		}
+	}
+	if n, _ := ci.Applied(); n != 3 {
+		t.Errorf("Applied = %d, want 3", n)
+	}
+}
+
+func TestCorruptionValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		c       Corruption
+		width   uint8
+		wantSub string
+	}{
+		{"bit beyond width", Corruption{Kind: CorruptTransient, Bit: 16}, 16, "width"},
+		{"zero burst", Corruption{Kind: CorruptBurst, BurstWidth: 0}, 16, "burst"},
+		{"burst overflow", Corruption{Kind: CorruptBurst, Bit: 14, BurstWidth: 4}, 16, "outside"},
+		{"zero period", Corruption{Kind: CorruptIntermittent, Bit: 0}, 16, "period"},
+		{"bad kind", Corruption{Kind: CorruptionKind(42)}, 16, "unknown"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.c.Validate(tt.width)
+			if err == nil {
+				t.Fatal("Validate = nil")
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q missing %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestNewCorruptionInjectorResolvesPort(t *testing.T) {
+	_, bus := fiSystem(t)
+	if _, err := NewCorruptionInjector(Corruption{
+		Kind: CorruptTransient,
+		Port: model.PortRef{Module: "ghost", Dir: model.DirIn, Index: 1},
+	}, bus); err == nil {
+		t.Error("unknown module accepted")
+	}
+	if _, err := NewCorruptionInjector(Corruption{
+		Kind: CorruptTransient,
+		Port: model.PortRef{Module: "A", Dir: model.DirIn, Index: 9},
+	}, bus); err == nil {
+		t.Error("unknown port accepted")
+	}
+	// "mid" is 16-bit: bit 20 must be rejected via the resolved width.
+	if _, err := NewCorruptionInjector(Corruption{
+		Kind: CorruptTransient, Bit: 20,
+		Port: model.PortRef{Module: "B", Dir: model.DirIn, Index: 1},
+	}, bus); err == nil {
+		t.Error("bit beyond resolved width accepted")
+	}
+}
+
+func TestCorruptionKindStrings(t *testing.T) {
+	kinds := []CorruptionKind{
+		CorruptTransient, CorruptStuckAt0, CorruptStuckAt1,
+		CorruptBurst, CorruptIntermittent, CorruptionKind(0),
+	}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("CorruptionKind(%d).String() empty", int(k))
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package memmap simulates the byte-level memory of the embedded target:
+// per-module RAM regions holding persistent state and a stack region
+// holding invocation frames. It exists so the paper's severe error model
+// (Section 7: periodic bit-flips into "150 locations in RAM and 50
+// locations in the stack") has a faithful substrate even though we run on
+// a hosted Go runtime instead of an MC68HC11-class microcontroller.
+//
+// Modules allocate variables (Var) in a Map. RAM variables persist across
+// invocations (counters, integrators, previous samples); stack variables
+// model locals in a reused activation frame: they keep their cell between
+// invocations, so corrupting one affects the next invocation only if the
+// module consumes the local before overwriting it — the same
+// live-range-dependent masking real stack flips exhibit.
+//
+// Fault injection corrupts cells directly (FlipBit) or transiently at
+// read time (read hooks), mirroring the two injection styles of the
+// paper's FI tool.
+package memmap
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Region classifies where a cell lives.
+type Region int
+
+// Memory regions.
+const (
+	RegionRAM Region = iota + 1
+	RegionStack
+)
+
+// String implements fmt.Stringer.
+func (r Region) String() string {
+	switch r {
+	case RegionRAM:
+		return "RAM"
+	case RegionStack:
+		return "stack"
+	default:
+		return "unknown"
+	}
+}
+
+// CellID indexes a cell within a Map.
+type CellID int
+
+// CellInfo describes one allocated cell.
+type CellInfo struct {
+	ID     CellID
+	Owner  string // owning module
+	Name   string // variable name, unique per owner
+	Region Region
+	Type   model.Type
+	Init   model.Word
+}
+
+// Address renders a symbolic address like "RAM:CALC.i".
+func (c CellInfo) Address() string {
+	return fmt.Sprintf("%s:%s.%s", c.Region, c.Owner, c.Name)
+}
+
+// ReadHook intercepts a hooked read of a cell, receiving and returning
+// the raw bit pattern. Transient stack-corruption injection attaches here.
+type ReadHook func(info CellInfo, raw model.Word) model.Word
+
+type cell struct {
+	info CellInfo
+	raw  model.Word
+}
+
+// Map is a simulated memory map. The zero value is ready to use. A Map is
+// not safe for concurrent use; every experiment run owns its own Map.
+type Map struct {
+	cells []cell
+	names map[string]struct{} // "owner.name" uniqueness
+	reads []ReadHook
+}
+
+// Alloc allocates a cell and returns a Var handle bound to it. It panics
+// on duplicate owner/name pairs or invalid types — allocation happens at
+// construction time with statically-known arguments, so an error return
+// would only be plumbing.
+func (m *Map) Alloc(owner, name string, region Region, t model.Type, initial model.Word) *Var {
+	if err := t.Validate(); err != nil {
+		panic(fmt.Sprintf("memmap: alloc %s.%s: %v", owner, name, err))
+	}
+	if m.names == nil {
+		m.names = make(map[string]struct{})
+	}
+	key := owner + "." + name
+	if _, dup := m.names[key]; dup {
+		panic(fmt.Sprintf("memmap: duplicate cell %s", key))
+	}
+	m.names[key] = struct{}{}
+	id := CellID(len(m.cells))
+	m.cells = append(m.cells, cell{
+		info: CellInfo{ID: id, Owner: owner, Name: name, Region: region, Type: t, Init: t.ToRaw(initial)},
+		raw:  t.ToRaw(initial),
+	})
+	return &Var{m: m, id: id}
+}
+
+// AllocRAM allocates a persistent state variable.
+func (m *Map) AllocRAM(owner, name string, t model.Type, initial model.Word) *Var {
+	return m.Alloc(owner, name, RegionRAM, t, initial)
+}
+
+// AllocStack allocates a local variable in the owner's reused stack frame.
+func (m *Map) AllocStack(owner, name string, t model.Type) *Var {
+	return m.Alloc(owner, name, RegionStack, t, 0)
+}
+
+// Reset restores every cell to its initial value, keeping hooks.
+func (m *Map) Reset() {
+	for i := range m.cells {
+		m.cells[i].raw = m.cells[i].info.Init
+	}
+}
+
+// OnRead installs a read hook; hooks chain in installation order.
+func (m *Map) OnRead(h ReadHook) { m.reads = append(m.reads, h) }
+
+// ClearHooks removes all read hooks.
+func (m *Map) ClearHooks() { m.reads = nil }
+
+// Cells returns the metadata of every allocated cell, in allocation order.
+func (m *Map) Cells() []CellInfo {
+	out := make([]CellInfo, len(m.cells))
+	for i := range m.cells {
+		out[i] = m.cells[i].info
+	}
+	return out
+}
+
+// CellsIn returns the metadata of every cell in the given region.
+func (m *Map) CellsIn(region Region) []CellInfo {
+	var out []CellInfo
+	for i := range m.cells {
+		if m.cells[i].info.Region == region {
+			out = append(out, m.cells[i].info)
+		}
+	}
+	return out
+}
+
+// Info returns the metadata of one cell.
+func (m *Map) Info(id CellID) CellInfo {
+	m.check(id)
+	return m.cells[id].info
+}
+
+// FlipBit XORs one bit of the stored cell value. Bit positions at or
+// above the cell width are reported as an error: the paper's injector
+// targets occupied locations, so flipping a nonexistent bit would
+// silently weaken a campaign.
+func (m *Map) FlipBit(id CellID, bit uint8) error {
+	m.check(id)
+	c := &m.cells[id]
+	if bit >= c.info.Type.Width {
+		return fmt.Errorf("memmap: flip bit %d of %s (width %d)", bit, c.info.Address(), c.info.Type.Width)
+	}
+	c.raw ^= model.Word(1) << bit
+	return nil
+}
+
+// Peek returns the interpreted value of a cell without hooks.
+func (m *Map) Peek(id CellID) model.Word {
+	m.check(id)
+	c := m.cells[id]
+	return c.info.Type.FromRaw(c.raw)
+}
+
+// Poke overwrites a cell (interpreted domain) without hooks.
+func (m *Map) Poke(id CellID, v model.Word) {
+	m.check(id)
+	m.cells[id].raw = m.cells[id].info.Type.ToRaw(v)
+}
+
+func (m *Map) check(id CellID) {
+	if id < 0 || int(id) >= len(m.cells) {
+		panic(fmt.Sprintf("memmap: cell id %d out of range (have %d cells)", id, len(m.cells)))
+	}
+}
+
+func (m *Map) read(id CellID) model.Word {
+	c := &m.cells[id]
+	raw := c.raw
+	for _, h := range m.reads {
+		raw = h(c.info, raw) & c.info.Type.Mask()
+	}
+	return c.info.Type.FromRaw(raw)
+}
+
+func (m *Map) write(id CellID, v model.Word) {
+	c := &m.cells[id]
+	c.raw = c.info.Type.ToRaw(v)
+}
+
+// Var is a module-owned variable backed by a memory cell. Get goes
+// through read hooks (so transient injection is observed); Set stores
+// directly.
+type Var struct {
+	m  *Map
+	id CellID
+}
+
+// Get reads the variable through read hooks.
+func (v *Var) Get() model.Word { return v.m.read(v.id) }
+
+// GetBool reads the variable as a boolean.
+func (v *Var) GetBool() bool { return v.m.read(v.id) != 0 }
+
+// Set writes the variable.
+func (v *Var) Set(w model.Word) { v.m.write(v.id, w) }
+
+// SetBool writes a boolean value.
+func (v *Var) SetBool(b bool) {
+	if b {
+		v.m.write(v.id, 1)
+	} else {
+		v.m.write(v.id, 0)
+	}
+}
+
+// Add adds delta to the variable (with width wrap-around) and returns the
+// new value.
+func (v *Var) Add(delta model.Word) model.Word {
+	nv := v.Get() + delta
+	v.Set(nv)
+	return v.m.Peek(v.id)
+}
+
+// ID returns the backing cell's identity.
+func (v *Var) ID() CellID { return v.id }
+
+// Info returns the backing cell's metadata.
+func (v *Var) Info() CellInfo { return v.m.Info(v.id) }

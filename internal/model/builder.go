@@ -1,0 +1,143 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Builder assembles a System incrementally and validates it on Build.
+// The zero value is not usable; call NewBuilder.
+type Builder struct {
+	sys  *System
+	errs []error
+}
+
+// NewBuilder returns a builder for a system with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		sys: &System{
+			name:      name,
+			modules:   make(map[ModuleID]*ModuleDecl),
+			signals:   make(map[SignalID]*Signal),
+			producers: make(map[SignalID]PortRef),
+			consumers: make(map[SignalID][]PortRef),
+		},
+	}
+}
+
+// SignalOption configures a signal at declaration time.
+type SignalOption func(*Signal)
+
+// AsSystemInput marks the signal as entering from the environment.
+func AsSystemInput() SignalOption {
+	return func(s *Signal) { s.Kind = KindSystemInput }
+}
+
+// AsSystemOutput marks the signal as crossing the system barrier to the
+// environment, with the designer-assigned criticality C_o in [0,1].
+func AsSystemOutput(criticality float64) SignalOption {
+	return func(s *Signal) {
+		s.Kind = KindSystemOutput
+		s.Criticality = criticality
+	}
+}
+
+// WithInitial sets the reset value of the signal.
+func WithInitial(v Word) SignalOption {
+	return func(s *Signal) { s.Initial = v }
+}
+
+// WithDoc attaches a description to the signal.
+func WithDoc(doc string) SignalOption {
+	return func(s *Signal) { s.Doc = doc }
+}
+
+// AddSignal declares a signal. Signals default to KindIntermediate.
+func (b *Builder) AddSignal(id SignalID, t Type, opts ...SignalOption) *Builder {
+	if _, dup := b.sys.signals[id]; dup {
+		b.errs = append(b.errs, fmt.Errorf("model: duplicate signal %q", id))
+		return b
+	}
+	sig := &Signal{ID: id, Type: t, Kind: KindIntermediate}
+	for _, opt := range opts {
+		opt(sig)
+	}
+	if err := t.Validate(); err != nil {
+		b.errs = append(b.errs, fmt.Errorf("signal %q: %w", id, err))
+		return b
+	}
+	b.sys.signals[id] = sig
+	b.sys.sigOrder = append(b.sys.sigOrder, id)
+	return b
+}
+
+// In lists the signals bound to a module's input ports 1..n, in order.
+func In(signals ...SignalID) []SignalID { return signals }
+
+// Out lists the signals bound to a module's output ports 1..n, in order.
+func Out(signals ...SignalID) []SignalID { return signals }
+
+// AddModule declares a module with its port bindings. Port indices are
+// assigned from the order of the ins/outs slices (1-based).
+func (b *Builder) AddModule(id ModuleID, ins, outs []SignalID) *Builder {
+	if _, dup := b.sys.modules[id]; dup {
+		b.errs = append(b.errs, fmt.Errorf("model: duplicate module %q", id))
+		return b
+	}
+	m := &ModuleDecl{ID: id}
+	for i, sid := range ins {
+		if !b.requireSignal(id, sid) {
+			continue
+		}
+		m.Inputs = append(m.Inputs, PortBinding{Index: i + 1, Signal: sid})
+		ref := PortRef{Module: id, Dir: DirIn, Index: i + 1}
+		b.sys.consumers[sid] = append(b.sys.consumers[sid], ref)
+	}
+	for k, sid := range outs {
+		if !b.requireSignal(id, sid) {
+			continue
+		}
+		m.Outputs = append(m.Outputs, PortBinding{Index: k + 1, Signal: sid})
+		ref := PortRef{Module: id, Dir: DirOut, Index: k + 1}
+		if prev, taken := b.sys.producers[sid]; taken {
+			b.errs = append(b.errs, fmt.Errorf(
+				"model: signal %q written by both %s.out[%d] and %s.out[%d]",
+				sid, prev.Module, prev.Index, id, k+1))
+			continue
+		}
+		b.sys.producers[sid] = ref
+	}
+	b.sys.modules[id] = m
+	b.sys.modOrder = append(b.sys.modOrder, id)
+	return b
+}
+
+func (b *Builder) requireSignal(mod ModuleID, sid SignalID) bool {
+	if _, ok := b.sys.signals[sid]; !ok {
+		b.errs = append(b.errs, fmt.Errorf("model: module %q references undeclared signal %q", mod, sid))
+		return false
+	}
+	return true
+}
+
+// Build validates the assembled system and returns it. The builder must
+// not be reused after Build.
+func (b *Builder) Build() (*System, error) {
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("model: invalid system %q: %w", b.sys.name, errors.Join(b.errs...))
+	}
+	if err := b.sys.Validate(); err != nil {
+		return nil, err
+	}
+	return b.sys, nil
+}
+
+// MustBuild is Build that panics on error. Intended for statically-known
+// system descriptions in tests and fixtures.
+func (b *Builder) MustBuild() *System {
+	sys, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}

@@ -1,0 +1,156 @@
+package model
+
+import "fmt"
+
+// ReadHook intercepts a module's read of a signal. The fault injector
+// uses read hooks to realize transient errors: the stored value stays
+// intact but the reading module observes a corrupted word, matching
+// injection "in the input signals of the modules" (paper Section 5.3).
+// The hook receives the reading port and the raw stored value and returns
+// the raw value the module should observe.
+type ReadHook func(port PortRef, sig SignalID, raw Word) Word
+
+// WriteHook observes a module's write to a signal, after width masking.
+// The trace recorder attaches here.
+type WriteHook func(port PortRef, sig SignalID, oldRaw, newRaw Word)
+
+// WriteFilter may replace the value a module writes to a signal before
+// it is stored. Error recovery mechanisms (containment wrappers) attach
+// here: an implausible output can be substituted with a recovered value
+// before it propagates. Filters receive and return interpreted values.
+type WriteFilter func(port PortRef, sig SignalID, old, proposed Word) Word
+
+// Bus holds the current value of every signal of a system and mediates
+// all port I/O. It is the runtime counterpart of the static wiring graph.
+// A Bus is not safe for concurrent use; the slot-based scheduler is
+// strictly sequential, like the paper's single-processor target.
+type Bus struct {
+	sys     *System
+	values  map[SignalID]Word // raw (masked) representations
+	reads   []ReadHook
+	writes  []WriteHook
+	filters []WriteFilter
+}
+
+// NewBus creates a bus for the system with every signal at its declared
+// initial value.
+func NewBus(sys *System) *Bus {
+	b := &Bus{
+		sys:    sys,
+		values: make(map[SignalID]Word, len(sys.sigOrder)),
+	}
+	b.Reset()
+	return b
+}
+
+// System returns the static description this bus instantiates.
+func (b *Bus) System() *System { return b.sys }
+
+// Reset restores every signal to its declared initial value and keeps
+// installed hooks.
+func (b *Bus) Reset() {
+	for _, sig := range b.sys.Signals() {
+		b.values[sig.ID] = sig.Type.ToRaw(sig.Initial)
+	}
+}
+
+// OnRead installs a read hook. Hooks run in installation order, each
+// seeing the previous hook's result.
+func (b *Bus) OnRead(h ReadHook) { b.reads = append(b.reads, h) }
+
+// OnWrite installs a write hook. Hooks run in installation order.
+func (b *Bus) OnWrite(h WriteHook) { b.writes = append(b.writes, h) }
+
+// OnWriteFilter installs a write filter. Filters run in installation
+// order, each seeing the previous filter's result, before write hooks
+// observe the final stored value.
+func (b *Bus) OnWriteFilter(f WriteFilter) { b.filters = append(b.filters, f) }
+
+// ClearHooks removes all read hooks, write hooks and write filters.
+func (b *Bus) ClearHooks() {
+	b.reads = nil
+	b.writes = nil
+	b.filters = nil
+}
+
+// Peek returns the interpreted value of a signal without triggering read
+// hooks. Monitors (EAs, trace recorders, failure classifiers) use Peek so
+// that observing a signal can never perturb an experiment.
+func (b *Bus) Peek(id SignalID) Word {
+	sig, ok := b.sys.Signal(id)
+	if !ok {
+		panic(fmt.Sprintf("model: Peek of unknown signal %q", id))
+	}
+	return sig.Type.FromRaw(b.values[id])
+}
+
+// PeekRaw returns the stored bit pattern of a signal without hooks.
+func (b *Bus) PeekRaw(id SignalID) Word {
+	if _, ok := b.sys.Signal(id); !ok {
+		panic(fmt.Sprintf("model: PeekRaw of unknown signal %q", id))
+	}
+	return b.values[id]
+}
+
+// Poke overwrites the stored value of a signal (interpreted domain)
+// without triggering write hooks. The environment simulation uses Poke to
+// drive system inputs; permanent-fault injectors use it to corrupt state.
+func (b *Bus) Poke(id SignalID, v Word) {
+	sig, ok := b.sys.Signal(id)
+	if !ok {
+		panic(fmt.Sprintf("model: Poke of unknown signal %q", id))
+	}
+	b.values[id] = sig.Type.ToRaw(v)
+}
+
+// PokeRaw overwrites the stored bit pattern without hooks, masking to the
+// signal width.
+func (b *Bus) PokeRaw(id SignalID, raw Word) {
+	sig, ok := b.sys.Signal(id)
+	if !ok {
+		panic(fmt.Sprintf("model: PokeRaw of unknown signal %q", id))
+	}
+	b.values[id] = raw & sig.Type.Mask()
+}
+
+// read performs a hooked port read, returning the interpreted value.
+func (b *Bus) read(port PortRef, id SignalID) Word {
+	sig, ok := b.sys.Signal(id)
+	if !ok {
+		panic(fmt.Sprintf("model: read of unknown signal %q", id))
+	}
+	raw := b.values[id]
+	for _, h := range b.reads {
+		raw = h(port, id, raw) & sig.Type.Mask()
+	}
+	return sig.Type.FromRaw(raw)
+}
+
+// write performs a filtered, hooked port write of an interpreted value.
+func (b *Bus) write(port PortRef, id SignalID, v Word) {
+	sig, ok := b.sys.Signal(id)
+	if !ok {
+		panic(fmt.Sprintf("model: write of unknown signal %q", id))
+	}
+	oldRaw := b.values[id]
+	if len(b.filters) > 0 {
+		old := sig.Type.FromRaw(oldRaw)
+		for _, f := range b.filters {
+			v = f(port, id, old, v)
+		}
+	}
+	newRaw := sig.Type.ToRaw(v)
+	b.values[id] = newRaw
+	for _, h := range b.writes {
+		h(port, id, oldRaw, newRaw)
+	}
+}
+
+// Snapshot copies the raw value of every signal, keyed by signal ID.
+func (b *Bus) Snapshot() map[SignalID]Word {
+	out := make(map[SignalID]Word, len(b.values))
+	for k, v := range b.values {
+		out[k] = v
+	}
+	return out
+}

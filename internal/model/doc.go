@@ -1,0 +1,22 @@
+// Package model implements the modular black-box software system model of
+// Hiller, Jhumka and Suri (DSN 2002, Section 3).
+//
+// A system is a set of modules — generalized black boxes with numbered
+// input and output ports — connected by signals, the abstract software
+// channels for data communication (shared memory, messages, parameters).
+// The model is split in two layers:
+//
+//   - A static description layer (System, ModuleDecl, Signal) used by the
+//     propagation/effect analysis framework in internal/core. The analysis
+//     only needs the wiring graph and per-signal metadata, never module
+//     internals — modules stay black boxes.
+//   - A runtime layer (Bus, Runnable, Exec) used to actually execute a
+//     system under the slot-based scheduler in internal/sched, with
+//     read/write hooks where the fault injector and the trace recorder
+//     attach.
+//
+// Signals carry fixed-width integer words (Word). Widths are faithful to
+// the embedded hardware the paper targets: a 16-bit pulse counter stays
+// 16 bits wide, so bit-flip error models operate on realistic
+// representations and counter wrap-around behaves like the real register.
+package model

@@ -1,0 +1,134 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// systemJSON is the serialized form of a System.
+type systemJSON struct {
+	Name    string       `json:"name"`
+	Signals []signalJSON `json:"signals"`
+	Modules []moduleJSON `json:"modules"`
+}
+
+type signalJSON struct {
+	ID          SignalID `json:"id"`
+	Width       uint8    `json:"width"`
+	Signed      bool     `json:"signed,omitempty"`
+	Bool        bool     `json:"bool,omitempty"`
+	Kind        string   `json:"kind"`
+	Initial     Word     `json:"initial,omitempty"`
+	Criticality float64  `json:"criticality,omitempty"`
+	Doc         string   `json:"doc,omitempty"`
+}
+
+type moduleJSON struct {
+	ID SignalID `json:"id"`
+	// Inputs and Outputs list signal IDs in port order (1-based ports).
+	Inputs  []SignalID `json:"inputs"`
+	Outputs []SignalID `json:"outputs"`
+	Doc     string     `json:"doc,omitempty"`
+}
+
+func kindToJSON(k Kind) string {
+	switch k {
+	case KindSystemInput:
+		return "input"
+	case KindSystemOutput:
+		return "output"
+	default:
+		return "intermediate"
+	}
+}
+
+func kindFromJSON(s string) (Kind, error) {
+	switch s {
+	case "input":
+		return KindSystemInput, nil
+	case "output":
+		return KindSystemOutput, nil
+	case "intermediate", "":
+		return KindIntermediate, nil
+	default:
+		return 0, fmt.Errorf("model: unknown signal kind %q", s)
+	}
+}
+
+// MarshalJSON serializes the system description: signals with their
+// types and boundary roles, modules with their port bindings. The
+// encoding captures everything the analysis framework needs — module
+// behaviour (Runnable) is code, not data, and is not serialized.
+func (s *System) MarshalJSON() ([]byte, error) {
+	out := systemJSON{Name: s.name}
+	for _, sig := range s.Signals() {
+		out.Signals = append(out.Signals, signalJSON{
+			ID:          sig.ID,
+			Width:       sig.Type.Width,
+			Signed:      sig.Type.Signed,
+			Bool:        sig.Type.IsBool,
+			Kind:        kindToJSON(sig.Kind),
+			Initial:     sig.Initial,
+			Criticality: sig.Criticality,
+			Doc:         sig.Doc,
+		})
+	}
+	for _, m := range s.Modules() {
+		mj := moduleJSON{ID: SignalID(m.ID), Doc: m.Doc}
+		for _, in := range m.Inputs {
+			mj.Inputs = append(mj.Inputs, in.Signal)
+		}
+		for _, op := range m.Outputs {
+			mj.Outputs = append(mj.Outputs, op.Signal)
+		}
+		out.Modules = append(out.Modules, mj)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalSystem reconstructs a validated System from MarshalJSON
+// output.
+func UnmarshalSystem(data []byte) (*System, error) {
+	var in systemJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("model: decode system: %w", err)
+	}
+	b := NewBuilder(in.Name)
+	for _, sj := range in.Signals {
+		var t Type
+		switch {
+		case sj.Bool:
+			t = Bool()
+		case sj.Signed:
+			t = Int(sj.Width)
+		default:
+			t = Uint(sj.Width)
+		}
+		kind, err := kindFromJSON(sj.Kind)
+		if err != nil {
+			return nil, err
+		}
+		opts := []SignalOption{WithInitial(sj.Initial), WithDoc(sj.Doc)}
+		switch kind {
+		case KindSystemInput:
+			opts = append(opts, AsSystemInput())
+		case KindSystemOutput:
+			opts = append(opts, AsSystemOutput(sj.Criticality))
+		}
+		b.AddSignal(sj.ID, t, opts...)
+	}
+	for _, mj := range in.Modules {
+		b.AddModule(ModuleID(mj.ID), mj.Inputs, mj.Outputs)
+	}
+	sys, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	// Docs are not a Builder option; restore them directly.
+	for _, mj := range in.Modules {
+		if m, ok := sys.Module(ModuleID(mj.ID)); ok {
+			m.Doc = mj.Doc
+		}
+	}
+	return sys, nil
+}

@@ -1,0 +1,128 @@
+package model
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSystemJSONRoundTrip(t *testing.T) {
+	orig := tinySystem(t)
+	data, err := orig.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSystem(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Name() != orig.Name() {
+		t.Errorf("name %q != %q", got.Name(), orig.Name())
+	}
+	if len(got.Signals()) != len(orig.Signals()) {
+		t.Fatalf("signal count %d != %d", len(got.Signals()), len(orig.Signals()))
+	}
+	for _, want := range orig.Signals() {
+		sig, ok := got.Signal(want.ID)
+		if !ok {
+			t.Fatalf("signal %s lost", want.ID)
+		}
+		if sig.Type != want.Type || sig.Kind != want.Kind ||
+			sig.Initial != want.Initial || sig.Criticality != want.Criticality {
+			t.Errorf("signal %s = %+v, want %+v", want.ID, sig, want)
+		}
+	}
+	wantEdges := orig.Edges()
+	gotEdges := got.Edges()
+	if len(wantEdges) != len(gotEdges) {
+		t.Fatalf("edges %d != %d", len(gotEdges), len(wantEdges))
+	}
+	for i := range wantEdges {
+		if wantEdges[i] != gotEdges[i] {
+			t.Errorf("edge %d: %+v != %+v", i, gotEdges[i], wantEdges[i])
+		}
+	}
+}
+
+func TestSystemJSONPreservesDocs(t *testing.T) {
+	sys, err := NewBuilder("docs").
+		AddSignal("in", Uint(8), AsSystemInput(), WithDoc("sensor feed")).
+		AddSignal("out", Uint(8), AsSystemOutput(0.5)).
+		AddModule("M", In("in"), Out("out")).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := sys.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "sensor feed") {
+		t.Error("doc string not serialized")
+	}
+	got, err := UnmarshalSystem(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, _ := got.Signal("in")
+	if sig.Doc != "sensor feed" {
+		t.Errorf("doc = %q", sig.Doc)
+	}
+	outSig, _ := got.Signal("out")
+	if outSig.Criticality != 0.5 {
+		t.Errorf("criticality = %v, want 0.5", outSig.Criticality)
+	}
+}
+
+func TestUnmarshalSystemRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalSystem([]byte("{")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := UnmarshalSystem([]byte(`{"name":"x","signals":[{"id":"a","width":8,"kind":"nonsense"}]}`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	// Structurally invalid system: module references missing signal.
+	bad := `{"name":"x","signals":[],"modules":[{"id":"M","inputs":["ghost"],"outputs":[]}]}`
+	if _, err := UnmarshalSystem([]byte(bad)); err == nil {
+		t.Error("invalid structure accepted")
+	}
+}
+
+// Property: signed/unsigned/bool types of any width survive the round
+// trip.
+func TestQuickSignalTypeRoundTrip(t *testing.T) {
+	f := func(width8 uint8, signed, boolean bool) bool {
+		width := width8%32 + 1
+		var typ Type
+		switch {
+		case boolean:
+			typ = Bool()
+		case signed:
+			typ = Int(width)
+		default:
+			typ = Uint(width)
+		}
+		sys, err := NewBuilder("rt").
+			AddSignal("in", typ, AsSystemInput()).
+			AddSignal("out", Uint(8), AsSystemOutput(1)).
+			AddModule("M", In("in"), Out("out")).
+			Build()
+		if err != nil {
+			return false
+		}
+		data, err := sys.MarshalJSON()
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalSystem(data)
+		if err != nil {
+			return false
+		}
+		sig, ok := got.Signal("in")
+		return ok && sig.Type == typ
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,85 @@
+package model
+
+// SignalID names a signal. Names follow the paper's Figure 1 (e.g.
+// "PACNT", "pulscnt", "SetValue").
+type SignalID string
+
+// ModuleID names a module, e.g. "DIST_S" or "CALC".
+type ModuleID string
+
+// Kind classifies a signal's role at the system boundary.
+type Kind int
+
+// Signal kinds. A system input enters from the environment (sensors,
+// hardware counters); a system output leaves across the system barrier
+// (actuator registers); everything else is intermediate.
+const (
+	KindIntermediate Kind = iota + 1
+	KindSystemInput
+	KindSystemOutput
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindIntermediate:
+		return "intermediate"
+	case KindSystemInput:
+		return "system-input"
+	case KindSystemOutput:
+		return "system-output"
+	default:
+		return "unknown"
+	}
+}
+
+// Dir distinguishes input ports from output ports.
+type Dir int
+
+// Port directions.
+const (
+	DirIn Dir = iota + 1
+	DirOut
+)
+
+// String implements fmt.Stringer.
+func (d Dir) String() string {
+	switch d {
+	case DirIn:
+		return "in"
+	case DirOut:
+		return "out"
+	default:
+		return "unknown"
+	}
+}
+
+// PortRef identifies one port of one module. Indices are 1-based,
+// matching the paper's numbering ("PACNT is input #1 of DIST_S, SetValue
+// is output #2 of CALC").
+type PortRef struct {
+	Module ModuleID
+	Dir    Dir
+	Index  int
+}
+
+// Signal is the static description of one software channel.
+type Signal struct {
+	// ID is the signal name.
+	ID SignalID
+	// Type is the value domain.
+	Type Type
+	// Kind is the boundary classification.
+	Kind Kind
+	// Initial is the reset value (interpreted, not raw).
+	Initial Word
+	// Criticality is the designer-assigned output criticality C_o in
+	// [0,1] (paper Section 8). It is only meaningful for system outputs;
+	// zero elsewhere.
+	Criticality float64
+	// Doc is an optional human-readable description.
+	Doc string
+}
+
+// IsBool reports whether the signal carries a boolean value.
+func (s *Signal) IsBool() bool { return s.Type.IsBool }

@@ -1,0 +1,244 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PortBinding attaches a signal to a numbered port.
+type PortBinding struct {
+	// Index is the 1-based port number.
+	Index int
+	// Signal is the attached signal.
+	Signal SignalID
+}
+
+// ModuleDecl is the static, black-box view of a module: its identity and
+// which signals are bound to its numbered input and output ports. Module
+// behaviour lives entirely in the runtime layer (Runnable).
+type ModuleDecl struct {
+	ID ModuleID
+	// Inputs and Outputs are ordered by port index (1..n, contiguous).
+	Inputs  []PortBinding
+	Outputs []PortBinding
+	// Doc is an optional human-readable description.
+	Doc string
+}
+
+// InputSignal returns the signal bound to input port index (1-based).
+func (m *ModuleDecl) InputSignal(index int) (SignalID, bool) {
+	if index < 1 || index > len(m.Inputs) {
+		return "", false
+	}
+	return m.Inputs[index-1].Signal, true
+}
+
+// OutputSignal returns the signal bound to output port index (1-based).
+func (m *ModuleDecl) OutputSignal(index int) (SignalID, bool) {
+	if index < 1 || index > len(m.Outputs) {
+		return "", false
+	}
+	return m.Outputs[index-1].Signal, true
+}
+
+// Edge is one potential propagation step: input port i of module Module
+// reads signal From, and output port k writes signal To. The propagation
+// analysis framework assigns each edge an error permeability P^M_{i,k}.
+type Edge struct {
+	Module ModuleID
+	// In and Out are 1-based port indices.
+	In, Out int
+	// From and To are the signals bound to those ports.
+	From, To SignalID
+}
+
+// System is the static description of a modular software system: the
+// wiring graph over which error propagation is analyzed.
+type System struct {
+	name      string
+	modules   map[ModuleID]*ModuleDecl
+	signals   map[SignalID]*Signal
+	modOrder  []ModuleID
+	sigOrder  []SignalID
+	producers map[SignalID]PortRef   // signal -> producing output port
+	consumers map[SignalID][]PortRef // signal -> consuming input ports
+}
+
+// Name returns the system name.
+func (s *System) Name() string { return s.name }
+
+// Module returns the declaration of the named module.
+func (s *System) Module(id ModuleID) (*ModuleDecl, bool) {
+	m, ok := s.modules[id]
+	return m, ok
+}
+
+// Modules returns all module declarations in declaration order.
+func (s *System) Modules() []*ModuleDecl {
+	out := make([]*ModuleDecl, 0, len(s.modOrder))
+	for _, id := range s.modOrder {
+		out = append(out, s.modules[id])
+	}
+	return out
+}
+
+// Signal returns the named signal.
+func (s *System) Signal(id SignalID) (*Signal, bool) {
+	sig, ok := s.signals[id]
+	return sig, ok
+}
+
+// Signals returns all signals in declaration order.
+func (s *System) Signals() []*Signal {
+	out := make([]*Signal, 0, len(s.sigOrder))
+	for _, id := range s.sigOrder {
+		out = append(out, s.signals[id])
+	}
+	return out
+}
+
+// SignalIDs returns all signal names in declaration order.
+func (s *System) SignalIDs() []SignalID {
+	out := make([]SignalID, len(s.sigOrder))
+	copy(out, s.sigOrder)
+	return out
+}
+
+// SystemInputs returns the system input signals in declaration order.
+func (s *System) SystemInputs() []SignalID { return s.signalsOfKind(KindSystemInput) }
+
+// SystemOutputs returns the system output signals in declaration order.
+func (s *System) SystemOutputs() []SignalID { return s.signalsOfKind(KindSystemOutput) }
+
+func (s *System) signalsOfKind(k Kind) []SignalID {
+	var out []SignalID
+	for _, id := range s.sigOrder {
+		if s.signals[id].Kind == k {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ProducerOf returns the output port that writes the signal. System
+// inputs have no producer (ok == false).
+func (s *System) ProducerOf(id SignalID) (PortRef, bool) {
+	p, ok := s.producers[id]
+	return p, ok
+}
+
+// ConsumersOf returns the input ports that read the signal. The returned
+// slice is a copy and safe to mutate.
+func (s *System) ConsumersOf(id SignalID) []PortRef {
+	src := s.consumers[id]
+	out := make([]PortRef, len(src))
+	copy(out, src)
+	return out
+}
+
+// Edges enumerates every input/output pair of every module — exactly the
+// pairs for which the paper defines an error permeability (Eq. 1). Edges
+// are ordered by module declaration order, then input index, then output
+// index; for the arrestment target this yields the 25 pairs of Table 1.
+func (s *System) Edges() []Edge {
+	var out []Edge
+	for _, mid := range s.modOrder {
+		m := s.modules[mid]
+		for _, in := range m.Inputs {
+			for _, outp := range m.Outputs {
+				out = append(out, Edge{
+					Module: mid,
+					In:     in.Index,
+					Out:    outp.Index,
+					From:   in.Signal,
+					To:     outp.Signal,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// OutEdges returns the edges whose From signal is id.
+func (s *System) OutEdges(id SignalID) []Edge {
+	var out []Edge
+	for _, e := range s.Edges() {
+		if e.From == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// InEdges returns the edges whose To signal is id.
+func (s *System) InEdges(id SignalID) []Edge {
+	var out []Edge
+	for _, e := range s.Edges() {
+		if e.To == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ModuleIDs returns all module names in declaration order.
+func (s *System) ModuleIDs() []ModuleID {
+	out := make([]ModuleID, len(s.modOrder))
+	copy(out, s.modOrder)
+	return out
+}
+
+// SortedSignalIDs returns all signal names sorted lexicographically.
+// Useful for deterministic reports independent of declaration order.
+func (s *System) SortedSignalIDs() []SignalID {
+	out := s.SignalIDs()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate re-checks structural invariants. Systems obtained from
+// Builder.Build are already validated; Validate is exposed for systems
+// reconstructed from serialized descriptions.
+func (s *System) Validate() error {
+	for _, id := range s.sigOrder {
+		sig := s.signals[id]
+		if err := sig.Type.Validate(); err != nil {
+			return fmt.Errorf("signal %q: %w", id, err)
+		}
+		_, hasProducer := s.producers[id]
+		switch sig.Kind {
+		case KindSystemInput:
+			if hasProducer {
+				return fmt.Errorf("model: system input %q is written by a module", id)
+			}
+		case KindSystemOutput, KindIntermediate:
+			if !hasProducer {
+				return fmt.Errorf("model: signal %q (%s) has no producing module", id, sig.Kind)
+			}
+		default:
+			return fmt.Errorf("model: signal %q has invalid kind %d", id, int(sig.Kind))
+		}
+		if sig.Criticality < 0 || sig.Criticality > 1 {
+			return fmt.Errorf("model: signal %q criticality %v outside [0,1]", id, sig.Criticality)
+		}
+	}
+	for _, mid := range s.modOrder {
+		m := s.modules[mid]
+		if err := contiguous(m.Inputs); err != nil {
+			return fmt.Errorf("module %q inputs: %w", mid, err)
+		}
+		if err := contiguous(m.Outputs); err != nil {
+			return fmt.Errorf("module %q outputs: %w", mid, err)
+		}
+	}
+	return nil
+}
+
+func contiguous(ports []PortBinding) error {
+	for i, p := range ports {
+		if p.Index != i+1 {
+			return fmt.Errorf("model: port %d bound at position %d (indices must be contiguous from 1)", p.Index, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+// Package paper ships the published data of Hiller, Jhumka and Suri
+// (DSN 2002) as fixtures: the estimated error permeability values of
+// Table 1, the derived measures of Tables 2 and 5, the resource figures
+// of Table 3 and the selections of Sections 5 and 10. Feeding Table 1
+// into the analysis framework must regenerate every derived artifact
+// exactly (to the paper's printed precision) — the analytical
+// reproduction mode of DESIGN.md §3.
+package paper
+
+import (
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/target"
+)
+
+// System returns the target system description (Figure 1).
+func System() *model.System { return target.NewSystem() }
+
+// Table1 returns the paper's estimated error permeability matrix: the 25
+// input/output pair values of Table 1.
+func Table1() *core.Permeability {
+	sys := System()
+	p := core.NewPermeability(sys)
+	// CLOCK: in 1 = i; out 1 = ms_slot_nbr, out 2 = mscnt.
+	p.MustSet(target.ModClock, 1, 1, 1.000)
+	p.MustSet(target.ModClock, 1, 2, 0.000)
+	// DIST_S: in 1..3 = PACNT, TIC1, TCNT; out 1..3 = pulscnt,
+	// slow_speed, stopped.
+	p.MustSet(target.ModDistS, 1, 1, 0.957)
+	p.MustSet(target.ModDistS, 2, 1, 0.000)
+	p.MustSet(target.ModDistS, 3, 1, 0.000)
+	p.MustSet(target.ModDistS, 1, 2, 0.010)
+	p.MustSet(target.ModDistS, 2, 2, 0.000)
+	p.MustSet(target.ModDistS, 3, 2, 0.000)
+	p.MustSet(target.ModDistS, 1, 3, 0.000)
+	p.MustSet(target.ModDistS, 2, 3, 0.000)
+	p.MustSet(target.ModDistS, 3, 3, 0.000)
+	// PRES_S: in 1 = ADC; out 1 = IsValue.
+	p.MustSet(target.ModPresS, 1, 1, 0.000)
+	// CALC: in 1..5 = i, mscnt, pulscnt, slow_speed, stopped; out 1 = i,
+	// out 2 = SetValue.
+	p.MustSet(target.ModCalc, 1, 1, 1.000)
+	p.MustSet(target.ModCalc, 2, 1, 0.000)
+	p.MustSet(target.ModCalc, 3, 1, 0.494)
+	p.MustSet(target.ModCalc, 4, 1, 0.000)
+	p.MustSet(target.ModCalc, 5, 1, 0.013)
+	p.MustSet(target.ModCalc, 1, 2, 0.056)
+	p.MustSet(target.ModCalc, 2, 2, 0.530)
+	p.MustSet(target.ModCalc, 3, 2, 0.000)
+	p.MustSet(target.ModCalc, 4, 2, 0.892)
+	p.MustSet(target.ModCalc, 5, 2, 0.000)
+	// V_REG: in 1 = SetValue, in 2 = IsValue; out 1 = OutValue.
+	p.MustSet(target.ModVReg, 1, 1, 0.885)
+	p.MustSet(target.ModVReg, 2, 1, 0.896)
+	// PRES_A: in 1 = OutValue; out 1 = TOC2.
+	p.MustSet(target.ModPresA, 1, 1, 0.875)
+	return p
+}
+
+// Table2Exposures returns the signal error exposures of Table 2.
+func Table2Exposures() map[model.SignalID]float64 {
+	return map[model.SignalID]float64{
+		target.SigOutValue:  1.781,
+		target.SigI:         1.507,
+		target.SigSetValue:  1.478,
+		target.SigMsSlotNbr: 1.000,
+		target.SigPulscnt:   0.957,
+		target.SigTOC2:      0.875,
+		target.SigSlowSpeed: 0.010,
+		target.SigIsValue:   0.000,
+		target.SigMscnt:     0.000,
+		target.SigStopped:   0.000,
+	}
+}
+
+// Table5Impacts returns the impact values on TOC2 of Table 5. TOC2
+// itself has no entry in the paper ("one could say that the impact is
+// 1.0 in this case") and is omitted.
+func Table5Impacts() map[model.SignalID]float64 {
+	return map[model.SignalID]float64{
+		target.SigPACNT:     0.027,
+		target.SigTCNT:      0.000,
+		target.SigTIC1:      0.000,
+		target.SigADC:       0.000,
+		target.SigOutValue:  0.875,
+		target.SigI:         0.043,
+		target.SigSetValue:  0.774,
+		target.SigMsSlotNbr: 0.000,
+		target.SigPulscnt:   0.021,
+		target.SigSlowSpeed: 0.691,
+		target.SigIsValue:   0.784,
+		target.SigMscnt:     0.410,
+		target.SigStopped:   0.001,
+	}
+}
+
+// Figure4Weights returns the two propagation-path weights of the impact
+// tree for pulscnt → TOC2 (Figure 4), keyed by the first hop.
+func Figure4Weights() map[model.SignalID]float64 {
+	return map[model.SignalID]float64{
+		target.SigI:        0.021, // pulscnt → i → SetValue → OutValue → TOC2
+		target.SigSetValue: 0.000, // pulscnt → SetValue → OutValue → TOC2
+	}
+}
+
+// Table3 resource figures (bytes).
+const (
+	EHSetROMBytes = 262
+	EHSetRAMBytes = 94
+	PASetROMBytes = 150
+	PASetRAMBytes = 54
+)
+
+// PASelection returns the signals the PA-approach guarded (Section 5.3).
+func PASelection() []model.SignalID {
+	return []model.SignalID{
+		target.SigSetValue, target.SigI, target.SigPulscnt, target.SigOutValue,
+	}
+}
+
+// EHSelection returns the signals the EH-approach guarded (Section 5.1).
+func EHSelection() []model.SignalID {
+	return []model.SignalID{
+		target.SigSetValue, target.SigIsValue, target.SigI, target.SigPulscnt,
+		target.SigMsSlotNbr, target.SigMscnt, target.SigOutValue,
+	}
+}
+
+// ExtendedSelection returns the signals the extended framework guarded
+// (Section 10) — identical to the EH selection.
+func ExtendedSelection() []model.SignalID { return EHSelection() }
+
+// Table4 reports the published detection coverages for errors injected
+// at the system inputs (input error model). Dashes in the paper are
+// zero here.
+type Table4Row struct {
+	Signal   model.SignalID
+	NErr     int
+	Coverage map[string]float64 // per EA name
+	Total    float64
+}
+
+// Table4 returns the published per-signal rows.
+func Table4() []Table4Row {
+	return []Table4Row{
+		{
+			Signal: target.SigPACNT, NErr: 1856,
+			Coverage: map[string]float64{
+				target.EA1: 0.218, target.EA2: 0.105, target.EA4: 0.975, target.EA7: 0.005,
+			},
+			Total: 0.975,
+		},
+		{Signal: target.SigTIC1, NErr: 3712, Coverage: map[string]float64{}, Total: 0},
+		{Signal: target.SigTCNT, NErr: 3712, Coverage: map[string]float64{}, Total: 0},
+	}
+}

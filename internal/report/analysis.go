@@ -1,0 +1,83 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/stats"
+)
+
+// Subsumption renders the pairwise detection-overlap matrix of one
+// coverage row: entry (row a, column b) is the fraction of a's
+// detections also detected by b. A column of 1.000 under some assertion
+// means it subsumes the row assertion — the machinery behind the paper's
+// observation that "all errors detected by EA1, EA2 or EA7 were also
+// detected by EA4".
+func Subsumption(row experiment.CoverageRow, eaOrder []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Detection subsumption for errors in %s (P[column detects | row detects])\n\n", row.Signal)
+	fmt.Fprintf(&b, "%-8s %6s ", "", "n_det")
+	for _, name := range eaOrder {
+		fmt.Fprintf(&b, "%7s", name)
+	}
+	b.WriteString("\n")
+	for _, a := range eaOrder {
+		na := row.PairDetections[a][a]
+		fmt.Fprintf(&b, "%-8s %6d ", a, na)
+		for _, other := range eaOrder {
+			if na == 0 {
+				fmt.Fprintf(&b, "%7s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, "%7.3f", float64(row.PairDetections[a][other])/float64(na))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// SubsumedBy lists the assertions fully subsumed by another assertion in
+// the row (every one of their detections was also the other's), sorted.
+func SubsumedBy(row experiment.CoverageRow, by string) []string {
+	var out []string
+	for a, pairs := range row.PairDetections {
+		if a == by {
+			continue
+		}
+		na := pairs[a]
+		if na > 0 && pairs[by] == na {
+			out = append(out, a)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LatencySummary renders per-set detection-latency statistics: how long
+// after the injected corruption each assertion set first fired (the
+// companion metric to coverage when composing mechanisms, cf. Steininger
+// & Scherrer's coverage/latency trade-off cited by the paper).
+func LatencySummary(title string, latencies map[string][]float64) string {
+	var b strings.Builder
+	b.WriteString(title + "\n\n")
+	fmt.Fprintf(&b, "%-10s %6s %10s %10s %10s %10s\n", "set", "n", "median", "p90", "max", "mean")
+	names := make([]string, 0, len(latencies))
+	for name := range latencies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		xs := latencies[name]
+		if len(xs) == 0 {
+			fmt.Fprintf(&b, "%-10s %6d %10s %10s %10s %10s\n", name, 0, "-", "-", "-", "-")
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %6d %9.0fms %9.0fms %9.0fms %9.0fms\n",
+			name, len(xs),
+			stats.Quantile(xs, 0.5), stats.Quantile(xs, 0.9),
+			stats.Quantile(xs, 1.0), stats.Mean(xs))
+	}
+	return b.String()
+}

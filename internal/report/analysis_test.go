@@ -1,0 +1,161 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/paper"
+	"repro/internal/stats"
+	"repro/internal/target"
+)
+
+func subsumptionRow() experiment.CoverageRow {
+	return experiment.CoverageRow{
+		Signal: target.SigPACNT,
+		PairDetections: map[string]map[string]int{
+			// EA4 detected 100 runs; EA1 detected 20, all of which EA4
+			// also detected; EA3 detected 40, 30 shared with EA4.
+			target.EA1: {target.EA1: 20, target.EA4: 20, target.EA3: 5},
+			target.EA3: {target.EA3: 40, target.EA4: 30, target.EA1: 5},
+			target.EA4: {target.EA4: 100, target.EA1: 20, target.EA3: 30},
+		},
+	}
+}
+
+func TestSubsumptionMatrix(t *testing.T) {
+	out := Subsumption(subsumptionRow(), []string{target.EA1, target.EA3, target.EA4})
+	if !strings.Contains(out, "PACNT") {
+		t.Error("missing signal name")
+	}
+	// EA1 row: 20 detections, all subsumed by EA4 -> 1.000 in EA4 column.
+	for _, want := range []string{"EA1", "1.000", "0.750", "0.125"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Subsumption missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSubsumptionEmptyRow(t *testing.T) {
+	row := experiment.CoverageRow{
+		Signal: target.SigTIC1,
+		PairDetections: map[string]map[string]int{
+			target.EA1: {},
+		},
+	}
+	out := Subsumption(row, []string{target.EA1})
+	if !strings.Contains(out, "-") {
+		t.Errorf("empty row should render dashes:\n%s", out)
+	}
+}
+
+func TestSubsumedBy(t *testing.T) {
+	row := subsumptionRow()
+	got := SubsumedBy(row, target.EA4)
+	if len(got) != 1 || got[0] != target.EA1 {
+		t.Errorf("SubsumedBy(EA4) = %v, want [EA1]", got)
+	}
+	if got := SubsumedBy(row, target.EA1); len(got) != 0 {
+		t.Errorf("SubsumedBy(EA1) = %v, want none", got)
+	}
+}
+
+func TestLatencySummary(t *testing.T) {
+	out := LatencySummary("Detection latency (input model)", map[string][]float64{
+		"EH": {10, 20, 30, 40, 100},
+		"PA": {},
+	})
+	for _, want := range []string{"Detection latency", "EH", "30ms", "100ms", "PA", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("LatencySummary missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestModelSensitivityRendering(t *testing.T) {
+	res := &experiment.ModelSensitivityResult{
+		Models: []string{"transient", "stuck-at-1"},
+		PerModel: map[string]map[string]stats.Proportion{
+			"transient":  {experiment.SetEH: {Successes: 7, Trials: 10}, experiment.SetPA: {Successes: 7, Trials: 10}, experiment.SetExtended: {}},
+			"stuck-at-1": {experiment.SetEH: {Successes: 10, Trials: 10}, experiment.SetPA: {Successes: 9, Trials: 10}, experiment.SetExtended: {}},
+		},
+		ActivePerModel: map[string]int{"transient": 10, "stuck-at-1": 10},
+	}
+	out := ModelSensitivity(res)
+	for _, want := range []string{"transient", "stuck-at-1", "0.700", "1.000", "0.900"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ModelSensitivity missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRecoveryTableRendering(t *testing.T) {
+	res := &experiment.RecoveryStudyResult{
+		RAM: experiment.RecoveryRegion{Region: "RAM",
+			Baseline: experiment.RecoveryArm{Runs: 100, Failures: 20},
+			Wrapped:  experiment.RecoveryArm{Runs: 100, Failures: 19, Recoveries: 500},
+			Hardened: experiment.RecoveryArm{Runs: 100, Failures: 5},
+		},
+		Stack:        experiment.RecoveryRegion{Region: "Stack"},
+		Total:        experiment.RecoveryRegion{Region: "Total"},
+		RAMLocations: 50, StackLocations: 20,
+	}
+	out := RecoveryTable(res)
+	for _, want := range []string{"0.200", "0.190", "0.050", "500", "hardened", "R2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RecoveryTable missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTightnessTableRendering(t *testing.T) {
+	points := []experiment.TightnessPoint{
+		{MaxStep: 4, Coverage: stats.Proportion{Successes: 30, Trials: 30}, FalsePositiveRuns: 5, GoldenRuns: 25},
+		{MaxStep: 16, Coverage: stats.Proportion{Successes: 24, Trials: 30}, FalsePositiveRuns: 0, GoldenRuns: 25},
+	}
+	out := TightnessTable(points)
+	for _, want := range []string{"MaxStep", "1.000", "0.800", "5/25", "0/25"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TightnessTable missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDotProfileRendering(t *testing.T) {
+	pr, err := core.BuildProfile(paper.Table1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := DotProfile(pr, core.ByExposure, "fig5")
+	for _, want := range []string{
+		"digraph", "rankdir=LR", `"CLOCK"`, `"DIST_S" -> "CALC"`,
+		"penwidth", "style=dashed", `label="pulscnt"`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DotProfile missing %q in:\n%s", want, dot)
+		}
+	}
+	// The highest-exposure signal gets the widest pen.
+	if !strings.Contains(dot, "penwidth=7.00") {
+		t.Error("no maximal-width edge in exposure profile")
+	}
+	impactDot := DotProfile(pr, core.ByImpact, "fig6")
+	if impactDot == dot {
+		t.Error("impact and exposure DOT identical")
+	}
+}
+
+func TestIntegrationTableRendering(t *testing.T) {
+	pt := &experiment.IntegrationPoint{
+		Sampled:        stats.Proportion{Successes: 73, Trials: 100},
+		WriteTriggered: stats.Proportion{Successes: 83, Trials: 100},
+		TightInline:    stats.Proportion{Successes: 87, Trials: 100},
+	}
+	out := IntegrationTable(pt)
+	for _, want := range []string{"0.730", "0.830", "0.870", "inline", "sampled"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("IntegrationTable missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// DotProfile renders the system graph in Graphviz DOT with edge width
+// proportional to the per-signal measure — the native form of the
+// paper's Figures 5 and 6, where "the thickness of a line ... depicts
+// the value of the respective measure". Zero-valued signals are dashed
+// and boundary signals dash-dotted, as in the paper's legend.
+func DotProfile(pr *core.Profile, metric core.Metric, title string) string {
+	sys := pr.System()
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=box, fontname=\"Helvetica\"];\n")
+
+	for _, m := range sys.Modules() {
+		fmt.Fprintf(&b, "  %q;\n", m.ID)
+	}
+
+	max := 0.0
+	for _, sp := range pr.Signals() {
+		if v := metricOf(sp, metric); v > max {
+			max = v
+		}
+	}
+
+	// Each signal is drawn as the edges from its producer to its
+	// consumers (or to/from boundary markers), styled by its measure.
+	for _, sp := range pr.Signals() {
+		style := signalStyle(sp, metric, max)
+		producer, hasProducer := sys.ProducerOf(sp.Signal)
+		consumers := sys.ConsumersOf(sp.Signal)
+
+		switch {
+		case !hasProducer: // system input
+			fmt.Fprintf(&b, "  %q [shape=plaintext];\n", sp.Signal)
+			for _, c := range consumers {
+				fmt.Fprintf(&b, "  %q -> %q [%s];\n", sp.Signal, c.Module, style)
+			}
+		case len(consumers) == 0: // system output or scheduler-consumed
+			fmt.Fprintf(&b, "  %q [shape=plaintext];\n", sp.Signal)
+			fmt.Fprintf(&b, "  %q -> %q [%s];\n", producer.Module, sp.Signal, style)
+		default:
+			for _, c := range consumers {
+				fmt.Fprintf(&b, "  %q -> %q [label=%q, %s];\n", producer.Module, c.Module, sp.Signal, style)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func signalStyle(sp core.SignalProfile, metric core.Metric, max float64) string {
+	v := metricOf(sp, metric)
+	boundary := sp.Kind != model.KindIntermediate
+	noValue := boundary && ((metric == core.ByExposure && sp.Kind == model.KindSystemInput) ||
+		(metric != core.ByExposure && sp.Kind == model.KindSystemOutput))
+	switch {
+	case noValue:
+		return `style="dashed,dotted", penwidth=1`
+	case v == 0:
+		return "style=dashed, penwidth=1"
+	default:
+		width := 1.0
+		if max > 0 {
+			width = 1 + 6*v/max
+		}
+		return fmt.Sprintf("penwidth=%.2f", width)
+	}
+}

@@ -1,0 +1,60 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/paper"
+	"repro/internal/target"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenCheck compares rendered output against a checked-in golden file
+// — locking the exact paper-mode artifacts against regressions. Run
+// `go test ./internal/report -update` after an intentional change.
+func goldenCheck(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with -update): %v", path, err)
+	}
+	if string(want) != got {
+		t.Errorf("output differs from %s; run with -update after verifying.\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+func TestGoldenPaperArtifacts(t *testing.T) {
+	p := paper.Table1()
+	pr, err := core.BuildProfile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := core.DefaultThresholds()
+
+	goldenCheck(t, "table1.golden", Table1(p))
+	goldenCheck(t, "table2.golden", Table2(pr, core.SelectPA(pr, th)))
+	goldenCheck(t, "table5.golden", Table5(pr, target.SigTOC2))
+	goldenCheck(t, "figure5.golden", ProfileFigure(pr, core.ByExposure, "Figure 5: exposure profile of target system"))
+	goldenCheck(t, "figure6.golden", ProfileFigure(pr, core.ByImpact, "Figure 6: impact profile of target system"))
+
+	fig4, err := Figure4(p, target.SigPulscnt, target.SigTOC2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCheck(t, "figure4.golden", fig4)
+}

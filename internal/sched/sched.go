@@ -1,0 +1,202 @@
+// Package sched implements the slot-based, non-preemptive executive that
+// runs a modular system (paper Section 4.1: "The scheduling is slot-based
+// and non-preemptive"). Time advances in fixed slots; each slot first runs
+// the always-scheduled modules (the target's CLOCK), then the modules
+// assigned to the current slot number. The slot number can be taken from a
+// signal on the bus — the target publishes it as ms_slot_nbr — so that
+// errors in that signal genuinely disturb scheduling, as they would on the
+// real system.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Table is a static cyclic schedule.
+type Table struct {
+	// SlotMs is the slot length in milliseconds.
+	SlotMs int64
+	// Every lists modules invoked at the start of every slot, in order.
+	Every []model.ModuleID
+	// Slots assigns modules to slot numbers 0..len(Slots)-1. A slot may
+	// be empty.
+	Slots [][]model.ModuleID
+	// Selector optionally names a bus signal holding the current slot
+	// number (taken modulo len(Slots)). When empty the scheduler uses its
+	// own internal counter.
+	Selector model.SignalID
+}
+
+// Validate checks the table against a system description.
+func (t Table) Validate(sys *model.System) error {
+	if t.SlotMs <= 0 {
+		return fmt.Errorf("sched: SlotMs must be positive, got %d", t.SlotMs)
+	}
+	if len(t.Slots) == 0 {
+		return fmt.Errorf("sched: table has no slots")
+	}
+	check := func(id model.ModuleID) error {
+		if _, ok := sys.Module(id); !ok {
+			return fmt.Errorf("sched: table references unknown module %q", id)
+		}
+		return nil
+	}
+	for _, id := range t.Every {
+		if err := check(id); err != nil {
+			return err
+		}
+	}
+	for _, slot := range t.Slots {
+		for _, id := range slot {
+			if err := check(id); err != nil {
+				return err
+			}
+		}
+	}
+	if t.Selector != "" {
+		if _, ok := sys.Signal(t.Selector); !ok {
+			return fmt.Errorf("sched: selector signal %q not in system", t.Selector)
+		}
+	}
+	return nil
+}
+
+// Hook is a callback invoked around slots with the current time.
+// Pre-slot hooks drive the environment (plant simulation, sensor
+// registers); post-slot hooks host monitors (executable assertions,
+// trace bookkeeping, fault-injection ticks).
+type Hook func(nowMs int64)
+
+// Scheduler executes a system according to a Table. Create with New; the
+// zero value is not usable.
+type Scheduler struct {
+	table   Table
+	bus     *model.Bus
+	mods    map[model.ModuleID]model.Runnable
+	nowMs   int64
+	slot    int
+	pre     []Hook
+	post    []Hook
+	invoked map[model.ModuleID]int64 // invocation counts, for accounting
+}
+
+// New creates a scheduler over the bus with the given table. All modules
+// referenced by the table must be registered before the first RunSlot.
+func New(bus *model.Bus, table Table) (*Scheduler, error) {
+	if err := table.Validate(bus.System()); err != nil {
+		return nil, err
+	}
+	return &Scheduler{
+		table:   table,
+		bus:     bus,
+		mods:    make(map[model.ModuleID]model.Runnable),
+		invoked: make(map[model.ModuleID]int64),
+	}, nil
+}
+
+// Register attaches the behaviour for one module.
+func (s *Scheduler) Register(r model.Runnable) error {
+	id := r.ModuleID()
+	if _, ok := s.bus.System().Module(id); !ok {
+		return fmt.Errorf("sched: behaviour for unknown module %q", id)
+	}
+	if _, dup := s.mods[id]; dup {
+		return fmt.Errorf("sched: duplicate behaviour for module %q", id)
+	}
+	s.mods[id] = r
+	return nil
+}
+
+// OnPreSlot installs an environment hook run before each slot.
+func (s *Scheduler) OnPreSlot(h Hook) { s.pre = append(s.pre, h) }
+
+// OnPostSlot installs a monitor hook run after each slot.
+func (s *Scheduler) OnPostSlot(h Hook) { s.post = append(s.post, h) }
+
+// NowMs returns the elapsed scheduler time in milliseconds.
+func (s *Scheduler) NowMs() int64 { return s.nowMs }
+
+// Invocations returns how many times the module has been stepped.
+func (s *Scheduler) Invocations(id model.ModuleID) int64 { return s.invoked[id] }
+
+// Reset rewinds time and resets every registered module and the bus.
+// Hooks stay installed.
+func (s *Scheduler) Reset() {
+	s.nowMs = 0
+	s.slot = 0
+	s.bus.Reset()
+	for _, m := range s.mods {
+		m.Reset()
+	}
+	for k := range s.invoked {
+		delete(s.invoked, k)
+	}
+}
+
+// RunSlot executes exactly one slot: pre hooks, always-modules, the
+// current slot's modules, post hooks; then advances time by SlotMs.
+func (s *Scheduler) RunSlot() error {
+	for _, h := range s.pre {
+		h(s.nowMs)
+	}
+	for _, id := range s.table.Every {
+		if err := s.step(id); err != nil {
+			return err
+		}
+	}
+	idx := s.slot
+	if s.table.Selector != "" {
+		n := model.Word(len(s.table.Slots))
+		idx = int(((s.bus.Peek(s.table.Selector) % n) + n) % n)
+	}
+	for _, id := range s.table.Slots[idx] {
+		if err := s.step(id); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.post {
+		h(s.nowMs)
+	}
+	s.nowMs += s.table.SlotMs
+	s.slot = (s.slot + 1) % len(s.table.Slots)
+	return nil
+}
+
+func (s *Scheduler) step(id model.ModuleID) error {
+	r, ok := s.mods[id]
+	if !ok {
+		return fmt.Errorf("sched: module %q scheduled but not registered", id)
+	}
+	decl, _ := s.bus.System().Module(id)
+	r.Step(model.NewExec(s.bus, decl, s.nowMs))
+	s.invoked[id]++
+	return nil
+}
+
+// RunFor runs slots until durationMs of scheduler time has elapsed.
+func (s *Scheduler) RunFor(durationMs int64) error {
+	end := s.nowMs + durationMs
+	for s.nowMs < end {
+		if err := s.RunSlot(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunUntil runs slots until done returns true (checked after every slot)
+// or maxMs of scheduler time has elapsed. It reports whether done fired.
+func (s *Scheduler) RunUntil(done func() bool, maxMs int64) (bool, error) {
+	end := s.nowMs + maxMs
+	for s.nowMs < end {
+		if err := s.RunSlot(); err != nil {
+			return false, err
+		}
+		if done() {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,138 @@
+// Package stats provides the estimators used when reducing
+// fault-injection campaigns: proportion estimates with confidence
+// intervals (coverage estimation in the style of Powell et al. [14]) and
+// simple summary statistics.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Proportion is a Bernoulli estimate: successes out of trials.
+type Proportion struct {
+	Successes int
+	Trials    int
+}
+
+// Add accumulates one trial.
+func (p *Proportion) Add(success bool) {
+	p.Trials++
+	if success {
+		p.Successes++
+	}
+}
+
+// Estimate returns the point estimate (0 for an empty sample).
+func (p Proportion) Estimate() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	return float64(p.Successes) / float64(p.Trials)
+}
+
+// WilsonCI returns the Wilson score interval at the given z quantile
+// (1.96 for 95%). Preferred over the normal approximation because
+// coverage estimates sit near 0 and 1, where the Wald interval
+// degenerates.
+func (p Proportion) WilsonCI(z float64) (lo, hi float64) {
+	if p.Trials == 0 {
+		return 0, 1
+	}
+	n := float64(p.Trials)
+	ph := p.Estimate()
+	z2 := z * z
+	den := 1 + z2/n
+	center := (ph + z2/(2*n)) / den
+	half := z / den * math.Sqrt(ph*(1-ph)/n+z2/(4*n*n))
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// String renders "123/456 = 0.270".
+func (p Proportion) String() string {
+	return fmt.Sprintf("%d/%d = %.3f", p.Successes, p.Trials, p.Estimate())
+}
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (0 for fewer than two
+// values).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It returns 0 for an empty
+// slice and does not modify its input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	pos := q * float64(len(cp)-1)
+	lo := int(pos)
+	if lo == len(cp)-1 {
+		return cp[lo]
+	}
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[lo+1]*frac
+}
+
+// Stratified combines per-stratum proportions with weights (e.g. one
+// stratum per test case), returning the weighted coverage estimate.
+// Weights are normalized internally; strata with zero trials contribute
+// nothing.
+func Stratified(strata []Proportion, weights []float64) (float64, error) {
+	if len(strata) != len(weights) {
+		return 0, fmt.Errorf("stats: %d strata but %d weights", len(strata), len(weights))
+	}
+	var wsum, acc float64
+	for i, s := range strata {
+		if weights[i] < 0 {
+			return 0, fmt.Errorf("stats: negative weight %v", weights[i])
+		}
+		if s.Trials == 0 {
+			continue
+		}
+		wsum += weights[i]
+		acc += weights[i] * s.Estimate()
+	}
+	if wsum == 0 {
+		return 0, nil
+	}
+	return acc / wsum, nil
+}

@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestProportionEstimate(t *testing.T) {
+	var p Proportion
+	if got := p.Estimate(); got != 0 {
+		t.Errorf("empty Estimate = %v, want 0", got)
+	}
+	p.Add(true)
+	p.Add(true)
+	p.Add(false)
+	p.Add(true)
+	if got := p.Estimate(); got != 0.75 {
+		t.Errorf("Estimate = %v, want 0.75", got)
+	}
+	if got := p.String(); got != "3/4 = 0.750" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestWilsonCI(t *testing.T) {
+	p := Proportion{Successes: 50, Trials: 100}
+	lo, hi := p.WilsonCI(1.96)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Errorf("CI [%v, %v] does not contain the point estimate", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Errorf("CI [%v, %v] too wide for n=100", lo, hi)
+	}
+
+	// Near-boundary estimates stay in [0,1] (the Wilson advantage).
+	edge := Proportion{Successes: 0, Trials: 20}
+	lo, hi = edge.WilsonCI(1.96)
+	if lo != 0 || hi <= 0 || hi >= 0.5 {
+		t.Errorf("boundary CI = [%v, %v]", lo, hi)
+	}
+
+	// Empty sample: maximal uncertainty.
+	lo, hi = Proportion{}.WilsonCI(1.96)
+	if lo != 0 || hi != 1 {
+		t.Errorf("empty CI = [%v, %v], want [0, 1]", lo, hi)
+	}
+}
+
+// Property: the Wilson interval always contains the point estimate and
+// stays within [0,1]; more trials never widen it (at fixed rate).
+func TestQuickWilsonProperties(t *testing.T) {
+	f := func(succ8, trials8 uint8) bool {
+		trials := int(trials8%100) + 1
+		succ := int(succ8) % (trials + 1)
+		p := Proportion{Successes: succ, Trials: trials}
+		lo, hi := p.WilsonCI(1.96)
+		if lo < 0 || hi > 1 || lo > hi {
+			return false
+		}
+		est := p.Estimate()
+		if est < lo-1e-12 || est > hi+1e-12 {
+			return false
+		}
+		// Scale up 4x at the same rate: the interval must shrink.
+		p4 := Proportion{Successes: succ * 4, Trials: trials * 4}
+		lo4, hi4 := p4.WilsonCI(1.96)
+		return hi4-lo4 <= hi-lo+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanAndStdDev(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2.138) > 0.001 {
+		t.Errorf("StdDev = %v, want ~2.138", got)
+	}
+	if got := StdDev([]float64{1}); got != 0 {
+		t.Errorf("StdDev single = %v, want 0", got)
+	}
+}
+
+func TestStratified(t *testing.T) {
+	strata := []Proportion{
+		{Successes: 9, Trials: 10}, // 0.9
+		{Successes: 1, Trials: 10}, // 0.1
+	}
+	got, err := Stratified(strata, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (3*0.9 + 1*0.1) / 4; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Stratified = %v, want %v", got, want)
+	}
+
+	// Empty strata contribute nothing.
+	got, err = Stratified([]Proportion{{}, {Successes: 5, Trials: 10}}, []float64{100, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 {
+		t.Errorf("Stratified with empty stratum = %v, want 0.5", got)
+	}
+
+	if _, err := Stratified(strata, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Stratified(strata, []float64{1, -1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	got, err = Stratified(nil, nil)
+	if err != nil || got != 0 {
+		t.Errorf("Stratified(nil) = %v, %v", got, err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10}, {0.25, 20}, {0.5, 30}, {0.75, 40}, {1, 50}, {0.125, 15},
+		{-1, 10}, {2, 50},
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(nil) = %v", got)
+	}
+	// Input must not be reordered.
+	in := []float64{3, 1, 2}
+	Quantile(in, 0.5)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+// Property: the quantile of any slice lies within [min, max] and is
+// monotone in q.
+func TestQuickQuantileProperties(t *testing.T) {
+	f := func(raw []uint8, qa, qb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := float64(raw[0]), float64(raw[0])
+		for i, r := range raw {
+			xs[i] = float64(r)
+			if xs[i] < lo {
+				lo = xs[i]
+			}
+			if xs[i] > hi {
+				hi = xs[i]
+			}
+		}
+		q1, q2 := float64(qa)/255, float64(qb)/255
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		v1, v2 := Quantile(xs, q1), Quantile(xs, q2)
+		return v1 >= lo && v2 <= hi && v1 <= v2+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,202 @@
+package tank
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/fi"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// CampaignOptions configures the tank permeability campaign.
+type CampaignOptions struct {
+	Cases []TestCase
+	// PerInput is the number of injections per module input across all
+	// cases.
+	PerInput int
+	// RunMs is the fixed run horizon.
+	RunMs int64
+	Seed  int64
+}
+
+// DefaultCampaignOptions returns a laptop-scale campaign.
+func DefaultCampaignOptions(seed int64) CampaignOptions {
+	return CampaignOptions{
+		Cases:    DefaultTestCases(),
+		PerInput: 96,
+		RunMs:    40_000,
+		Seed:     seed,
+	}
+}
+
+// Validate reports whether the options are usable.
+func (o CampaignOptions) Validate() error {
+	switch {
+	case len(o.Cases) == 0:
+		return fmt.Errorf("tank: no test cases")
+	case o.PerInput < 1:
+		return fmt.Errorf("tank: PerInput %d must be >= 1", o.PerInput)
+	case o.RunMs < 1000:
+		return fmt.Errorf("tank: RunMs %d too short", o.RunMs)
+	}
+	return nil
+}
+
+// CampaignResult is the estimated matrix with raw counts.
+type CampaignResult struct {
+	Matrix  *core.Permeability
+	Samples map[model.Edge]stats.Proportion
+	Runs    int
+}
+
+// EstimatePermeability runs the paper's permeability-estimation method
+// on the tank target: single transient bit-flips at every module input,
+// golden-run comparison per output, direct errors only. It validates
+// the framework's "generalized applicability" beyond the arrestment
+// system (the paper's stated future work).
+func EstimatePermeability(opts CampaignOptions) (*CampaignResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	sys := NewSystem()
+
+	// Golden traces per case.
+	goldens := make([]*trace.Trace, len(opts.Cases))
+	for i, tc := range opts.Cases {
+		tr, err := runOnce(tc.Config(opts.Seed*101+int64(tc.ID)), AllSignals(), opts.RunMs, nil)
+		if err != nil {
+			return nil, err
+		}
+		goldens[i] = tr
+	}
+
+	perCase := opts.PerInput / len(opts.Cases)
+	if perCase < 1 {
+		perCase = 1
+	}
+
+	res := &CampaignResult{
+		Matrix:  core.NewPermeability(sys),
+		Samples: make(map[model.Edge]stats.Proportion),
+	}
+	runIdx := 0
+	for _, mod := range sys.Modules() {
+		for _, in := range mod.Inputs {
+			port := model.PortRef{Module: mod.ID, Dir: model.DirIn, Index: in.Index}
+			sig, _ := sys.Signal(in.Signal)
+
+			// Watch the module's outputs and its cutoff inputs.
+			outputs := map[model.SignalID]bool{}
+			var watch []model.SignalID
+			var cutoffs []model.SignalID
+			for _, op := range mod.Outputs {
+				outputs[op.Signal] = true
+				watch = append(watch, op.Signal)
+			}
+			for _, other := range mod.Inputs {
+				if other.Signal == in.Signal || outputs[other.Signal] {
+					continue
+				}
+				watch = append(watch, other.Signal)
+				cutoffs = append(cutoffs, other.Signal)
+			}
+
+			for ci, tc := range opts.Cases {
+				for k := 0; k < perCase; k++ {
+					rng := rand.New(rand.NewSource(opts.Seed*100_003 + int64(runIdx)))
+					runIdx++
+					flip := &fi.ReadFlip{
+						Port:   port,
+						Bit:    uint8(rng.Intn(int(sig.Type.Width))),
+						FromMs: rng.Int63n(opts.RunMs - 1000),
+					}
+					inj := fi.NewInjector(flip)
+					ir, err := runOnce(tc.Config(opts.Seed*101+int64(tc.ID)), watch, opts.RunMs, inj)
+					if err != nil {
+						return nil, err
+					}
+					res.Runs++
+					if ok, _ := flip.Applied(); !ok {
+						continue
+					}
+					cutoff := -1
+					for _, s := range cutoffs {
+						if fd := trace.FirstDifference(goldens[ci], ir, s); fd != trace.NoDifference {
+							if cutoff < 0 || fd < cutoff {
+								cutoff = fd
+							}
+						}
+					}
+					for _, op := range mod.Outputs {
+						fd := trace.FirstDifference(goldens[ci], ir, op.Signal)
+						direct := fd != trace.NoDifference && (cutoff < 0 || fd <= cutoff)
+						e := model.Edge{Module: mod.ID, In: in.Index, Out: op.Index, From: in.Signal, To: op.Signal}
+						p := res.Samples[e]
+						p.Add(direct)
+						res.Samples[e] = p
+					}
+				}
+			}
+		}
+	}
+	for e, p := range res.Samples {
+		if err := res.Matrix.SetEdge(e, p.Estimate()); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// runOnce executes one tank run, recording the watch signals at slot
+// resolution, optionally with an injector installed.
+func runOnce(cfg Config, watch []model.SignalID, runMs int64, inj *fi.Injector) (*trace.Trace, error) {
+	rig, err := NewRig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if inj != nil {
+		rig.Sched.OnPreSlot(inj.Hook)
+		rig.Bus.OnRead(inj.ReadHook())
+	}
+	rec := trace.NewRecorder(rig.Bus, watch, 1, runMs)
+	rig.Sched.OnPostSlot(rec.Hook)
+	if err := rig.RunFor(runMs); err != nil {
+		return nil, err
+	}
+	return rec.Trace(), nil
+}
+
+// CriticalityReport ranks the tank's internal signals by impact on each
+// output and by criticality under the declared output criticalities —
+// the runtime multi-output demonstration of Eqs. 3–4.
+type CriticalityReport struct {
+	Signal      model.SignalID
+	ImpactValve float64
+	ImpactAlarm float64
+	Criticality float64
+}
+
+// RankCriticality profiles the measured matrix and returns the internal
+// signals ranked by criticality, descending.
+func RankCriticality(m *core.Permeability) ([]CriticalityReport, error) {
+	pr, err := core.BuildProfile(m)
+	if err != nil {
+		return nil, err
+	}
+	var out []CriticalityReport
+	for _, sp := range pr.Ranked(core.ByCriticality) {
+		if sp.Kind != model.KindIntermediate {
+			continue
+		}
+		out = append(out, CriticalityReport{
+			Signal:      sp.Signal,
+			ImpactValve: sp.ImpactOn[SigValve],
+			ImpactAlarm: sp.ImpactOn[SigAlarm],
+			Criticality: sp.Criticality,
+		})
+	}
+	return out, nil
+}

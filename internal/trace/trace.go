@@ -1,0 +1,157 @@
+// Package trace records signal traces during a run and implements the
+// Golden Run Comparison of the paper's fault-injection method (Section
+// 5.3): the trace of each signal in an injection run is compared against
+// the corresponding golden-run trace, and "the comparison stopped as soon
+// as the first difference ... was encountered".
+//
+// Traces are columnar (one slice per signal) and sampled at a fixed
+// period, matching the target's major control cycle, so that golden and
+// injection runs line up sample-for-sample.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Trace holds sampled values for a fixed set of signals.
+type Trace struct {
+	signals []model.SignalID
+	index   map[model.SignalID]int
+	cols    [][]model.Word
+	n       int
+}
+
+// NewTrace creates an empty trace over the given signals, pre-sizing each
+// column for capacityHint samples.
+func NewTrace(signals []model.SignalID, capacityHint int) *Trace {
+	t := &Trace{
+		signals: append([]model.SignalID(nil), signals...),
+		index:   make(map[model.SignalID]int, len(signals)),
+		cols:    make([][]model.Word, len(signals)),
+	}
+	for i, s := range signals {
+		if _, dup := t.index[s]; dup {
+			panic(fmt.Sprintf("trace: duplicate signal %q", s))
+		}
+		t.index[s] = i
+		t.cols[i] = make([]model.Word, 0, capacityHint)
+	}
+	return t
+}
+
+// Signals returns the traced signals in column order.
+func (t *Trace) Signals() []model.SignalID {
+	return append([]model.SignalID(nil), t.signals...)
+}
+
+// Len returns the number of samples recorded.
+func (t *Trace) Len() int { return t.n }
+
+// Append records one sample row; values are read through the provided
+// getter (typically Bus.Peek so recording never perturbs the system).
+func (t *Trace) Append(get func(model.SignalID) model.Word) {
+	for i, s := range t.signals {
+		t.cols[i] = append(t.cols[i], get(s))
+	}
+	t.n++
+}
+
+// Value returns sample idx of a signal. It panics on unknown signals or
+// out-of-range indices — both are harness bugs, not data conditions.
+func (t *Trace) Value(sig model.SignalID, idx int) model.Word {
+	col := t.column(sig)
+	if idx < 0 || idx >= len(col) {
+		panic(fmt.Sprintf("trace: sample %d of %q out of range (%d samples)", idx, sig, len(col)))
+	}
+	return col[idx]
+}
+
+// Column returns a copy of all samples of one signal.
+func (t *Trace) Column(sig model.SignalID) []model.Word {
+	return append([]model.Word(nil), t.column(sig)...)
+}
+
+func (t *Trace) column(sig model.SignalID) []model.Word {
+	i, ok := t.index[sig]
+	if !ok {
+		panic(fmt.Sprintf("trace: unknown signal %q", sig))
+	}
+	return t.cols[i]
+}
+
+// Has reports whether the trace records the signal.
+func (t *Trace) Has(sig model.SignalID) bool {
+	_, ok := t.index[sig]
+	return ok
+}
+
+// NoDifference is returned by FirstDifference when two traces agree over
+// their common prefix.
+const NoDifference = -1
+
+// FirstDifference returns the index of the first sample at which the two
+// traces disagree on sig, comparing over the shorter common length. It
+// returns NoDifference if they agree.
+func FirstDifference(golden, injected *Trace, sig model.SignalID) int {
+	g, i := golden.column(sig), injected.column(sig)
+	n := len(g)
+	if len(i) < n {
+		n = len(i)
+	}
+	for k := 0; k < n; k++ {
+		if g[k] != i[k] {
+			return k
+		}
+	}
+	return NoDifference
+}
+
+// Deviations runs FirstDifference for every signal of the golden trace,
+// returning the first-difference index per signal (NoDifference if the
+// signal never deviated). Signals missing from the injected trace are
+// skipped.
+func Deviations(golden, injected *Trace) map[model.SignalID]int {
+	out := make(map[model.SignalID]int, len(golden.signals))
+	for _, s := range golden.signals {
+		if !injected.Has(s) {
+			continue
+		}
+		out[s] = FirstDifference(golden, injected, s)
+	}
+	return out
+}
+
+// Recorder samples a bus into a Trace at a fixed period. Attach Hook as a
+// scheduler post-slot hook.
+type Recorder struct {
+	bus      *model.Bus
+	trace    *Trace
+	periodMs int64
+}
+
+// NewRecorder records the given signals from the bus every periodMs of
+// scheduler time, with column capacity for horizonMs of samples.
+func NewRecorder(bus *model.Bus, signals []model.SignalID, periodMs, horizonMs int64) *Recorder {
+	if periodMs <= 0 {
+		panic("trace: periodMs must be positive")
+	}
+	hint := int(horizonMs/periodMs) + 1
+	return &Recorder{
+		bus:      bus,
+		trace:    NewTrace(signals, hint),
+		periodMs: periodMs,
+	}
+}
+
+// Hook is the scheduler hook: it samples whenever nowMs falls on the
+// recording period.
+func (r *Recorder) Hook(nowMs int64) {
+	if nowMs%r.periodMs == 0 {
+		r.trace.Append(r.bus.Peek)
+	}
+}
+
+// Trace returns the recorded trace.
+func (r *Recorder) Trace() *Trace { return r.trace }

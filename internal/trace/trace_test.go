@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func mkTrace(t *testing.T, vals map[model.SignalID][]model.Word) *Trace {
+	t.Helper()
+	var sigs []model.SignalID
+	n := -1
+	for s, col := range vals {
+		sigs = append(sigs, s)
+		if n == -1 {
+			n = len(col)
+		} else if len(col) != n {
+			t.Fatal("uneven columns in fixture")
+		}
+	}
+	// Deterministic order.
+	for i := 0; i < len(sigs); i++ {
+		for j := i + 1; j < len(sigs); j++ {
+			if sigs[j] < sigs[i] {
+				sigs[i], sigs[j] = sigs[j], sigs[i]
+			}
+		}
+	}
+	tr := NewTrace(sigs, n)
+	for k := 0; k < n; k++ {
+		tr.Append(func(s model.SignalID) model.Word { return vals[s][k] })
+	}
+	return tr
+}
+
+func TestAppendAndValue(t *testing.T) {
+	tr := mkTrace(t, map[model.SignalID][]model.Word{
+		"a": {1, 2, 3},
+		"b": {10, 20, 30},
+	})
+	if got := tr.Len(); got != 3 {
+		t.Errorf("Len() = %d, want 3", got)
+	}
+	if got := tr.Value("a", 1); got != 2 {
+		t.Errorf("Value(a,1) = %d, want 2", got)
+	}
+	if got := tr.Value("b", 2); got != 30 {
+		t.Errorf("Value(b,2) = %d, want 30", got)
+	}
+	col := tr.Column("a")
+	col[0] = 99
+	if got := tr.Value("a", 0); got != 1 {
+		t.Error("Column() must return a copy")
+	}
+}
+
+func TestDuplicateSignalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewTrace with duplicate signals did not panic")
+		}
+	}()
+	NewTrace([]model.SignalID{"x", "x"}, 1)
+}
+
+func TestUnknownSignalPanics(t *testing.T) {
+	tr := NewTrace([]model.SignalID{"a"}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Value of unknown signal did not panic")
+		}
+	}()
+	tr.Value("ghost", 0)
+}
+
+func TestFirstDifference(t *testing.T) {
+	golden := mkTrace(t, map[model.SignalID][]model.Word{
+		"s": {5, 5, 5, 5, 5},
+	})
+	tests := []struct {
+		name string
+		inj  []model.Word
+		want int
+	}{
+		{"identical", []model.Word{5, 5, 5, 5, 5}, NoDifference},
+		{"differs at 0", []model.Word{4, 5, 5, 5, 5}, 0},
+		{"differs at 3", []model.Word{5, 5, 5, 9, 5}, 3},
+		{"differs at last", []model.Word{5, 5, 5, 5, 6}, 4},
+		{"shorter identical prefix", []model.Word{5, 5, 5}, NoDifference},
+		{"shorter with diff", []model.Word{5, 7}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			inj := mkTrace(t, map[model.SignalID][]model.Word{"s": tt.inj})
+			if got := FirstDifference(golden, inj, "s"); got != tt.want {
+				t.Errorf("FirstDifference = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDeviations(t *testing.T) {
+	golden := mkTrace(t, map[model.SignalID][]model.Word{
+		"a": {1, 2, 3},
+		"b": {1, 2, 3},
+		"c": {1, 2, 3},
+	})
+	inj := mkTrace(t, map[model.SignalID][]model.Word{
+		"a": {1, 2, 3},
+		"b": {1, 9, 3},
+	})
+	dev := Deviations(golden, inj)
+	if got, ok := dev["a"]; !ok || got != NoDifference {
+		t.Errorf("dev[a] = %d,%v want NoDifference", got, ok)
+	}
+	if got := dev["b"]; got != 1 {
+		t.Errorf("dev[b] = %d, want 1", got)
+	}
+	if _, ok := dev["c"]; ok {
+		t.Error("dev[c] present although c is not in the injected trace")
+	}
+}
+
+// Property: FirstDifference returns the minimal index of disagreement.
+func TestQuickFirstDifferenceMinimality(t *testing.T) {
+	f := func(base []uint8, flipAt uint16) bool {
+		if len(base) == 0 {
+			return true
+		}
+		idx := int(flipAt) % len(base)
+		g := NewTrace([]model.SignalID{"s"}, len(base))
+		i := NewTrace([]model.SignalID{"s"}, len(base))
+		for k, b := range base {
+			v := model.Word(b)
+			g.Append(func(model.SignalID) model.Word { return v })
+			iv := v
+			if k == idx {
+				iv = v + 1
+			}
+			i.Append(func(model.SignalID) model.Word { return iv })
+		}
+		return FirstDifference(g, i, "s") == idx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecorderSamplesOnPeriod(t *testing.T) {
+	sys, err := model.NewBuilder("rec").
+		AddSignal("in", model.Uint(16), model.AsSystemInput()).
+		AddSignal("out", model.Uint(16), model.AsSystemOutput(1)).
+		AddModule("M", model.In("in"), model.Out("out")).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := model.NewBus(sys)
+	rec := NewRecorder(bus, []model.SignalID{"in"}, 10, 100)
+	for now := int64(0); now < 35; now++ {
+		bus.Poke("in", model.Word(now))
+		rec.Hook(now)
+	}
+	tr := rec.Trace()
+	if got := tr.Len(); got != 4 { // t = 0, 10, 20, 30
+		t.Fatalf("Len() = %d, want 4", got)
+	}
+	want := []model.Word{0, 10, 20, 30}
+	for i, w := range want {
+		if got := tr.Value("in", i); got != w {
+			t.Errorf("sample %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestRecorderRejectsBadPeriod(t *testing.T) {
+	sys, err := model.NewBuilder("rec").
+		AddSignal("in", model.Uint(16), model.AsSystemInput()).
+		AddSignal("out", model.Uint(16), model.AsSystemOutput(1)).
+		AddModule("M", model.In("in"), model.Out("out")).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRecorder(period 0) did not panic")
+		}
+	}()
+	NewRecorder(model.NewBus(sys), []model.SignalID{"in"}, 0, 10)
+}
