@@ -104,6 +104,9 @@ func debugInjection(mass, velocity float64, seed, maxMs int64, spec string) erro
 	if err != nil {
 		return err
 	}
+	if _, ok := rigSignalCheck(sig); !ok {
+		return fmt.Errorf("unknown signal %s", sig)
+	}
 	cfg := target.DefaultConfig(mass, velocity, seed)
 
 	runOne := func(inject bool) (*trace.Trace, *fi.ReadFlip, []string, int64, error) {
@@ -146,9 +149,6 @@ func debugInjection(mass, velocity float64, seed, maxMs int64, spec string) erro
 		return err
 	}
 
-	if _, ok := rigSignalCheck(sig); !ok {
-		return fmt.Errorf("unknown signal %s", sig)
-	}
 	applied, at := flip.Applied()
 	fmt.Printf("injection: flip bit %d of %s at first read >= %d ms\n", bit, sig, fromMs)
 	if !applied {

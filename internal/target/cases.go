@@ -1,0 +1,37 @@
+package target
+
+import "fmt"
+
+// TestCase is one workload entry of the arrestment test grid.
+type TestCase struct {
+	ID                int
+	MassKg            float64
+	EngageVelocityMps float64
+}
+
+// Config returns the scenario configuration for this case.
+func (tc TestCase) Config(seed int64) Config {
+	return Config{MassKg: tc.MassKg, EngageVelocityMps: tc.EngageVelocityMps, Seed: seed}
+}
+
+// String implements fmt.Stringer.
+func (tc TestCase) String() string {
+	return fmt.Sprintf("arrest case %d: %.0f kg at %.1f m/s", tc.ID, tc.MassKg, tc.EngageVelocityMps)
+}
+
+// DefaultTestCases returns the 5x5 mass/velocity workload grid used by
+// the injection campaigns (the paper's operational profile spans light
+// fighters to heavy strike aircraft at carrier-landing speeds).
+func DefaultTestCases() []TestCase {
+	masses := []float64{8000, 10000, 12000, 14000, 16000}
+	velocities := []float64{50, 57.5, 65, 72.5, 80}
+	var out []TestCase
+	id := 1
+	for _, m := range masses {
+		for _, v := range velocities {
+			out = append(out, TestCase{ID: id, MassKg: m, EngageVelocityMps: v})
+			id++
+		}
+	}
+	return out
+}

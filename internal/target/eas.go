@@ -1,0 +1,115 @@
+package target
+
+import (
+	"fmt"
+
+	"repro/internal/ea"
+)
+
+// Names of the executable assertions guarding the arrestment signals
+// (paper Table 3).
+const (
+	EA1 = "EA1" // SetValue: range and rate
+	EA2 = "EA2" // IsValue: range and rate
+	EA3 = "EA3" // i: monotonic counter
+	EA4 = "EA4" // pulscnt: bounded counter increments
+	EA5 = "EA5" // ms_slot_nbr: cyclic sequence
+	EA6 = "EA6" // mscnt: fixed-step counter
+	EA7 = "EA7" // OutValue: range and rate
+)
+
+// AllEASpecs returns the seven assertions of the experience-based
+// (heuristic) placement, tuned against the fault-free workload grid.
+func AllEASpecs() []ea.Spec {
+	return []ea.Spec{
+		{
+			// SetValue moves slowly along the braking profile; the
+			// start-up ramp stays under 60 units per period and the
+			// drop to zero at standstill is saturation-exempt.
+			Name: EA1, Signal: SigSetValue, Kind: ea.KindBehaviour,
+			Min: 0, Max: 1000, MaxUp: 120, MaxDown: 120, WarmupChecks: 3,
+		},
+		{
+			// IsValue follows the hydraulic lag (tau = 250 ms), so a
+			// legitimate pressure slope is at most ~40 units per period.
+			Name: EA2, Signal: SigIsValue, Kind: ea.KindBehaviour,
+			Min: 0, Max: 1000, MaxUp: 200, MaxDown: 200, WarmupChecks: 3,
+		},
+		{
+			// The frame counter advances exactly once per major cycle.
+			Name: EA3, Signal: SigI, Kind: ea.KindCounter,
+			MinStep: 1, MaxStep: 1, WrapWidth: 16, WarmupChecks: 2,
+		},
+		{
+			// At 80 m/s the drum yields 8 pulses per period; 16 leaves
+			// headroom for timing jitter without admitting corruption.
+			Name: EA4, Signal: SigPulscnt, Kind: ea.KindCounter,
+			MinStep: 0, MaxStep: 16, WrapWidth: 16, WarmupChecks: 2,
+		},
+		{
+			// The slot selector is sampled at the frame boundary, so a
+			// healthy schedule always shows slot 0.
+			Name: EA5, Signal: SigMsSlotNbr, Kind: ea.KindSequence,
+			Modulo: 10, StepPerPeriod: 0, AllowExtra: 0, WarmupChecks: 2,
+		},
+		{
+			// The millisecond counter gains exactly one period per period.
+			Name: EA6, Signal: SigMscnt, Kind: ea.KindCounter,
+			MinStep: 10, MaxStep: 10, WrapWidth: 16, WarmupChecks: 2,
+		},
+		{
+			// V_REG slew-limits its output to 40 units per period.
+			Name: EA7, Signal: SigOutValue, Kind: ea.KindBehaviour,
+			Min: 0, Max: 1000, MaxUp: 60, MaxDown: 60, WarmupChecks: 3,
+		},
+	}
+}
+
+// SpecsFor resolves assertion names to their specifications.
+func SpecsFor(names []string) ([]ea.Spec, error) {
+	all := AllEASpecs()
+	byName := make(map[string]ea.Spec, len(all))
+	for _, s := range all {
+		byName[s.Name] = s
+	}
+	out := make([]ea.Spec, 0, len(names))
+	for _, n := range names {
+		s, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("target: unknown assertion %q", n)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// EHSet is the experience-based placement: one assertion on every
+// internally generated non-boolean signal (paper Section 6.1).
+func EHSet() []string {
+	return []string{EA1, EA2, EA3, EA4, EA5, EA6, EA7}
+}
+
+// PASet is the exposure-selected placement: the four signals whose
+// measured exposure clears the Section 4 threshold (paper Section 6.2).
+func PASet() []string {
+	return []string{EA1, EA3, EA4, EA7}
+}
+
+// ExtendedSet is the extended analytical placement of Section 7.1: the
+// witness and effect rules add IsValue, mscnt and ms_slot_nbr back, so
+// it coincides with the experience-based set.
+func ExtendedSet() []string {
+	return EHSet()
+}
+
+// NewBank instantiates the named assertions over the rig's bus, checked
+// once per control period. The caller decides where the bank samples:
+// install bank.Hook as a post-slot hook for periodic checking, or use
+// an ea.WriteBank for inline checking.
+func NewBank(rig *Rig, names []string) (*ea.Bank, error) {
+	specs, err := SpecsFor(names)
+	if err != nil {
+		return nil, err
+	}
+	return ea.NewBank(rig.Bus, ControlPeriodMs, specs)
+}

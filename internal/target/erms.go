@@ -1,0 +1,43 @@
+package target
+
+import "repro/internal/erm"
+
+// DefaultERMSpecs returns the recovery wrappers of the Section 7
+// study: one wrapper on each signal of the exposure-selected (PA)
+// placement, with bounds loose enough to stay silent across the
+// fault-free workload grid.
+func DefaultERMSpecs() []erm.Spec {
+	return []erm.Spec{
+		{
+			Name: "ERM-SetValue", Signal: SigSetValue,
+			Min: 0, Max: 1000, MaxUp: 150, MaxDown: 0,
+			Policy: erm.PolicyClamp, WarmupWrites: 10,
+		},
+		{
+			Name: "ERM-i", Signal: SigI,
+			Min: 0, Max: 65535, MaxUp: 2, MaxDown: 1,
+			Policy: erm.PolicyHoldLast, WarmupWrites: 2,
+		},
+		{
+			Name: "ERM-pulscnt", Signal: SigPulscnt,
+			Min: 0, Max: 65535, MaxUp: 20, MaxDown: 1,
+			Policy: erm.PolicyHoldLast, WarmupWrites: 2,
+		},
+		{
+			Name: "ERM-OutValue", Signal: SigOutValue,
+			Min: 0, Max: 1000, MaxUp: 50, MaxDown: 50,
+			Policy: erm.PolicyClamp, WarmupWrites: 4,
+		},
+	}
+}
+
+// NewERMBank installs the recovery wrappers on the rig: write filters
+// on the guarded signals plus the bank's pre-slot clock hook.
+func NewERMBank(rig *Rig, specs []erm.Spec) (*erm.Bank, error) {
+	bank, err := erm.NewBank(rig.Bus, specs)
+	if err != nil {
+		return nil, err
+	}
+	rig.Sched.OnPreSlot(bank.Hook)
+	return bank, nil
+}

@@ -1,0 +1,119 @@
+package target
+
+import (
+	"fmt"
+
+	"repro/internal/memmap"
+	"repro/internal/model"
+	"repro/internal/physics"
+	"repro/internal/sched"
+)
+
+// Config is one arrestment scenario.
+type Config struct {
+	// MassKg is the aircraft mass dialled in by the operator.
+	MassKg float64
+	// EngageVelocityMps is the speed at cable engagement.
+	EngageVelocityMps float64
+	// Seed drives plant sensor noise.
+	Seed int64
+	// HardenedDistS enables the module-internal delta plausibility
+	// check in DIST_S (the Section 7 recovery experiment).
+	HardenedDistS bool
+}
+
+// DefaultConfig returns a plain (unhardened) scenario.
+func DefaultConfig(mass, velocity float64, seed int64) Config {
+	return Config{MassKg: mass, EngageVelocityMps: velocity, Seed: seed}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.MassKg < 1000 || c.MassKg > 50000 {
+		return fmt.Errorf("target: MassKg %v outside the arrestable band", c.MassKg)
+	}
+	if c.EngageVelocityMps < 10 || c.EngageVelocityMps > 120 {
+		return fmt.Errorf("target: EngageVelocityMps %v outside the arrestable band", c.EngageVelocityMps)
+	}
+	return nil
+}
+
+// Rig is an assembled arrestment target: the static description, the
+// shared-memory bus, the memory map, the plant and the scheduler.
+type Rig struct {
+	Cfg   Config
+	Sys   *model.System
+	Bus   *model.Bus
+	Mem   *memmap.Map
+	Plant *physics.Plant
+	Sched *sched.Scheduler
+}
+
+// NewRig assembles an arrestment rig for one scenario.
+func NewRig(cfg Config) (*Rig, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sys := NewSystem()
+	bus := model.NewBus(sys)
+	mem := &memmap.Map{}
+	plant := physics.New(physics.DefaultParams(cfg.MassKg, cfg.EngageVelocityMps, cfg.Seed))
+
+	// CLOCK runs every millisecond slot and publishes the selector; the
+	// other five modules occupy fixed slots of the 10 ms frame. The
+	// empty slots are spare capacity in the original schedule.
+	table := sched.Table{
+		SlotMs:   1,
+		Every:    []model.ModuleID{ModClock},
+		Selector: SigMsSlotNbr,
+		Slots: [][]model.ModuleID{
+			3: {ModDistS},
+			5: {ModPresS},
+			6: {ModCalc},
+			7: {ModVReg},
+			9: {ModPresA},
+		},
+	}
+	s, err := sched.New(bus, table)
+	if err != nil {
+		return nil, err
+	}
+	mods := []model.Runnable{
+		newClock(mem),
+		newDistS(mem, cfg.HardenedDistS),
+		newPresS(mem),
+		newCalc(mem, model.Word(cfg.MassKg)),
+		newVReg(mem),
+		newPresA(mem),
+	}
+	for _, m := range mods {
+		if err := s.Register(m); err != nil {
+			return nil, err
+		}
+	}
+
+	r := &Rig{Cfg: cfg, Sys: sys, Bus: bus, Mem: mem, Plant: plant, Sched: s}
+	s.OnPreSlot(func(nowMs int64) {
+		r.Plant.StepMs(1)
+		bus.Poke(SigPACNT, r.Plant.PACNT())
+		bus.Poke(SigTIC1, r.Plant.TIC1())
+		bus.Poke(SigTCNT, r.Plant.TCNT())
+		bus.Poke(SigADC, r.Plant.ADC())
+	})
+	s.OnPostSlot(func(nowMs int64) {
+		r.Plant.SetValveDuty(bus.Peek(SigTOC2))
+	})
+	return r, nil
+}
+
+// RunFor runs the rig for durationMs of scheduler time.
+func (r *Rig) RunFor(durationMs int64) error { return r.Sched.RunFor(durationMs) }
+
+// RunUntilArrested runs until the aircraft is at standstill, or maxMs
+// elapses. It reports whether the arrest completed.
+func (r *Rig) RunUntilArrested(maxMs int64) (bool, error) {
+	return r.Sched.RunUntil(r.Arrested, maxMs)
+}
+
+// Arrested reports whether the aircraft has come to a standstill.
+func (r *Rig) Arrested() bool { return r.Plant.Stopped() }
