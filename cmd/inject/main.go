@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/model"
@@ -39,17 +40,22 @@ func main() {
 }
 
 func run() error {
-	campaign := flag.String("campaign", "input", "campaign: input or internal")
+	campaign := flag.String("campaign", "input",
+		"campaign: input, internal, models, recovery, tightness or integration")
 	perSignal := flag.Int("per-signal", 2000, "injections per system input (input campaign)")
 	ram := flag.Int("ram", 150, "RAM locations (internal campaign)")
 	stack := flag.Int("stack", 50, "stack locations (internal campaign)")
 	seed := flag.Int64("seed", 1, "campaign seed")
 	workers := flag.Int("workers", 8, "campaign parallelism")
+	benchOut := flag.String("bench-out", "BENCH_campaigns.json",
+		"campaign timing report path (empty disables)")
 	flag.Parse()
 
 	opts := experiment.DefaultOptions(*seed)
 	opts.Workers = *workers
 
+	start := time.Now()
+	runs := 0
 	switch *campaign {
 	case "input":
 		fmt.Fprintf(os.Stderr, "input-model campaign: %d injections per signal over %d cases...\n",
@@ -58,6 +64,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		runs = res.All.Injected
 		fmt.Println(report.Table4(res, target.EHSet()))
 		for _, row := range res.Rows {
 			if row.Signal == target.SigPACNT {
@@ -75,6 +82,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		runs = res.TotalRuns
 		fmt.Println(report.ModelSensitivity(res))
 	case "recovery":
 		fmt.Fprintf(os.Stderr, "recovery study: %d RAM + %d stack locations x %d cases x 3 arms...\n",
@@ -83,6 +91,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		runs = res.Total.Baseline.Runs + res.Total.Wrapped.Runs + res.Total.Hardened.Runs
 		fmt.Println(report.RecoveryTable(res))
 	case "tightness":
 		steps := []model.Word{2, 4, 8, 16, 32, 64}
@@ -91,6 +100,9 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		for _, pt := range res {
+			runs += pt.GoldenRuns + pt.InjectedRuns
+		}
 		fmt.Println(report.TightnessTable(res))
 	case "integration":
 		fmt.Fprintf(os.Stderr, "EA integration-mode study: %d injections...\n", *perSignal)
@@ -98,6 +110,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		runs = res.GoldenRuns + res.InjectedRuns
 		fmt.Println(report.IntegrationTable(res))
 	case "internal":
 		fmt.Fprintf(os.Stderr, "internal-model campaign: %d RAM + %d stack locations x %d cases...\n",
@@ -106,9 +119,17 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		runs = res.Total.Runs
 		fmt.Println(report.Figure3(res))
 	default:
 		return fmt.Errorf("unknown -campaign %q", *campaign)
+	}
+	timing := experiment.NewCampaignTiming(*campaign, runs, time.Since(start))
+	if err := experiment.WriteCampaignTimings(*benchOut, *seed, *workers, []experiment.CampaignTiming{timing}); err != nil {
+		return err
+	}
+	if *benchOut != "" {
+		fmt.Fprintf(os.Stderr, "campaign timing written to %s\n", *benchOut)
 	}
 	return nil
 }

@@ -51,6 +51,8 @@ func run() error {
 	quick := flag.Bool("quick", false, "reduced campaign sizes for a fast pass")
 	seed := flag.Int64("seed", 1, "campaign seed")
 	workers := flag.Int("workers", 8, "campaign parallelism")
+	benchOut := flag.String("bench-out", "BENCH_campaigns.json",
+		"campaign timing report path (measured mode; empty disables)")
 	flag.Parse()
 
 	want := func(name string) bool {
@@ -73,7 +75,7 @@ func run() error {
 	}
 	if *mode == "measured" || *mode == "both" {
 		header("MEASURED MODE: end-to-end reproduction on the reimplemented target")
-		if err := measuredMode(want, sz, *seed, *workers); err != nil {
+		if err := measuredMode(want, sz, *seed, *workers, *benchOut); err != nil {
 			return err
 		}
 	}
@@ -161,9 +163,10 @@ func paperMode(want func(string) bool) error {
 	return analyticalArtifacts(want, paper.Table1())
 }
 
-func measuredMode(want func(string) bool, sz sizes, seed int64, workers int) error {
+func measuredMode(want func(string) bool, sz sizes, seed int64, workers int, benchOut string) error {
 	opts := experiment.DefaultOptions(seed)
 	opts.Workers = workers
+	var timings []experiment.CampaignTiming
 
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "permeability campaign: %d per input x 13 inputs...\n", sz.perInput)
@@ -172,6 +175,7 @@ func measuredMode(want func(string) bool, sz sizes, seed int64, workers int) err
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "  %d runs in %v\n", perm.TotalRuns, time.Since(start).Round(time.Millisecond))
+	timings = append(timings, experiment.NewCampaignTiming("permeability", perm.TotalRuns, time.Since(start)))
 
 	if err := analyticalArtifacts(want, perm.Matrix); err != nil {
 		return err
@@ -188,6 +192,7 @@ func measuredMode(want func(string) bool, sz sizes, seed int64, workers int) err
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "  done in %v\n", time.Since(start).Round(time.Millisecond))
+		timings = append(timings, experiment.NewCampaignTiming("input-coverage", cov.All.Injected, time.Since(start)))
 		section("Table 4")
 		fmt.Println(report.Table4(cov, target.EHSet()))
 	}
@@ -200,6 +205,7 @@ func measuredMode(want func(string) bool, sz sizes, seed int64, workers int) err
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "  %d runs in %v\n", internal.Total.Runs, time.Since(start).Round(time.Millisecond))
+		timings = append(timings, experiment.NewCampaignTiming("internal-coverage", internal.Total.Runs, time.Since(start)))
 		section("Figure 3")
 		fmt.Println(report.Figure3(internal))
 		section("Detection latency (internal error model)")
@@ -207,18 +213,29 @@ func measuredMode(want func(string) bool, sz sizes, seed int64, workers int) err
 	}
 	if want("extensions") {
 		fmt.Fprintln(os.Stderr, "extension campaigns: error-model sensitivity + recovery study...")
+		start = time.Now()
 		ms, err := experiment.ErrorModelSensitivity(opts, sz.perSignal/2)
 		if err != nil {
 			return err
 		}
+		timings = append(timings, experiment.NewCampaignTiming("model-sensitivity", ms.TotalRuns, time.Since(start)))
 		section("Extension: error-model sensitivity")
 		fmt.Println(report.ModelSensitivity(ms))
+		start = time.Now()
 		rs, err := experiment.RecoveryStudy(opts, sz.ram/2, sz.stack/2, nil)
 		if err != nil {
 			return err
 		}
+		recRuns := rs.Total.Baseline.Runs + rs.Total.Wrapped.Runs + rs.Total.Hardened.Runs
+		timings = append(timings, experiment.NewCampaignTiming("recovery", recRuns, time.Since(start)))
 		section("Extension: recovery study")
 		fmt.Println(report.RecoveryTable(rs))
+	}
+	if err := experiment.WriteCampaignTimings(benchOut, opts.Seed, opts.Workers, timings); err != nil {
+		return err
+	}
+	if benchOut != "" {
+		fmt.Fprintf(os.Stderr, "campaign timings written to %s\n", benchOut)
 	}
 	return nil
 }

@@ -1,0 +1,54 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/target"
+)
+
+// benchInjectionOpts is a single-case configuration so the benchmark
+// isolates the per-run cost rather than campaign orchestration.
+func benchInjectionOpts() Options {
+	opts := DefaultOptions(1)
+	opts.Cases = []target.TestCase{{ID: 1, MassKg: 12000, EngageVelocityMps: 65}}
+	opts.Workers = 1
+	return opts
+}
+
+// BenchmarkInjectionRun pins the cost of one permeability injection run —
+// the unit the ~39 000-run full-size campaigns multiply. ReportAllocs
+// makes allocation regressions on the inner loop visible in CI.
+func BenchmarkInjectionRun(b *testing.B) {
+	opts := benchInjectionOpts()
+	golds, err := goldens(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := target.SharedSystem()
+	mod, ok := sys.Module(target.ModDistS)
+	if !ok {
+		b.Fatal("DIST_S missing")
+	}
+	port := model.PortRef{Module: mod.ID, Dir: model.DirIn, Index: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := permeabilityRun(opts, golds[0], mod, port, target.SigPACNT, i)
+		if out.err != nil {
+			b.Fatal(out.err)
+		}
+	}
+}
+
+// BenchmarkGoldenRun pins the cost of one fault-free reference run with
+// the full 14-signal trace attached.
+func BenchmarkGoldenRun(b *testing.B) {
+	opts := benchInjectionOpts()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := runGolden(opts, opts.Cases[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -79,7 +79,7 @@ func InputCoverage(opts Options, perSignal int, signals []model.SignalID) (*Inpu
 	if err != nil {
 		return nil, err
 	}
-	sys := target.NewSystem()
+	sys := target.SharedSystem()
 
 	perCase := perSignal / len(opts.Cases)
 	if perCase < 1 {
@@ -201,10 +201,11 @@ func (r *CoverageRow) accumulate(active bool, injectedAt int64, detectedAt map[s
 func coverageRun(opts Options, g *golden, port model.PortRef, sig model.SignalID, index int) (bool, int64, map[string]int64, error) {
 	rng := rand.New(rand.NewSource(runSeed(opts, "cov", index)))
 
-	rig, err := target.NewRig(g.tc.Config(caseSeed(opts, g.tc)))
+	rig, err := target.AcquireRig(g.tc.Config(caseSeed(opts, g.tc)))
 	if err != nil {
 		return false, 0, nil, err
 	}
+	defer target.ReleaseRig(rig)
 	bank, err := target.NewBank(rig, target.EHSet())
 	if err != nil {
 		return false, 0, nil, err
@@ -287,12 +288,13 @@ func InternalCoverage(opts Options, ramLocations, stackLocations int) (*Internal
 
 	// Enumerate targets on a scratch rig (cell IDs are stable across
 	// rigs: allocation order is fixed by construction).
-	scratch, err := target.NewRig(opts.Cases[0].Config(1))
+	scratch, err := target.AcquireRig(opts.Cases[0].Config(1))
 	if err != nil {
 		return nil, err
 	}
 	ramTargets := fi.SampleTargets(fi.EnumerateRAMTargets(scratch.Sys, scratch.Mem), ramLocations, opts.Seed*7+1)
 	stackTargets := fi.SampleTargets(fi.EnumerateStackTargets(scratch.Mem), stackLocations, opts.Seed*7+2)
+	target.ReleaseRig(scratch)
 
 	type job struct {
 		tgt     fi.MemTarget
@@ -391,10 +393,11 @@ func (rc *RegionCoverage) accumulate(detectedAt map[string]int64, failed bool, i
 // memory target, full EA bank, failure classification. It returns each
 // fired assertion's first detection time.
 func internalRun(opts Options, g *golden, tgt fi.MemTarget) (map[string]int64, bool, error) {
-	rig, err := target.NewRig(g.tc.Config(caseSeed(opts, g.tc)))
+	rig, err := target.AcquireRig(g.tc.Config(caseSeed(opts, g.tc)))
 	if err != nil {
 		return nil, false, err
 	}
+	defer target.ReleaseRig(rig)
 	bank, err := target.NewBank(rig, target.EHSet())
 	if err != nil {
 		return nil, false, err

@@ -1,0 +1,158 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/target"
+)
+
+// determinismOpts is a reduced-size campaign configuration: three cases
+// spanning the mass/velocity envelope, full horizons.
+func determinismOpts(workers int) Options {
+	opts := DefaultOptions(11)
+	opts.Cases = []target.TestCase{
+		{ID: 1, MassKg: 8000, EngageVelocityMps: 40},
+		{ID: 2, MassKg: 12000, EngageVelocityMps: 65},
+		{ID: 3, MassKg: 20000, EngageVelocityMps: 80},
+	}
+	opts.Workers = workers
+	return opts
+}
+
+// permeabilityFingerprint renders a PermeabilityResult in a stable
+// order (Samples is map-keyed, so edges are sorted textually).
+func permeabilityFingerprint(t *testing.T, res *PermeabilityResult) string {
+	t.Helper()
+	lines := make([]string, 0, len(res.Samples)+1)
+	for e, p := range res.Samples {
+		lines = append(lines, fmt.Sprintf("%s[%d->%d] %s->%s: %d/%d",
+			e.Module, e.In, e.Out, e.From, e.To, p.Successes, p.Trials))
+	}
+	sort.Strings(lines)
+	return fmt.Sprintf("active=%d total=%d\n", res.ActiveRuns, res.TotalRuns) +
+		fmt.Sprint(lines)
+}
+
+// coverageFingerprint renders an InputCoverageResult in a stable order.
+func coverageFingerprint(t *testing.T, res *InputCoverageResult) string {
+	t.Helper()
+	var out string
+	rows := append([]CoverageRow{res.All}, res.Rows...)
+	for _, row := range rows {
+		out += fmt.Sprintf("%s inj=%d act=%d\n", row.Signal, row.Injected, row.Active)
+		var eas []string
+		for ea, p := range row.PerEA {
+			eas = append(eas, fmt.Sprintf("  %s %d/%d", ea, p.Successes, p.Trials))
+		}
+		sort.Strings(eas)
+		out += fmt.Sprint(eas) + "\n"
+		var sets []string
+		for set, p := range row.PerSet {
+			sets = append(sets, fmt.Sprintf("  %s %d/%d", set, p.Successes, p.Trials))
+		}
+		sort.Strings(sets)
+		out += fmt.Sprint(sets) + "\n"
+	}
+	return out
+}
+
+// TestPermeabilityDeterministicAcrossWorkers asserts the Table 1
+// campaign invariant: the same seed yields byte-identical results
+// whether runs execute serially or on eight workers.
+func TestPermeabilityDeterministicAcrossWorkers(t *testing.T) {
+	var prints []string
+	for _, workers := range []int{1, 8} {
+		ClearGoldenCache()
+		res, err := EstimatePermeability(determinismOpts(workers), 6)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		prints = append(prints, permeabilityFingerprint(t, res))
+	}
+	if prints[0] != prints[1] {
+		t.Errorf("permeability differs across Workers=1 vs 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			prints[0], prints[1])
+	}
+}
+
+// TestPermeabilityDeterministicAcrossPooling asserts the rig-reuse
+// invariant: pooled rigs (reset) and fresh rigs (NewRig per run)
+// produce byte-identical campaign results.
+func TestPermeabilityDeterministicAcrossPooling(t *testing.T) {
+	if !target.RigPoolingEnabled() {
+		t.Fatal("rig pooling should be on by default")
+	}
+	defer target.SetRigPooling(true)
+
+	var prints []string
+	for _, pooled := range []bool{true, false} {
+		target.SetRigPooling(pooled)
+		ClearGoldenCache()
+		res, err := EstimatePermeability(determinismOpts(4), 6)
+		if err != nil {
+			t.Fatalf("pooled=%v: %v", pooled, err)
+		}
+		prints = append(prints, permeabilityFingerprint(t, res))
+	}
+	if prints[0] != prints[1] {
+		t.Errorf("permeability differs with pooling on vs off:\n--- pooled ---\n%s\n--- fresh ---\n%s",
+			prints[0], prints[1])
+	}
+}
+
+// TestInputCoverageDeterministicAcrossWorkersAndPooling asserts the
+// Table 4 campaign invariant across both axes at once: Workers=1 with
+// fresh rigs versus Workers=8 with pooled rigs.
+func TestInputCoverageDeterministicAcrossWorkersAndPooling(t *testing.T) {
+	defer target.SetRigPooling(true)
+
+	type arm struct {
+		workers int
+		pooled  bool
+	}
+	var prints []string
+	for _, a := range []arm{{1, false}, {8, true}} {
+		target.SetRigPooling(a.pooled)
+		ClearGoldenCache()
+		res, err := InputCoverage(determinismOpts(a.workers), 6, nil)
+		if err != nil {
+			t.Fatalf("workers=%d pooled=%v: %v", a.workers, a.pooled, err)
+		}
+		prints = append(prints, coverageFingerprint(t, res))
+	}
+	if prints[0] != prints[1] {
+		t.Errorf("input coverage differs across worker/pooling arms:\n--- serial/fresh ---\n%s\n--- parallel/pooled ---\n%s",
+			prints[0], prints[1])
+	}
+}
+
+// TestGoldenCacheReuse asserts that a second campaign over the same
+// options recomputes no golden runs and returns identical results.
+func TestGoldenCacheReuse(t *testing.T) {
+	ClearGoldenCache()
+	opts := determinismOpts(4)
+	first, err := EstimatePermeability(opts, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, _, misses0 := GoldenCacheStats()
+	if size != len(opts.Cases) {
+		t.Fatalf("golden cache holds %d runs, want %d", size, len(opts.Cases))
+	}
+	second, err := EstimatePermeability(opts, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hits, misses := GoldenCacheStats()
+	if misses != misses0 {
+		t.Errorf("second campaign recomputed goldens: misses %d -> %d", misses0, misses)
+	}
+	if hits == 0 {
+		t.Error("second campaign recorded no cache hits")
+	}
+	if a, b := permeabilityFingerprint(t, first), permeabilityFingerprint(t, second); a != b {
+		t.Errorf("cached goldens changed campaign results:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}

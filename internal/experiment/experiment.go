@@ -93,12 +93,15 @@ func runSeed(opts Options, campaign string, index int) int64 {
 }
 
 // runGolden executes the fault-free reference run of a test case,
-// recording every signal at the 1 ms slot period.
+// recording every signal at the 1 ms slot period. The recorded trace is
+// retained (goldens are cached and compared against for the rest of the
+// process), so the recorder is deliberately not pooled.
 func runGolden(opts Options, tc target.TestCase) (*golden, error) {
-	rig, err := target.NewRig(tc.Config(caseSeed(opts, tc)))
+	rig, err := target.AcquireRig(tc.Config(caseSeed(opts, tc)))
 	if err != nil {
 		return nil, err
 	}
+	defer target.ReleaseRig(rig)
 	rec := trace.NewRecorder(rig.Bus, target.AllSignals(), 1, opts.MaxRunMs)
 	rig.Sched.OnPostSlot(rec.Hook)
 	arrested, err := rig.RunUntilArrested(opts.MaxRunMs)
@@ -120,17 +123,33 @@ func runGolden(opts Options, tc target.TestCase) (*golden, error) {
 	}, nil
 }
 
-// goldens computes the reference data of every case, in parallel.
+// goldens returns the reference data of every case, computing cache
+// misses in parallel and memoizing them in the process-wide GoldenCache.
 func goldens(opts Options) ([]*golden, error) {
 	out := make([]*golden, len(opts.Cases))
-	errs := make([]error, len(opts.Cases))
-	parallelFor(len(opts.Cases), opts.Workers, func(i int) {
-		out[i], errs[i] = runGolden(opts, opts.Cases[i])
+	var missing []int
+	for i, tc := range opts.Cases {
+		if g, ok := globalGoldens.lookup(keyFor(opts, tc)); ok {
+			out[i] = g
+		} else {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) == 0 {
+		return out, nil
+	}
+	errs := make([]error, len(missing))
+	parallelFor(len(missing), opts.Workers, func(j int) {
+		i := missing[j]
+		out[i], errs[j] = runGolden(opts, opts.Cases[i])
 	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+	for _, i := range missing {
+		globalGoldens.store(keyFor(opts, opts.Cases[i]), out[i])
 	}
 	return out, nil
 }

@@ -23,6 +23,8 @@ type ModelSensitivityResult struct {
 	PerModel map[string]map[string]stats.Proportion
 	// ActivePerModel counts active errors per model.
 	ActivePerModel map[string]int
+	// TotalRuns counts all injection runs across models.
+	TotalRuns int
 }
 
 // sensitivityModels returns the evaluated corruption templates.
@@ -50,7 +52,7 @@ func ErrorModelSensitivity(opts Options, perModel int) (*ModelSensitivityResult,
 	if err != nil {
 		return nil, err
 	}
-	sys := target.NewSystem()
+	sys := target.SharedSystem()
 	consumers := sys.ConsumersOf(target.SigPACNT)
 	if len(consumers) != 1 {
 		return nil, fmt.Errorf("experiment: PACNT has %d consumers", len(consumers))
@@ -103,6 +105,7 @@ func ErrorModelSensitivity(opts Options, perModel int) (*ModelSensitivityResult,
 	res := &ModelSensitivityResult{
 		PerModel:       make(map[string]map[string]stats.Proportion, len(models)),
 		ActivePerModel: make(map[string]int, len(models)),
+		TotalRuns:      len(plan),
 	}
 	for _, m := range models {
 		res.Models = append(res.Models, m.Kind.String())
@@ -140,10 +143,11 @@ func ErrorModelSensitivity(opts Options, perModel int) (*ModelSensitivityResult,
 
 // corruptionCoverageRun is coverageRun generalized over error models.
 func corruptionCoverageRun(opts Options, g *golden, c fi.Corruption) (bool, map[string]int64, error) {
-	rig, err := target.NewRig(g.tc.Config(caseSeed(opts, g.tc)))
+	rig, err := target.AcquireRig(g.tc.Config(caseSeed(opts, g.tc)))
 	if err != nil {
 		return false, nil, err
 	}
+	defer target.ReleaseRig(rig)
 	bank, err := target.NewBank(rig, target.EHSet())
 	if err != nil {
 		return false, nil, err
@@ -216,12 +220,13 @@ func RecoveryStudy(opts Options, ramLocations, stackLocations int, specs []erm.S
 	if err != nil {
 		return nil, err
 	}
-	scratch, err := target.NewRig(opts.Cases[0].Config(1))
+	scratch, err := target.AcquireRig(opts.Cases[0].Config(1))
 	if err != nil {
 		return nil, err
 	}
 	ramTargets := fi.SampleTargets(fi.EnumerateRAMTargets(scratch.Sys, scratch.Mem), ramLocations, opts.Seed*7+1)
 	stackTargets := fi.SampleTargets(fi.EnumerateStackTargets(scratch.Mem), stackLocations, opts.Seed*7+2)
+	target.ReleaseRig(scratch)
 
 	type job struct {
 		tgt     fi.MemTarget
@@ -298,10 +303,11 @@ func RecoveryStudy(opts Options, ramLocations, stackLocations int, specs []erm.S
 func severeRun(opts Options, g *golden, tgt fi.MemTarget, wrapSpecs []erm.Spec, hardened bool) (bool, int, error) {
 	cfg := g.tc.Config(caseSeed(opts, g.tc))
 	cfg.HardenedDistS = hardened
-	rig, err := target.NewRig(cfg)
+	rig, err := target.AcquireRig(cfg)
 	if err != nil {
 		return false, 0, err
 	}
+	defer target.ReleaseRig(rig)
 	var wrappers *erm.Bank
 	if len(wrapSpecs) > 0 {
 		wrappers, err = target.NewERMBank(rig, wrapSpecs)

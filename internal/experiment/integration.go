@@ -26,6 +26,9 @@ type IntegrationPoint struct {
 	// inline assertion fired (it must stay zero for the tightening to
 	// be admissible).
 	TightInlineFalsePositives int
+	// GoldenRuns and InjectedRuns are the fault-free and injected run
+	// counts.
+	GoldenRuns, InjectedRuns int
 }
 
 // EAIntegrationStudy measures how much detection the sampling
@@ -44,7 +47,7 @@ func EAIntegrationStudy(opts Options, perSignal int) (*IntegrationPoint, error) 
 	if err != nil {
 		return nil, err
 	}
-	sys := target.NewSystem()
+	sys := target.SharedSystem()
 	consumers := sys.ConsumersOf(target.SigPACNT)
 	if len(consumers) != 1 {
 		return nil, fmt.Errorf("experiment: PACNT has %d consumers", len(consumers))
@@ -91,11 +94,12 @@ func EAIntegrationStudy(opts Options, perSignal int) (*IntegrationPoint, error) 
 	parallelFor(len(plan), opts.Workers, func(i int) {
 		j := plan[i]
 		g := golds[j.caseIdx]
-		rig, err := target.NewRig(g.tc.Config(caseSeed(opts, g.tc)))
+		rig, err := target.AcquireRig(g.tc.Config(caseSeed(opts, g.tc)))
 		if err != nil {
 			results[i] = outcome{err: err}
 			return
 		}
+		defer target.ReleaseRig(rig)
 		sampledBank, err := ea.NewBank(rig.Bus, target.ControlPeriodMs, []ea.Spec{ea4})
 		if err != nil {
 			results[i] = outcome{err: err}
@@ -153,11 +157,13 @@ func EAIntegrationStudy(opts Options, perSignal int) (*IntegrationPoint, error) 
 			return nil, out.err
 		}
 		if out.golden {
+			pt.GoldenRuns++
 			if out.tightOn {
 				pt.TightInlineFalsePositives++
 			}
 			continue
 		}
+		pt.InjectedRuns++
 		if !out.active {
 			continue
 		}

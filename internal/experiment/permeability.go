@@ -46,7 +46,7 @@ func EstimatePermeability(opts Options, perInput int) (*PermeabilityResult, erro
 	if err != nil {
 		return nil, err
 	}
-	sys := target.NewSystem()
+	sys := target.SharedSystem()
 
 	perCase := perInput / len(opts.Cases)
 	if perCase < 1 {
@@ -126,11 +126,12 @@ func permeabilityRun(opts Options, g *golden, mod *model.ModuleDecl, port model.
 }) {
 	rng := rand.New(rand.NewSource(runSeed(opts, "perm", index)))
 
-	rig, err := target.NewRig(g.tc.Config(caseSeed(opts, g.tc)))
+	rig, err := target.AcquireRig(g.tc.Config(caseSeed(opts, g.tc)))
 	if err != nil {
 		out.err = err
 		return out
 	}
+	defer target.ReleaseRig(rig)
 
 	flip := &fi.ReadFlip{
 		Port:   port,
@@ -162,7 +163,8 @@ func permeabilityRun(opts Options, g *golden, mod *model.ModuleDecl, port model.
 	}
 	watch = dedupSignals(watch)
 
-	rec := trace.NewRecorder(rig.Bus, watch, 1, g.horizonMs)
+	rec := acquireRecorder(rig.Bus, watch, 1, g.horizonMs)
+	defer releaseRecorder(rec)
 	rig.Sched.OnPostSlot(rec.Hook)
 
 	if err := rig.RunFor(g.horizonMs); err != nil {

@@ -22,8 +22,9 @@ type TightnessPoint struct {
 	// FalsePositiveRuns counts fault-free runs (one per test case) in
 	// which the assertion fired.
 	FalsePositiveRuns int
-	// GoldenRuns is the fault-free run count.
-	GoldenRuns int
+	// GoldenRuns and InjectedRuns are the fault-free and injected run
+	// counts of this setting.
+	GoldenRuns, InjectedRuns int
 }
 
 // EATightnessStudy sweeps the pulscnt assertion's MaxStep and measures,
@@ -45,7 +46,7 @@ func EATightnessStudy(opts Options, perStep int, steps []model.Word) ([]Tightnes
 	if err != nil {
 		return nil, err
 	}
-	sys := target.NewSystem()
+	sys := target.SharedSystem()
 	consumers := sys.ConsumersOf(target.SigPACNT)
 	if len(consumers) != 1 {
 		return nil, fmt.Errorf("experiment: PACNT has %d consumers", len(consumers))
@@ -90,11 +91,12 @@ func EATightnessStudy(opts Options, perStep int, steps []model.Word) ([]Tightnes
 	parallelFor(len(plan), opts.Workers, func(i int) {
 		j := plan[i]
 		g := golds[j.caseIdx]
-		rig, err := target.NewRig(g.tc.Config(caseSeed(opts, g.tc)))
+		rig, err := target.AcquireRig(g.tc.Config(caseSeed(opts, g.tc)))
 		if err != nil {
 			results[i] = outcome{err: err}
 			return
 		}
+		defer target.ReleaseRig(rig)
 		bank, err := ea.NewBank(rig.Bus, target.ControlPeriodMs, []ea.Spec{spec(steps[j.stepIdx])})
 		if err != nil {
 			results[i] = outcome{err: err}
@@ -147,6 +149,7 @@ func EATightnessStudy(opts Options, perStep int, steps []model.Word) ([]Tightnes
 			}
 			continue
 		}
+		pt.InjectedRuns++
 		if out.active {
 			pt.Coverage.Add(out.detected)
 		}

@@ -129,6 +129,7 @@ func (b *Builder) Build() (*System, error) {
 	if err := b.sys.Validate(); err != nil {
 		return nil, err
 	}
+	b.sys.finalize()
 	return b.sys, nil
 }
 

@@ -24,9 +24,14 @@ type WriteFilter func(port PortRef, sig SignalID, old, proposed Word) Word
 // all port I/O. It is the runtime counterpart of the static wiring graph.
 // A Bus is not safe for concurrent use; the slot-based scheduler is
 // strictly sequential, like the paper's single-processor target.
+//
+// Storage is a flat slice indexed by the system's dense signal indices
+// (System.SignalIndex); the string-keyed methods resolve the index at
+// the edge and the index-based methods are the allocation-free fast path
+// used by the runtime layer.
 type Bus struct {
 	sys     *System
-	values  map[SignalID]Word // raw (masked) representations
+	values  []Word // raw (masked) representations, dense signal index
 	reads   []ReadHook
 	writes  []WriteHook
 	filters []WriteFilter
@@ -37,7 +42,7 @@ type Bus struct {
 func NewBus(sys *System) *Bus {
 	b := &Bus{
 		sys:    sys,
-		values: make(map[SignalID]Word, len(sys.sigOrder)),
+		values: make([]Word, sys.NumSignals()),
 	}
 	b.Reset()
 	return b
@@ -49,8 +54,8 @@ func (b *Bus) System() *System { return b.sys }
 // Reset restores every signal to its declared initial value and keeps
 // installed hooks.
 func (b *Bus) Reset() {
-	for _, sig := range b.sys.Signals() {
-		b.values[sig.ID] = sig.Type.ToRaw(sig.Initial)
+	for i, sig := range b.sys.sigList {
+		b.values[i] = sig.Type.ToRaw(sig.Initial)
 	}
 }
 
@@ -66,60 +71,70 @@ func (b *Bus) OnWrite(h WriteHook) { b.writes = append(b.writes, h) }
 // observe the final stored value.
 func (b *Bus) OnWriteFilter(f WriteFilter) { b.filters = append(b.filters, f) }
 
-// ClearHooks removes all read hooks, write hooks and write filters.
+// ClearHooks removes all read hooks, write hooks and write filters. The
+// backing arrays are kept so re-installing hooks after a reset does not
+// allocate.
 func (b *Bus) ClearHooks() {
-	b.reads = nil
-	b.writes = nil
-	b.filters = nil
+	b.reads = b.reads[:0]
+	b.writes = b.writes[:0]
+	b.filters = b.filters[:0]
+}
+
+// index resolves a signal to its dense index, panicking on unknown IDs.
+func (b *Bus) index(op string, id SignalID) int {
+	i, ok := b.sys.sigIdx[id]
+	if !ok {
+		panic(fmt.Sprintf("model: %s of unknown signal %q", op, id))
+	}
+	return i
 }
 
 // Peek returns the interpreted value of a signal without triggering read
 // hooks. Monitors (EAs, trace recorders, failure classifiers) use Peek so
 // that observing a signal can never perturb an experiment.
 func (b *Bus) Peek(id SignalID) Word {
-	sig, ok := b.sys.Signal(id)
-	if !ok {
-		panic(fmt.Sprintf("model: Peek of unknown signal %q", id))
-	}
-	return sig.Type.FromRaw(b.values[id])
+	return b.PeekIdx(b.index("Peek", id))
+}
+
+// PeekIdx is Peek by dense signal index (System.SignalIndex).
+func (b *Bus) PeekIdx(i int) Word {
+	return b.sys.sigList[i].Type.FromRaw(b.values[i])
 }
 
 // PeekRaw returns the stored bit pattern of a signal without hooks.
 func (b *Bus) PeekRaw(id SignalID) Word {
-	if _, ok := b.sys.Signal(id); !ok {
-		panic(fmt.Sprintf("model: PeekRaw of unknown signal %q", id))
-	}
-	return b.values[id]
+	return b.values[b.index("PeekRaw", id)]
 }
 
 // Poke overwrites the stored value of a signal (interpreted domain)
 // without triggering write hooks. The environment simulation uses Poke to
 // drive system inputs; permanent-fault injectors use it to corrupt state.
 func (b *Bus) Poke(id SignalID, v Word) {
-	sig, ok := b.sys.Signal(id)
-	if !ok {
-		panic(fmt.Sprintf("model: Poke of unknown signal %q", id))
-	}
-	b.values[id] = sig.Type.ToRaw(v)
+	b.PokeIdx(b.index("Poke", id), v)
+}
+
+// PokeIdx is Poke by dense signal index.
+func (b *Bus) PokeIdx(i int, v Word) {
+	b.values[i] = b.sys.sigList[i].Type.ToRaw(v)
 }
 
 // PokeRaw overwrites the stored bit pattern without hooks, masking to the
 // signal width.
 func (b *Bus) PokeRaw(id SignalID, raw Word) {
-	sig, ok := b.sys.Signal(id)
-	if !ok {
-		panic(fmt.Sprintf("model: PokeRaw of unknown signal %q", id))
-	}
-	b.values[id] = raw & sig.Type.Mask()
+	i := b.index("PokeRaw", id)
+	b.values[i] = raw & b.sys.sigList[i].Type.Mask()
 }
 
 // read performs a hooked port read, returning the interpreted value.
 func (b *Bus) read(port PortRef, id SignalID) Word {
-	sig, ok := b.sys.Signal(id)
-	if !ok {
-		panic(fmt.Sprintf("model: read of unknown signal %q", id))
-	}
-	raw := b.values[id]
+	i := b.index("read", id)
+	return b.readIdx(port, id, i, b.sys.sigList[i])
+}
+
+// readIdx is the fast path of read: the caller has already resolved the
+// signal's dense index and descriptor (ModuleDecl caches both per port).
+func (b *Bus) readIdx(port PortRef, id SignalID, i int, sig *Signal) Word {
+	raw := b.values[i]
 	for _, h := range b.reads {
 		raw = h(port, id, raw) & sig.Type.Mask()
 	}
@@ -128,11 +143,13 @@ func (b *Bus) read(port PortRef, id SignalID) Word {
 
 // write performs a filtered, hooked port write of an interpreted value.
 func (b *Bus) write(port PortRef, id SignalID, v Word) {
-	sig, ok := b.sys.Signal(id)
-	if !ok {
-		panic(fmt.Sprintf("model: write of unknown signal %q", id))
-	}
-	oldRaw := b.values[id]
+	i := b.index("write", id)
+	b.writeIdx(port, id, i, b.sys.sigList[i], v)
+}
+
+// writeIdx is the fast path of write, mirroring readIdx.
+func (b *Bus) writeIdx(port PortRef, id SignalID, i int, sig *Signal, v Word) {
+	oldRaw := b.values[i]
 	if len(b.filters) > 0 {
 		old := sig.Type.FromRaw(oldRaw)
 		for _, f := range b.filters {
@@ -140,7 +157,7 @@ func (b *Bus) write(port PortRef, id SignalID, v Word) {
 		}
 	}
 	newRaw := sig.Type.ToRaw(v)
-	b.values[id] = newRaw
+	b.values[i] = newRaw
 	for _, h := range b.writes {
 		h(port, id, oldRaw, newRaw)
 	}
@@ -149,8 +166,21 @@ func (b *Bus) write(port PortRef, id SignalID, v Word) {
 // Snapshot copies the raw value of every signal, keyed by signal ID.
 func (b *Bus) Snapshot() map[SignalID]Word {
 	out := make(map[SignalID]Word, len(b.values))
-	for k, v := range b.values {
-		out[k] = v
+	for i, id := range b.sys.sigOrder {
+		out[id] = b.values[i]
 	}
 	return out
+}
+
+// SnapshotInto copies the raw value of every signal into dst, ordered by
+// dense signal index, and returns the filled slice. It reuses dst's
+// backing array when the capacity suffices, so recording paths can
+// snapshot every period without allocating.
+func (b *Bus) SnapshotInto(dst []Word) []Word {
+	if cap(dst) < len(b.values) {
+		dst = make([]Word, len(b.values))
+	}
+	dst = dst[:len(b.values)]
+	copy(dst, b.values)
+	return dst
 }

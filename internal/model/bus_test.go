@@ -199,6 +199,41 @@ func TestSnapshotIsACopy(t *testing.T) {
 	}
 }
 
+func TestSnapshotInto(t *testing.T) {
+	sys := tinySystem(t)
+	bus := NewBus(sys)
+	bus.Poke("mid", 77)
+
+	snap := bus.SnapshotInto(nil)
+	if len(snap) != sys.NumSignals() {
+		t.Fatalf("SnapshotInto returned %d values, want %d", len(snap), sys.NumSignals())
+	}
+	i, ok := sys.SignalIndex("mid")
+	if !ok {
+		t.Fatal("mid has no dense index")
+	}
+	if snap[i] != 77 {
+		t.Errorf("snap[%d] = %d, want 77", i, snap[i])
+	}
+
+	// A big-enough buffer is reused in place, without reallocating.
+	big := make([]Word, 0, sys.NumSignals()+4)
+	bus.Poke("mid", 88)
+	reused := bus.SnapshotInto(big)
+	if &reused[0] != &big[:1][0] {
+		t.Error("SnapshotInto reallocated despite sufficient capacity")
+	}
+	if reused[i] != 88 {
+		t.Errorf("reused[%d] = %d, want 88", i, reused[i])
+	}
+
+	// Mutating the snapshot must not reach the bus.
+	reused[i] = 0
+	if got := bus.Peek("mid"); got != 88 {
+		t.Errorf("mutating snapshot changed bus value to %d", got)
+	}
+}
+
 // Property: Poke then Peek round-trips any value through the declared
 // width for unsigned signals.
 func TestQuickBusPokePeekRoundTrip(t *testing.T) {

@@ -18,14 +18,23 @@ func NewExec(bus *Bus, decl *ModuleDecl, nowMs int64) *Exec {
 	return &Exec{bus: bus, decl: decl, now: nowMs}
 }
 
+// Bind re-targets the context at another module invocation. The
+// scheduler allocates one Exec and rebinds it every step, keeping the
+// inner loop allocation-free.
+func (e *Exec) Bind(decl *ModuleDecl, nowMs int64) {
+	e.decl = decl
+	e.now = nowMs
+}
+
 // In reads the module's input port index (1-based) through the bus read
 // hooks (where transient fault injection attaches).
 func (e *Exec) In(index int) Word {
-	sid, ok := e.decl.InputSignal(index)
-	if !ok {
-		panic(fmt.Sprintf("model: module %s has no input port %d", e.decl.ID, index))
+	d := e.decl
+	if index < 1 || index > len(d.Inputs) {
+		panic(fmt.Sprintf("model: module %s has no input port %d", d.ID, index))
 	}
-	return e.bus.read(PortRef{Module: e.decl.ID, Dir: DirIn, Index: index}, sid)
+	return e.bus.readIdx(PortRef{Module: d.ID, Dir: DirIn, Index: index},
+		d.Inputs[index-1].Signal, d.inIdx[index-1], d.inSigs[index-1])
 }
 
 // InBool reads an input port as a boolean.
@@ -34,11 +43,12 @@ func (e *Exec) InBool(index int) bool { return e.In(index) != 0 }
 // Out writes the module's output port index (1-based) through the bus
 // write hooks (where the trace recorder attaches).
 func (e *Exec) Out(index int, v Word) {
-	sid, ok := e.decl.OutputSignal(index)
-	if !ok {
-		panic(fmt.Sprintf("model: module %s has no output port %d", e.decl.ID, index))
+	d := e.decl
+	if index < 1 || index > len(d.Outputs) {
+		panic(fmt.Sprintf("model: module %s has no output port %d", d.ID, index))
 	}
-	e.bus.write(PortRef{Module: e.decl.ID, Dir: DirOut, Index: index}, sid, v)
+	e.bus.writeIdx(PortRef{Module: d.ID, Dir: DirOut, Index: index},
+		d.Outputs[index-1].Signal, d.outIdx[index-1], d.outSigs[index-1], v)
 }
 
 // OutBool writes a boolean output port.

@@ -23,6 +23,13 @@ type ModuleDecl struct {
 	Outputs []PortBinding
 	// Doc is an optional human-readable description.
 	Doc string
+
+	// Dense resolution of the port bindings, filled by System.finalize:
+	// position p of these slices corresponds to port index p+1.
+	inIdx   []int
+	inSigs  []*Signal
+	outIdx  []int
+	outSigs []*Signal
 }
 
 // InputSignal returns the signal bound to input port index (1-based).
@@ -54,6 +61,11 @@ type Edge struct {
 
 // System is the static description of a modular software system: the
 // wiring graph over which error propagation is analyzed.
+//
+// At build time every signal is interned to a dense index (its position
+// in declaration order). The runtime layer (Bus, Exec, trace recorders)
+// uses these indices for slice-based access, keeping the string-keyed
+// SignalID API at the edges.
 type System struct {
 	name      string
 	modules   map[ModuleID]*ModuleDecl
@@ -62,7 +74,53 @@ type System struct {
 	sigOrder  []SignalID
 	producers map[SignalID]PortRef   // signal -> producing output port
 	consumers map[SignalID][]PortRef // signal -> consuming input ports
+
+	sigIdx  map[SignalID]int // signal -> dense index (declaration order)
+	sigList []*Signal        // dense index -> signal
 }
+
+// finalize interns signals to dense indices and pre-resolves every
+// module port binding to its signal's index. Called once from
+// Builder.Build after validation; the System is immutable afterwards.
+func (s *System) finalize() {
+	s.sigIdx = make(map[SignalID]int, len(s.sigOrder))
+	s.sigList = make([]*Signal, len(s.sigOrder))
+	for i, id := range s.sigOrder {
+		s.sigIdx[id] = i
+		s.sigList[i] = s.signals[id]
+	}
+	for _, mid := range s.modOrder {
+		m := s.modules[mid]
+		m.inIdx = make([]int, len(m.Inputs))
+		m.inSigs = make([]*Signal, len(m.Inputs))
+		for i, pb := range m.Inputs {
+			m.inIdx[i] = s.sigIdx[pb.Signal]
+			m.inSigs[i] = s.signals[pb.Signal]
+		}
+		m.outIdx = make([]int, len(m.Outputs))
+		m.outSigs = make([]*Signal, len(m.Outputs))
+		for k, pb := range m.Outputs {
+			m.outIdx[k] = s.sigIdx[pb.Signal]
+			m.outSigs[k] = s.signals[pb.Signal]
+		}
+	}
+}
+
+// NumSignals returns the number of declared signals (and the length of
+// the dense index space).
+func (s *System) NumSignals() int { return len(s.sigList) }
+
+// SignalIndex returns the dense index of a signal, assigned in
+// declaration order at build time.
+func (s *System) SignalIndex(id SignalID) (int, bool) {
+	i, ok := s.sigIdx[id]
+	return i, ok
+}
+
+// SignalAt returns the signal at a dense index. It panics on
+// out-of-range indices — indices come from SignalIndex, so a bad one is
+// a harness bug.
+func (s *System) SignalAt(i int) *Signal { return s.sigList[i] }
 
 // Name returns the system name.
 func (s *System) Name() string { return s.name }

@@ -152,6 +152,20 @@ func New(p Params) *Plant {
 // Params returns the plant configuration.
 func (pl *Plant) Params() Params { return pl.p }
 
+// Reset re-initializes the plant for a new scenario, reusing the
+// allocated noise generator. A reset plant is indistinguishable from
+// New(p): the generator is reseeded, so the noise sequence replays
+// exactly — the precondition for golden-run comparison across pooled
+// rigs.
+func (pl *Plant) Reset(p Params) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	rng := pl.rng
+	*pl = Plant{p: p, rng: rng, v: p.EngageVelocityMps}
+	pl.rng.Seed(p.Seed)
+}
+
 // SetValveDuty applies the actuator command from the TOC2 register
 // (0..255, clamped).
 func (pl *Plant) SetValveDuty(duty8 model.Word) {

@@ -69,6 +69,16 @@ func (t Table) Validate(sys *model.System) error {
 // trace bookkeeping, fault-injection ticks).
 type Hook func(nowMs int64)
 
+// entry is a pre-resolved dispatch slot: the registered behaviour, its
+// declaration, and a pointer to its invocation counter. Resolving these
+// once (on first RunSlot) removes the per-step map lookups from the
+// simulation inner loop.
+type entry struct {
+	run     model.Runnable
+	decl    *model.ModuleDecl
+	invoked *int64
+}
+
 // Scheduler executes a system according to a Table. Create with New; the
 // zero value is not usable.
 type Scheduler struct {
@@ -79,7 +89,16 @@ type Scheduler struct {
 	slot    int
 	pre     []Hook
 	post    []Hook
-	invoked map[model.ModuleID]int64 // invocation counts, for accounting
+	invoked map[model.ModuleID]*int64 // invocation counts, for accounting
+
+	// Compiled dispatch state, built lazily on the first RunSlot after
+	// registration (registering a module invalidates it).
+	compiled  bool
+	every     []entry
+	slots     [][]entry
+	selIdx    int // dense index of the selector signal, -1 when unset
+	exec      *model.Exec
+	selModulo model.Word
 }
 
 // New creates a scheduler over the bus with the given table. All modules
@@ -92,7 +111,8 @@ func New(bus *model.Bus, table Table) (*Scheduler, error) {
 		table:   table,
 		bus:     bus,
 		mods:    make(map[model.ModuleID]model.Runnable),
-		invoked: make(map[model.ModuleID]int64),
+		invoked: make(map[model.ModuleID]*int64),
+		exec:    model.NewExec(bus, nil, 0),
 	}, nil
 }
 
@@ -106,6 +126,7 @@ func (s *Scheduler) Register(r model.Runnable) error {
 		return fmt.Errorf("sched: duplicate behaviour for module %q", id)
 	}
 	s.mods[id] = r
+	s.compiled = false
 	return nil
 }
 
@@ -115,11 +136,23 @@ func (s *Scheduler) OnPreSlot(h Hook) { s.pre = append(s.pre, h) }
 // OnPostSlot installs a monitor hook run after each slot.
 func (s *Scheduler) OnPostSlot(h Hook) { s.post = append(s.post, h) }
 
+// ResetHooks removes all pre- and post-slot hooks, keeping the backing
+// arrays so re-installation after a rig reset does not allocate.
+func (s *Scheduler) ResetHooks() {
+	s.pre = s.pre[:0]
+	s.post = s.post[:0]
+}
+
 // NowMs returns the elapsed scheduler time in milliseconds.
 func (s *Scheduler) NowMs() int64 { return s.nowMs }
 
 // Invocations returns how many times the module has been stepped.
-func (s *Scheduler) Invocations(id model.ModuleID) int64 { return s.invoked[id] }
+func (s *Scheduler) Invocations(id model.ModuleID) int64 {
+	if n := s.invoked[id]; n != nil {
+		return *n
+	}
+	return 0
+}
 
 // Reset rewinds time and resets every registered module and the bus.
 // Hooks stay installed.
@@ -130,31 +163,82 @@ func (s *Scheduler) Reset() {
 	for _, m := range s.mods {
 		m.Reset()
 	}
-	for k := range s.invoked {
-		delete(s.invoked, k)
+	for _, n := range s.invoked {
+		*n = 0
 	}
+}
+
+// compile resolves the table's module IDs to registered behaviours and
+// the selector signal to its dense index.
+func (s *Scheduler) compile() error {
+	resolve := func(id model.ModuleID) (entry, error) {
+		r, ok := s.mods[id]
+		if !ok {
+			return entry{}, fmt.Errorf("sched: module %q scheduled but not registered", id)
+		}
+		decl, _ := s.bus.System().Module(id)
+		n := s.invoked[id]
+		if n == nil {
+			n = new(int64)
+			s.invoked[id] = n
+		}
+		return entry{run: r, decl: decl, invoked: n}, nil
+	}
+	s.every = s.every[:0]
+	for _, id := range s.table.Every {
+		e, err := resolve(id)
+		if err != nil {
+			return err
+		}
+		s.every = append(s.every, e)
+	}
+	s.slots = s.slots[:0]
+	for _, slot := range s.table.Slots {
+		var es []entry
+		for _, id := range slot {
+			e, err := resolve(id)
+			if err != nil {
+				return err
+			}
+			es = append(es, e)
+		}
+		s.slots = append(s.slots, es)
+	}
+	s.selIdx = -1
+	if s.table.Selector != "" {
+		i, ok := s.bus.System().SignalIndex(s.table.Selector)
+		if !ok {
+			return fmt.Errorf("sched: selector signal %q not in system", s.table.Selector)
+		}
+		s.selIdx = i
+	}
+	s.selModulo = model.Word(len(s.table.Slots))
+	s.compiled = true
+	return nil
 }
 
 // RunSlot executes exactly one slot: pre hooks, always-modules, the
 // current slot's modules, post hooks; then advances time by SlotMs.
 func (s *Scheduler) RunSlot() error {
+	if !s.compiled {
+		if err := s.compile(); err != nil {
+			return err
+		}
+	}
 	for _, h := range s.pre {
 		h(s.nowMs)
 	}
-	for _, id := range s.table.Every {
-		if err := s.step(id); err != nil {
-			return err
-		}
+	for i := range s.every {
+		s.step(&s.every[i])
 	}
 	idx := s.slot
-	if s.table.Selector != "" {
-		n := model.Word(len(s.table.Slots))
-		idx = int(((s.bus.Peek(s.table.Selector) % n) + n) % n)
+	if s.selIdx >= 0 {
+		n := s.selModulo
+		idx = int(((s.bus.PeekIdx(s.selIdx) % n) + n) % n)
 	}
-	for _, id := range s.table.Slots[idx] {
-		if err := s.step(id); err != nil {
-			return err
-		}
+	slot := s.slots[idx]
+	for i := range slot {
+		s.step(&slot[i])
 	}
 	for _, h := range s.post {
 		h(s.nowMs)
@@ -164,15 +248,10 @@ func (s *Scheduler) RunSlot() error {
 	return nil
 }
 
-func (s *Scheduler) step(id model.ModuleID) error {
-	r, ok := s.mods[id]
-	if !ok {
-		return fmt.Errorf("sched: module %q scheduled but not registered", id)
-	}
-	decl, _ := s.bus.System().Module(id)
-	r.Step(model.NewExec(s.bus, decl, s.nowMs))
-	s.invoked[id]++
-	return nil
+func (s *Scheduler) step(e *entry) {
+	s.exec.Bind(e.decl, s.nowMs)
+	e.run.Step(s.exec)
+	*e.invoked++
 }
 
 // RunFor runs slots until durationMs of scheduler time has elapsed.

@@ -40,6 +40,11 @@ func (c Config) Validate() error {
 
 // Rig is an assembled arrestment target: the static description, the
 // shared-memory bus, the memory map, the plant and the scheduler.
+//
+// Rigs are reusable: Reset re-arms an existing rig for a new scenario,
+// and AcquireRig/ReleaseRig pool rigs so an injection campaign does not
+// rebuild the six-module system per run. The Sys field is the
+// process-shared immutable description (SharedSystem).
 type Rig struct {
 	Cfg   Config
 	Sys   *model.System
@@ -47,6 +52,14 @@ type Rig struct {
 	Mem   *memmap.Map
 	Plant *physics.Plant
 	Sched *sched.Scheduler
+
+	// Configurable module behaviours, kept for Reset.
+	dist *distS
+	calc *calc
+
+	// Environment hooks, created once and re-installed on Reset. Cached
+	// dense indices make the per-slot sensor refresh map-free.
+	envPre, envPost sched.Hook
 }
 
 // NewRig assembles an arrestment rig for one scenario.
@@ -54,7 +67,7 @@ func NewRig(cfg Config) (*Rig, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	sys := NewSystem()
+	sys := SharedSystem()
 	bus := model.NewBus(sys)
 	mem := &memmap.Map{}
 	plant := physics.New(physics.DefaultParams(cfg.MassKg, cfg.EngageVelocityMps, cfg.Seed))
@@ -78,11 +91,18 @@ func NewRig(cfg Config) (*Rig, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Memory cell IDs are assigned in allocation order, and the internal
+	// error model samples cells by ID — keep the module construction
+	// sequence fixed.
+	clk := newClock(mem)
+	dist := newDistS(mem, cfg.HardenedDistS)
+	prs := newPresS(mem)
+	cal := newCalc(mem, model.Word(cfg.MassKg))
 	mods := []model.Runnable{
-		newClock(mem),
-		newDistS(mem, cfg.HardenedDistS),
-		newPresS(mem),
-		newCalc(mem, model.Word(cfg.MassKg)),
+		clk,
+		dist,
+		prs,
+		cal,
 		newVReg(mem),
 		newPresA(mem),
 	}
@@ -92,18 +112,49 @@ func NewRig(cfg Config) (*Rig, error) {
 		}
 	}
 
-	r := &Rig{Cfg: cfg, Sys: sys, Bus: bus, Mem: mem, Plant: plant, Sched: s}
-	s.OnPreSlot(func(nowMs int64) {
+	r := &Rig{Cfg: cfg, Sys: sys, Bus: bus, Mem: mem, Plant: plant, Sched: s, dist: dist, calc: cal}
+	idx := func(id model.SignalID) int {
+		i, _ := sys.SignalIndex(id)
+		return i
+	}
+	iPACNT, iTIC1, iTCNT, iADC, iTOC2 := idx(SigPACNT), idx(SigTIC1), idx(SigTCNT), idx(SigADC), idx(SigTOC2)
+	r.envPre = func(nowMs int64) {
 		r.Plant.StepMs(1)
-		bus.Poke(SigPACNT, r.Plant.PACNT())
-		bus.Poke(SigTIC1, r.Plant.TIC1())
-		bus.Poke(SigTCNT, r.Plant.TCNT())
-		bus.Poke(SigADC, r.Plant.ADC())
-	})
-	s.OnPostSlot(func(nowMs int64) {
-		r.Plant.SetValveDuty(bus.Peek(SigTOC2))
-	})
+		bus.PokeIdx(iPACNT, r.Plant.PACNT())
+		bus.PokeIdx(iTIC1, r.Plant.TIC1())
+		bus.PokeIdx(iTCNT, r.Plant.TCNT())
+		bus.PokeIdx(iADC, r.Plant.ADC())
+	}
+	r.envPost = func(nowMs int64) {
+		r.Plant.SetValveDuty(bus.PeekIdx(iTOC2))
+	}
+	s.OnPreSlot(r.envPre)
+	s.OnPostSlot(r.envPost)
 	return r, nil
+}
+
+// Reset re-arms the rig for a new scenario, as if freshly constructed by
+// NewRig(cfg): bus signals, memory cells, module state, scheduler time
+// and the plant all return to power-on values; every experiment-attached
+// hook (injectors, recorders, assertion banks) is removed and the rig's
+// own environment hooks are re-installed. Determinism invariant: a reset
+// rig and a new rig produce bit-identical runs for the same cfg.
+func (r *Rig) Reset(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	r.Cfg = cfg
+	r.Bus.ClearHooks()
+	r.Mem.ClearHooks()
+	r.Sched.ResetHooks()
+	r.Sched.Reset() // rewinds time, resets bus values and module state
+	r.Mem.Reset()
+	r.Plant.Reset(physics.DefaultParams(cfg.MassKg, cfg.EngageVelocityMps, cfg.Seed))
+	r.dist.setHardened(cfg.HardenedDistS)
+	r.calc.setMass(model.Word(cfg.MassKg))
+	r.Sched.OnPreSlot(r.envPre)
+	r.Sched.OnPostSlot(r.envPost)
+	return nil
 }
 
 // RunFor runs the rig for durationMs of scheduler time.

@@ -14,6 +14,8 @@
 package target
 
 import (
+	"sync"
+
 	"repro/internal/memmap"
 	"repro/internal/model"
 )
@@ -107,6 +109,21 @@ func NewSystem() *model.System {
 		AddModule(ModVReg, model.In(SigSetValue, SigIsValue), model.Out(SigOutValue)).
 		AddModule(ModPresA, model.In(SigOutValue), model.Out(SigTOC2)).
 		MustBuild()
+}
+
+var (
+	sharedSysOnce sync.Once
+	sharedSys     *model.System
+)
+
+// SharedSystem returns the process-wide arrestment system description.
+// The description is configuration-independent and immutable after
+// build, so every rig and every campaign plan can share one instance
+// instead of rebuilding the wiring graph ~39 000 times per full-size
+// campaign. Concurrent use is safe: all System methods are read-only.
+func SharedSystem() *model.System {
+	sharedSysOnce.Do(func() { sharedSys = NewSystem() })
+	return sharedSys
 }
 
 // AllSignals returns every signal in declaration order.
@@ -208,6 +225,9 @@ func newDistS(mem *memmap.Map, hardened bool) *distS {
 
 func (d *distS) ModuleID() model.ModuleID { return ModDistS }
 func (d *distS) Reset()                   {}
+
+// setHardened reconfigures the plausibility check for a reused rig.
+func (d *distS) setHardened(on bool) { d.hardened = on }
 
 func (d *distS) Step(e *model.Exec) {
 	cnt := e.In(1)
@@ -319,6 +339,9 @@ func newCalc(mem *memmap.Map, massKg model.Word) *calc {
 
 func (c *calc) ModuleID() model.ModuleID { return ModCalc }
 func (c *calc) Reset()                   {}
+
+// setMass reconfigures the operator-dialled mass for a reused rig.
+func (c *calc) setMass(m model.Word) { c.massKg = m }
 
 func (c *calc) Step(e *model.Exec) {
 	i := e.In(1)

@@ -58,6 +58,30 @@ func (t *Trace) Append(get func(model.SignalID) model.Word) {
 	t.n++
 }
 
+// reset truncates every column to zero length, keeping capacity, so a
+// pooled trace can be refilled without reallocating its ~horizon-sized
+// sample rows.
+func (t *Trace) reset() {
+	for i := range t.cols {
+		t.cols[i] = t.cols[i][:0]
+	}
+	t.n = 0
+}
+
+// sameSignals reports whether the trace records exactly these signals in
+// this column order.
+func (t *Trace) sameSignals(signals []model.SignalID) bool {
+	if len(t.signals) != len(signals) {
+		return false
+	}
+	for i, s := range signals {
+		if t.signals[i] != s {
+			return false
+		}
+	}
+	return true
+}
+
 // Value returns sample idx of a signal. It panics on unknown signals or
 // out-of-range indices — both are harness bugs, not data conditions.
 func (t *Trace) Value(sig model.SignalID, idx int) model.Word {
@@ -125,10 +149,17 @@ func Deviations(golden, injected *Trace) map[model.SignalID]int {
 
 // Recorder samples a bus into a Trace at a fixed period. Attach Hook as a
 // scheduler post-slot hook.
+//
+// The recorder resolves its signals to dense bus indices once, so each
+// sample is a slice walk with no map lookups, and it can be re-targeted
+// at another run with ResetFor, reusing its column storage — injection
+// campaigns pool recorders instead of reallocating ~30 000 trace rows
+// per run.
 type Recorder struct {
 	bus      *model.Bus
 	trace    *Trace
 	periodMs int64
+	idxs     []int // dense bus index per trace column
 }
 
 // NewRecorder records the given signals from the bus every periodMs of
@@ -138,19 +169,57 @@ func NewRecorder(bus *model.Bus, signals []model.SignalID, periodMs, horizonMs i
 		panic("trace: periodMs must be positive")
 	}
 	hint := int(horizonMs/periodMs) + 1
-	return &Recorder{
+	r := &Recorder{
 		bus:      bus,
 		trace:    NewTrace(signals, hint),
 		periodMs: periodMs,
 	}
+	r.resolve(signals)
+	return r
+}
+
+// resolve caches the dense bus index of every traced signal.
+func (r *Recorder) resolve(signals []model.SignalID) {
+	r.idxs = r.idxs[:0]
+	sys := r.bus.System()
+	for _, s := range signals {
+		i, ok := sys.SignalIndex(s)
+		if !ok {
+			panic(fmt.Sprintf("trace: unknown signal %q", s))
+		}
+		r.idxs = append(r.idxs, i)
+	}
+}
+
+// ResetFor re-targets the recorder at another run: the trace is
+// truncated (column capacity retained when the signal set is unchanged)
+// and the recorder rebound to the given bus. The previously recorded
+// trace must no longer be referenced by the caller.
+func (r *Recorder) ResetFor(bus *model.Bus, signals []model.SignalID, periodMs, horizonMs int64) {
+	if periodMs <= 0 {
+		panic("trace: periodMs must be positive")
+	}
+	r.periodMs = periodMs
+	if r.trace.sameSignals(signals) {
+		r.trace.reset()
+	} else {
+		r.trace = NewTrace(signals, int(horizonMs/periodMs)+1)
+	}
+	r.bus = bus
+	r.resolve(signals)
 }
 
 // Hook is the scheduler hook: it samples whenever nowMs falls on the
 // recording period.
 func (r *Recorder) Hook(nowMs int64) {
-	if nowMs%r.periodMs == 0 {
-		r.trace.Append(r.bus.Peek)
+	if nowMs%r.periodMs != 0 {
+		return
 	}
+	t := r.trace
+	for i, idx := range r.idxs {
+		t.cols[i] = append(t.cols[i], r.bus.PeekIdx(idx))
+	}
+	t.n++
 }
 
 // Trace returns the recorded trace.
