@@ -8,6 +8,7 @@ package repro
 // reproduction record.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -39,7 +40,7 @@ func benchOpts() experiment.Options {
 func BenchmarkTable1PermeabilityEstimation(b *testing.B) {
 	opts := benchOpts()
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.EstimatePermeability(opts, 30)
+		res, err := experiment.EstimatePermeability(context.Background(), opts, 30)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -103,7 +104,7 @@ func BenchmarkTable3ResourceRequirements(b *testing.B) {
 func BenchmarkTable4InputErrorCoverage(b *testing.B) {
 	opts := benchOpts()
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.InputCoverage(opts, 45, nil)
+		res, err := experiment.InputCoverage(context.Background(), opts, 45, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -119,7 +120,7 @@ func BenchmarkTable4InputErrorCoverage(b *testing.B) {
 func BenchmarkFigure3InternalErrorCoverage(b *testing.B) {
 	opts := benchOpts()
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.InternalCoverage(opts, 40, 20)
+		res, err := experiment.InternalCoverage(context.Background(), opts, 40, 20)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -245,7 +246,7 @@ func BenchmarkAblationEATightness(b *testing.B) {
 	opts := benchOpts()
 	steps := []model.Word{4, 16, 64}
 	for i := 0; i < b.N; i++ {
-		points, err := experiment.EATightnessStudy(opts, 24, steps)
+		points, err := experiment.EATightnessStudy(context.Background(), opts, 24, steps)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -343,7 +344,7 @@ func BenchmarkArrestmentRun(b *testing.B) {
 func BenchmarkExtensionModelSensitivity(b *testing.B) {
 	opts := benchOpts()
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.ErrorModelSensitivity(opts, 15)
+		res, err := experiment.ErrorModelSensitivity(context.Background(), opts, 15)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -359,7 +360,7 @@ func BenchmarkExtensionModelSensitivity(b *testing.B) {
 func BenchmarkExtensionRecoveryStudy(b *testing.B) {
 	opts := benchOpts()
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RecoveryStudy(opts, 20, 10, nil)
+		res, err := experiment.RecoveryStudy(context.Background(), opts, 20, 10, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -423,7 +424,7 @@ func BenchmarkGeneralityTankTarget(b *testing.B) {
 func BenchmarkExtensionEAIntegration(b *testing.B) {
 	opts := benchOpts()
 	for i := 0; i < b.N; i++ {
-		pt, err := experiment.EAIntegrationStudy(opts, 45)
+		pt, err := experiment.EAIntegrationStudy(context.Background(), opts, 45)
 		if err != nil {
 			b.Fatal(err)
 		}

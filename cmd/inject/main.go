@@ -21,11 +21,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"time"
+	"os/signal"
+	"syscall"
 
+	"repro/internal/campaign"
 	"repro/internal/experiment"
 	"repro/internal/model"
 	"repro/internal/report"
@@ -40,31 +43,34 @@ func main() {
 }
 
 func run() error {
-	campaign := flag.String("campaign", "input",
+	camp := flag.String("campaign", "input",
 		"campaign: input, internal, models, recovery, tightness or integration")
 	perSignal := flag.Int("per-signal", 2000, "injections per system input (input campaign)")
 	ram := flag.Int("ram", 150, "RAM locations (internal campaign)")
 	stack := flag.Int("stack", 50, "stack locations (internal campaign)")
 	seed := flag.Int64("seed", 1, "campaign seed")
 	workers := flag.Int("workers", 8, "campaign parallelism")
+	shards := flag.Int("shards", 0, "plan shards (0 = default)")
 	benchOut := flag.String("bench-out", "BENCH_campaigns.json",
 		"campaign timing report path (empty disables)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opts := experiment.DefaultOptions(*seed)
 	opts.Workers = *workers
+	opts.Shards = *shards
+	opts.Timings = campaign.NewCollector()
 
-	start := time.Now()
-	runs := 0
-	switch *campaign {
+	switch *camp {
 	case "input":
 		fmt.Fprintf(os.Stderr, "input-model campaign: %d injections per signal over %d cases...\n",
 			*perSignal, len(opts.Cases))
-		res, err := experiment.InputCoverage(opts, *perSignal, nil)
+		res, err := experiment.InputCoverage(ctx, opts, *perSignal, nil)
 		if err != nil {
 			return err
 		}
-		runs = res.All.Injected
 		fmt.Println(report.Table4(res, target.EHSet()))
 		for _, row := range res.Rows {
 			if row.Signal == target.SigPACNT {
@@ -78,54 +84,46 @@ func run() error {
 			res.All.SetLatenciesMs))
 	case "models":
 		fmt.Fprintf(os.Stderr, "error-model sensitivity: %d injections per model...\n", *perSignal)
-		res, err := experiment.ErrorModelSensitivity(opts, *perSignal)
+		res, err := experiment.ErrorModelSensitivity(ctx, opts, *perSignal)
 		if err != nil {
 			return err
 		}
-		runs = res.TotalRuns
 		fmt.Println(report.ModelSensitivity(res))
 	case "recovery":
 		fmt.Fprintf(os.Stderr, "recovery study: %d RAM + %d stack locations x %d cases x 3 arms...\n",
 			*ram, *stack, len(opts.Cases))
-		res, err := experiment.RecoveryStudy(opts, *ram, *stack, nil)
+		res, err := experiment.RecoveryStudy(ctx, opts, *ram, *stack, nil)
 		if err != nil {
 			return err
 		}
-		runs = res.Total.Baseline.Runs + res.Total.Wrapped.Runs + res.Total.Hardened.Runs
 		fmt.Println(report.RecoveryTable(res))
 	case "tightness":
 		steps := []model.Word{2, 4, 8, 16, 32, 64}
 		fmt.Fprintf(os.Stderr, "EA tightness sweep: %d injections per setting...\n", *perSignal)
-		res, err := experiment.EATightnessStudy(opts, *perSignal, steps)
+		res, err := experiment.EATightnessStudy(ctx, opts, *perSignal, steps)
 		if err != nil {
 			return err
-		}
-		for _, pt := range res {
-			runs += pt.GoldenRuns + pt.InjectedRuns
 		}
 		fmt.Println(report.TightnessTable(res))
 	case "integration":
 		fmt.Fprintf(os.Stderr, "EA integration-mode study: %d injections...\n", *perSignal)
-		res, err := experiment.EAIntegrationStudy(opts, *perSignal)
+		res, err := experiment.EAIntegrationStudy(ctx, opts, *perSignal)
 		if err != nil {
 			return err
 		}
-		runs = res.GoldenRuns + res.InjectedRuns
 		fmt.Println(report.IntegrationTable(res))
 	case "internal":
 		fmt.Fprintf(os.Stderr, "internal-model campaign: %d RAM + %d stack locations x %d cases...\n",
 			*ram, *stack, len(opts.Cases))
-		res, err := experiment.InternalCoverage(opts, *ram, *stack)
+		res, err := experiment.InternalCoverage(ctx, opts, *ram, *stack)
 		if err != nil {
 			return err
 		}
-		runs = res.Total.Runs
 		fmt.Println(report.Figure3(res))
 	default:
-		return fmt.Errorf("unknown -campaign %q", *campaign)
+		return fmt.Errorf("unknown -campaign %q", *camp)
 	}
-	timing := experiment.NewCampaignTiming(*campaign, runs, time.Since(start))
-	if err := experiment.WriteCampaignTimings(*benchOut, *seed, *workers, []experiment.CampaignTiming{timing}); err != nil {
+	if err := experiment.WriteCampaignTimings(*benchOut, *seed, *workers, opts.Timings); err != nil {
 		return err
 	}
 	if *benchOut != "" {

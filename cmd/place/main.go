@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -43,7 +44,7 @@ func run() error {
 		opts := experiment.DefaultOptions(*seed)
 		opts.Workers = *workers
 		fmt.Fprintln(os.Stderr, "measuring permeabilities...")
-		res, err := experiment.EstimatePermeability(opts, *perInput)
+		res, err := experiment.EstimatePermeability(context.Background(), opts, *perInput)
 		if err != nil {
 			return err
 		}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -66,7 +67,7 @@ func run() error {
 		opts.Workers = *workers
 		fmt.Fprintf(os.Stderr, "measuring permeabilities: %d injections per input over %d cases...\n",
 			*perInput, len(opts.Cases))
-		res, err := experiment.EstimatePermeability(opts, *perInput)
+		res, err := experiment.EstimatePermeability(context.Background(), opts, *perInput)
 		if err != nil {
 			return err
 		}

@@ -14,12 +14,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
-	"time"
+	"syscall"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/ea"
 	"repro/internal/experiment"
@@ -51,9 +54,13 @@ func run() error {
 	quick := flag.Bool("quick", false, "reduced campaign sizes for a fast pass")
 	seed := flag.Int64("seed", 1, "campaign seed")
 	workers := flag.Int("workers", 8, "campaign parallelism")
+	shards := flag.Int("shards", 0, "plan shards (0 = default)")
 	benchOut := flag.String("bench-out", "BENCH_campaigns.json",
 		"campaign timing report path (measured mode; empty disables)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	want := func(name string) bool {
 		if name == "extensions" {
@@ -75,7 +82,7 @@ func run() error {
 	}
 	if *mode == "measured" || *mode == "both" {
 		header("MEASURED MODE: end-to-end reproduction on the reimplemented target")
-		if err := measuredMode(want, sz, *seed, *workers, *benchOut); err != nil {
+		if err := measuredMode(ctx, want, sz, *seed, *workers, *shards, *benchOut); err != nil {
 			return err
 		}
 	}
@@ -163,19 +170,18 @@ func paperMode(want func(string) bool) error {
 	return analyticalArtifacts(want, paper.Table1())
 }
 
-func measuredMode(want func(string) bool, sz sizes, seed int64, workers int, benchOut string) error {
+func measuredMode(ctx context.Context, want func(string) bool, sz sizes, seed int64, workers, shards int, benchOut string) error {
 	opts := experiment.DefaultOptions(seed)
 	opts.Workers = workers
-	var timings []experiment.CampaignTiming
+	opts.Shards = shards
+	opts.Timings = campaign.NewCollector()
 
-	start := time.Now()
 	fmt.Fprintf(os.Stderr, "permeability campaign: %d per input x 13 inputs...\n", sz.perInput)
-	perm, err := experiment.EstimatePermeability(opts, sz.perInput)
+	perm, err := experiment.EstimatePermeability(ctx, opts, sz.perInput)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "  %d runs in %v\n", perm.TotalRuns, time.Since(start).Round(time.Millisecond))
-	timings = append(timings, experiment.NewCampaignTiming("permeability", perm.TotalRuns, time.Since(start)))
+	fmt.Fprintf(os.Stderr, "  %d runs\n", perm.TotalRuns)
 
 	if err := analyticalArtifacts(want, perm.Matrix); err != nil {
 		return err
@@ -185,27 +191,22 @@ func measuredMode(want func(string) bool, sz sizes, seed int64, workers int, ben
 	fmt.Println(report.PermeabilityComparison(paper.Table1(), perm.Matrix))
 
 	if want("table4") {
-		start = time.Now()
 		fmt.Fprintf(os.Stderr, "input-coverage campaign: %d per signal x 4 signals...\n", sz.perSignal)
-		cov, err := experiment.InputCoverage(opts, sz.perSignal, nil)
+		cov, err := experiment.InputCoverage(ctx, opts, sz.perSignal, nil)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "  done in %v\n", time.Since(start).Round(time.Millisecond))
-		timings = append(timings, experiment.NewCampaignTiming("input-coverage", cov.All.Injected, time.Since(start)))
 		section("Table 4")
 		fmt.Println(report.Table4(cov, target.EHSet()))
 	}
 	if want("figure3") {
-		start = time.Now()
 		fmt.Fprintf(os.Stderr, "internal-coverage campaign: %d RAM + %d stack locations x %d cases...\n",
 			sz.ram, sz.stack, len(opts.Cases))
-		internal, err := experiment.InternalCoverage(opts, sz.ram, sz.stack)
+		internal, err := experiment.InternalCoverage(ctx, opts, sz.ram, sz.stack)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "  %d runs in %v\n", internal.Total.Runs, time.Since(start).Round(time.Millisecond))
-		timings = append(timings, experiment.NewCampaignTiming("internal-coverage", internal.Total.Runs, time.Since(start)))
+		fmt.Fprintf(os.Stderr, "  %d runs\n", internal.Total.Runs)
 		section("Figure 3")
 		fmt.Println(report.Figure3(internal))
 		section("Detection latency (internal error model)")
@@ -213,25 +214,20 @@ func measuredMode(want func(string) bool, sz sizes, seed int64, workers int, ben
 	}
 	if want("extensions") {
 		fmt.Fprintln(os.Stderr, "extension campaigns: error-model sensitivity + recovery study...")
-		start = time.Now()
-		ms, err := experiment.ErrorModelSensitivity(opts, sz.perSignal/2)
+		ms, err := experiment.ErrorModelSensitivity(ctx, opts, sz.perSignal/2)
 		if err != nil {
 			return err
 		}
-		timings = append(timings, experiment.NewCampaignTiming("model-sensitivity", ms.TotalRuns, time.Since(start)))
 		section("Extension: error-model sensitivity")
 		fmt.Println(report.ModelSensitivity(ms))
-		start = time.Now()
-		rs, err := experiment.RecoveryStudy(opts, sz.ram/2, sz.stack/2, nil)
+		rs, err := experiment.RecoveryStudy(ctx, opts, sz.ram/2, sz.stack/2, nil)
 		if err != nil {
 			return err
 		}
-		recRuns := rs.Total.Baseline.Runs + rs.Total.Wrapped.Runs + rs.Total.Hardened.Runs
-		timings = append(timings, experiment.NewCampaignTiming("recovery", recRuns, time.Since(start)))
 		section("Extension: recovery study")
 		fmt.Println(report.RecoveryTable(rs))
 	}
-	if err := experiment.WriteCampaignTimings(benchOut, opts.Seed, opts.Workers, timings); err != nil {
+	if err := experiment.WriteCampaignTimings(benchOut, opts.Seed, opts.Workers, opts.Timings); err != nil {
 		return err
 	}
 	if benchOut != "" {

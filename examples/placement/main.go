@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -29,7 +30,7 @@ func main() {
 
 	// Step 1: estimate the permeability matrix (the paper's Table 1).
 	fmt.Printf("estimating permeabilities (%d injections per input)...\n", *n)
-	perm, err := experiment.EstimatePermeability(opts, *n)
+	perm, err := experiment.EstimatePermeability(context.Background(), opts, *n)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func main() {
 
 	// Step 4: detection coverage under the input error model (Table 4).
 	fmt.Printf("measuring detection coverage (%d injections per system input)...\n", *n)
-	cov, err := experiment.InputCoverage(opts, *n, nil)
+	cov, err := experiment.InputCoverage(context.Background(), opts, *n, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

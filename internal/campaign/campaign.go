@@ -1,0 +1,111 @@
+// Package campaign is the unified engine behind every fault-injection
+// campaign: a campaign declares its work as Plan/Execute/Reduce, and a
+// pluggable Executor schedules the independent runs. The decomposition
+// is the architectural seam for scaling — the plan is deterministic and
+// indexable, runs are pure functions of (run, index), and results are
+// reduced in plan order, so the same campaign is byte-identical whether
+// it executes serially, on a sharded worker pool, or (later) on a
+// distributed work queue.
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Campaign decomposes one experiment into independently schedulable
+// runs. Plan builds the full run list deterministically (no randomness
+// beyond what the campaign's seed fixes); Execute performs run i and
+// must derive all its randomness from (run, index), never from
+// scheduling; Reduce folds the results — in plan order — into the
+// campaign's output. Execute must only touch index-owned state: the
+// engine invokes it concurrently.
+type Campaign[Run, Result, Out any] interface {
+	// Name identifies the campaign in timing rows and diagnostics.
+	Name() string
+	// Plan returns every run of the campaign.
+	Plan() ([]Run, error)
+	// Execute performs one run.
+	Execute(ctx context.Context, run Run, index int) (Result, error)
+	// Reduce aggregates the results, which are indexed like the plan.
+	Reduce(plan []Run, results []Result) (Out, error)
+}
+
+// Sharder is an optional Campaign refinement: ShardKey assigns run i a
+// deterministic work-distribution key. Keys must be pure functions of
+// the run's identity (seed, test case, physics, horizons — the same
+// fields that key the golden cache), never of worker count, so a shard
+// holds the same runs no matter where or how wide it executes. Runs
+// sharing a key share a shard, which keeps per-case golden reuse local
+// to one shard when shards are dispatched to separate processes.
+type Sharder[Run any] interface {
+	ShardKey(run Run, index int) uint64
+}
+
+// Describer is an optional Campaign refinement: Describe renders run i
+// for diagnostics (the failing run's seed and test case), used to
+// decorate errors and recovered panics.
+type Describer[Run any] interface {
+	Describe(run Run, index int) string
+}
+
+// Execute runs a campaign end to end: plan, execute every run on the
+// executor, reduce. A nil executor defaults to Serial. When col is
+// non-nil the engine observes the campaign's run count and wall-clock
+// time into it (the engine-level timing hook behind BENCH_campaigns
+// reports). Errors and panics from individual runs abort the campaign
+// and are decorated with the failing run's index and description.
+func Execute[Run, Result, Out any](ctx context.Context, c Campaign[Run, Result, Out], ex Executor, col *Collector) (Out, error) {
+	var zero Out
+	if ex == nil {
+		ex = Serial{}
+	}
+	plan, err := c.Plan()
+	if err != nil {
+		return zero, fmt.Errorf("%s: plan: %w", c.Name(), err)
+	}
+
+	var keys []uint64
+	if s, ok := any(c).(Sharder[Run]); ok {
+		keys = make([]uint64, len(plan))
+		for i, r := range plan {
+			keys[i] = s.ShardKey(r, i)
+		}
+	}
+
+	results := make([]Result, len(plan))
+	start := time.Now()
+	err = ex.Run(ctx, len(plan), keys, func(i int) error {
+		res, err := c.Execute(ctx, plan[i], i)
+		if err != nil {
+			return fmt.Errorf("%s: run %d%s: %w", c.Name(), i, describe(c, plan, i), err)
+		}
+		results[i] = res
+		return nil
+	})
+	if col != nil {
+		col.Observe(c.Name(), len(plan), time.Since(start))
+	}
+	if err != nil {
+		// Panics are recovered inside the executor, which cannot know the
+		// run's meaning; attach the campaign-level description here.
+		var pe *PanicError
+		if errors.As(err, &pe) && pe.Index >= 0 && pe.Index < len(plan) {
+			err = fmt.Errorf("%s: run %d%s: %w", c.Name(), pe.Index, describe(c, plan, pe.Index), err)
+		}
+		return zero, err
+	}
+	return c.Reduce(plan, results)
+}
+
+// describe renders run i via the campaign's Describer, if implemented.
+func describe[Run, Result, Out any](c Campaign[Run, Result, Out], plan []Run, i int) string {
+	if d, ok := any(c).(Describer[Run]); ok {
+		if s := d.Describe(plan[i], i); s != "" {
+			return " (" + s + ")"
+		}
+	}
+	return ""
+}

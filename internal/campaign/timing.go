@@ -1,0 +1,93 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Timing is one row of the BENCH_campaigns.json report: how many runs
+// a campaign executed, how long it took, and the throughput.
+type Timing struct {
+	Campaign   string  `json:"campaign"`
+	Runs       int     `json:"runs"`
+	WallS      float64 `json:"wall_s"`
+	RunsPerSec float64 `json:"runs_per_sec"`
+}
+
+// NewTiming builds one timing row from a campaign's run count and
+// wall-clock duration.
+func NewTiming(campaign string, runs int, wall time.Duration) Timing {
+	t := Timing{
+		Campaign: campaign,
+		Runs:     runs,
+		WallS:    wall.Seconds(),
+	}
+	if t.WallS > 0 {
+		t.RunsPerSec = float64(runs) / t.WallS
+	}
+	return t
+}
+
+// Collector accumulates per-campaign timing rows. The engine observes
+// into it from Execute, so commands that run several campaigns collect
+// all rows through one hook instead of stopwatching each call site.
+// Safe for concurrent observers.
+type Collector struct {
+	mu   sync.Mutex
+	rows []Timing
+}
+
+// NewCollector returns an empty collector. The zero value is also
+// ready to use.
+func NewCollector() *Collector { return &Collector{} }
+
+// Observe appends one campaign's timing row.
+func (c *Collector) Observe(campaign string, runs int, wall time.Duration) {
+	c.mu.Lock()
+	c.rows = append(c.rows, NewTiming(campaign, runs, wall))
+	c.mu.Unlock()
+}
+
+// Rows returns the collected timing rows in observation order.
+func (c *Collector) Rows() []Timing {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Timing(nil), c.rows...)
+}
+
+// CacheStats reports reference-run cache traffic alongside the timing
+// rows (the experiment layer's golden cache).
+type CacheStats struct {
+	Size   int   `json:"size"`
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// benchReport is the BENCH_campaigns.json document.
+type benchReport struct {
+	Seed        int64      `json:"seed"`
+	Workers     int        `json:"workers"`
+	Campaigns   []Timing   `json:"campaigns"`
+	GoldenCache CacheStats `json:"golden_cache"`
+}
+
+// WriteBench writes the timing rows (plus cache statistics) as JSON to
+// path. An empty path or an empty row set disables the report.
+func WriteBench(path string, seed int64, workers int, rows []Timing, cache CacheStats) error {
+	if path == "" || len(rows) == 0 {
+		return nil
+	}
+	rep := benchReport{Seed: seed, Workers: workers, Campaigns: rows, GoldenCache: cache}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("campaign: writing bench report: %w", err)
+	}
+	return nil
+}

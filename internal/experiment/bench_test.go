@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/model"
@@ -21,7 +22,7 @@ func benchInjectionOpts() Options {
 // makes allocation regressions on the inner loop visible in CI.
 func BenchmarkInjectionRun(b *testing.B) {
 	opts := benchInjectionOpts()
-	golds, err := goldens(opts)
+	golds, err := goldens(context.Background(), opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -34,9 +35,8 @@ func BenchmarkInjectionRun(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out := permeabilityRun(opts, golds[0], mod, port, target.SigPACNT, i)
-		if out.err != nil {
-			b.Fatal(out.err)
+		if _, err := permeabilityRun(opts, golds[0], mod, port, target.SigPACNT, i); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"fmt"
+	"hash/fnv"
 	"sync"
 	"sync/atomic"
 
@@ -32,6 +34,20 @@ func keyFor(opts Options, tc target.TestCase) goldenKey {
 		maxRunMs:          opts.MaxRunMs,
 		tailMs:            opts.TailMs,
 	}
+}
+
+// shardKeyFor hashes the golden key into a work-distribution key. Every
+// campaign shards its plan by this value, so a run's shard depends on
+// seed + case + physics + horizons — the exact identity that keys the
+// golden cache, and never Workers. All runs that share a golden land in
+// one shard: a shard dispatched to a separate process computes only the
+// reference runs it actually replays against.
+func shardKeyFor(opts Options, tc target.TestCase) uint64 {
+	k := keyFor(opts, tc)
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%v|%v|%d|%d",
+		k.seed, k.caseID, k.massKg, k.engageVelocityMps, k.maxRunMs, k.tailMs)
+	return h.Sum64()
 }
 
 // GoldenCache memoizes fault-free reference runs process-wide. All seven

@@ -1,9 +1,11 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"repro/internal/campaign"
 	"repro/internal/ea"
 	"repro/internal/failure"
 	"repro/internal/fi"
@@ -58,6 +60,85 @@ type InputCoverageResult struct {
 	All CoverageRow
 }
 
+// covJob is one input-model injection run.
+type covJob struct {
+	sig     model.SignalID
+	port    model.PortRef
+	caseIdx int
+}
+
+// covOutcome is one input-model run's detections.
+type covOutcome struct {
+	active     bool
+	injectedAt int64
+	detectedAt map[string]int64
+}
+
+// inputCoverageCampaign is the Table 4 campaign on the engine.
+type inputCoverageCampaign struct {
+	opts      Options
+	perSignal int
+	signals   []model.SignalID
+	golds     []*golden
+	sys       *model.System
+}
+
+func (c *inputCoverageCampaign) Name() string { return "input-coverage" }
+
+func (c *inputCoverageCampaign) Plan() ([]covJob, error) {
+	perCase := c.perSignal / len(c.opts.Cases)
+	if perCase < 1 {
+		perCase = 1
+	}
+	var plan []covJob
+	for _, sig := range c.signals {
+		consumers := c.sys.ConsumersOf(sig)
+		if len(consumers) != 1 {
+			return nil, fmt.Errorf("experiment: system input %s has %d consumers, want 1", sig, len(consumers))
+		}
+		for ci := range c.opts.Cases {
+			for k := 0; k < perCase; k++ {
+				plan = append(plan, covJob{sig: sig, port: consumers[0], caseIdx: ci})
+			}
+		}
+	}
+	return plan, nil
+}
+
+func (c *inputCoverageCampaign) Execute(_ context.Context, j covJob, index int) (covOutcome, error) {
+	active, injectedAt, detected, err := coverageRun(c.opts, c.golds[j.caseIdx], j.port, j.sig, index)
+	if err != nil {
+		return covOutcome{}, err
+	}
+	return covOutcome{active: active, injectedAt: injectedAt, detectedAt: detected}, nil
+}
+
+func (c *inputCoverageCampaign) Reduce(plan []covJob, results []covOutcome) (*InputCoverageResult, error) {
+	rows := make(map[model.SignalID]*CoverageRow, len(c.signals))
+	for _, sig := range c.signals {
+		rows[sig] = newCoverageRow(sig)
+	}
+	all := newCoverageRow("All")
+	for i, j := range plan {
+		out := results[i]
+		rows[j.sig].accumulate(out.active, out.injectedAt, out.detectedAt)
+		all.accumulate(out.active, out.injectedAt, out.detectedAt)
+	}
+	res := &InputCoverageResult{All: *all}
+	for _, sig := range c.signals {
+		res.Rows = append(res.Rows, *rows[sig])
+	}
+	return res, nil
+}
+
+func (c *inputCoverageCampaign) ShardKey(j covJob, _ int) uint64 {
+	return shardKeyFor(c.opts, c.opts.Cases[j.caseIdx])
+}
+
+func (c *inputCoverageCampaign) Describe(j covJob, index int) string {
+	return describeRun(c.opts, "cov", index, j.caseIdx) + " signal=" + string(j.sig)
+}
+
 // InputCoverage runs the Section 6.2 campaign: errors enter "via the
 // system inputs (e.g., by noisy and/or faulty sensors)" — single
 // transient bit-flips observed at the consuming module's read of each
@@ -65,7 +146,7 @@ type InputCoverageResult struct {
 // the number of injections per input signal across all cases (2000 in
 // the paper). Signals defaults to the target's four system inputs when
 // nil.
-func InputCoverage(opts Options, perSignal int, signals []model.SignalID) (*InputCoverageResult, error) {
+func InputCoverage(ctx context.Context, opts Options, perSignal int, signals []model.SignalID) (*InputCoverageResult, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -75,67 +156,15 @@ func InputCoverage(opts Options, perSignal int, signals []model.SignalID) (*Inpu
 	if signals == nil {
 		signals = target.SystemInputs()
 	}
-	golds, err := goldens(opts)
+	golds, err := goldens(ctx, opts)
 	if err != nil {
 		return nil, err
 	}
-	sys := target.SharedSystem()
-
-	perCase := perSignal / len(opts.Cases)
-	if perCase < 1 {
-		perCase = 1
+	c := &inputCoverageCampaign{
+		opts: opts, perSignal: perSignal, signals: signals,
+		golds: golds, sys: target.SharedSystem(),
 	}
-
-	type job struct {
-		sig     model.SignalID
-		port    model.PortRef
-		caseIdx int
-	}
-	var plan []job
-	for _, sig := range signals {
-		consumers := sys.ConsumersOf(sig)
-		if len(consumers) != 1 {
-			return nil, fmt.Errorf("experiment: system input %s has %d consumers, want 1", sig, len(consumers))
-		}
-		for ci := range opts.Cases {
-			for k := 0; k < perCase; k++ {
-				plan = append(plan, job{sig: sig, port: consumers[0], caseIdx: ci})
-			}
-		}
-	}
-
-	type outcome struct {
-		active     bool
-		injectedAt int64
-		detectedAt map[string]int64
-		err        error
-	}
-	results := make([]outcome, len(plan))
-	parallelFor(len(plan), opts.Workers, func(i int) {
-		j := plan[i]
-		active, injectedAt, detected, err := coverageRun(opts, golds[j.caseIdx], j.port, j.sig, i)
-		results[i] = outcome{active: active, injectedAt: injectedAt, detectedAt: detected, err: err}
-	})
-
-	rows := make(map[model.SignalID]*CoverageRow, len(signals))
-	for _, sig := range signals {
-		rows[sig] = newCoverageRow(sig)
-	}
-	all := newCoverageRow("All")
-	for i, j := range plan {
-		out := results[i]
-		if out.err != nil {
-			return nil, out.err
-		}
-		rows[j.sig].accumulate(out.active, out.injectedAt, out.detectedAt)
-		all.accumulate(out.active, out.injectedAt, out.detectedAt)
-	}
-
-	res := &InputCoverageResult{All: *all}
-	for _, sig := range signals {
-		res.Rows = append(res.Rows, *rows[sig])
-	}
-	return res, nil
+	return campaign.Execute[covJob, covOutcome, *InputCoverageResult](ctx, c, opts.executor(), opts.Timings)
 }
 
 func newCoverageRow(sig model.SignalID) *CoverageRow {
@@ -267,6 +296,95 @@ type InternalCoverageResult struct {
 	RAMLocations, StackLocations int
 }
 
+// memJob is one internal-model injection run: periodic flips of one
+// memory target during one test case.
+type memJob struct {
+	tgt     fi.MemTarget
+	caseIdx int
+	stack   bool
+}
+
+// memOutcome is one internal-model run's detections and verdict.
+type memOutcome struct {
+	detectedAt map[string]int64
+	failed     bool
+}
+
+// internalCoverageCampaign is the Figure 3 campaign on the engine.
+type internalCoverageCampaign struct {
+	opts                         Options
+	ramLocations, stackLocations int
+	golds                        []*golden
+	ramTargets, stackTargets     []fi.MemTarget
+}
+
+func (c *internalCoverageCampaign) Name() string { return "internal-coverage" }
+
+func (c *internalCoverageCampaign) Plan() ([]memJob, error) {
+	// Enumerate targets on a scratch rig (cell IDs are stable across
+	// rigs: allocation order is fixed by construction).
+	scratch, err := target.AcquireRig(c.opts.Cases[0].Config(1))
+	if err != nil {
+		return nil, err
+	}
+	c.ramTargets = fi.SampleTargets(fi.EnumerateRAMTargets(scratch.Sys, scratch.Mem), c.ramLocations, c.opts.Seed*7+1)
+	c.stackTargets = fi.SampleTargets(fi.EnumerateStackTargets(scratch.Mem), c.stackLocations, c.opts.Seed*7+2)
+	target.ReleaseRig(scratch)
+
+	var plan []memJob
+	for _, tgt := range c.ramTargets {
+		for ci := range c.opts.Cases {
+			plan = append(plan, memJob{tgt: tgt, caseIdx: ci})
+		}
+	}
+	for _, tgt := range c.stackTargets {
+		for ci := range c.opts.Cases {
+			plan = append(plan, memJob{tgt: tgt, caseIdx: ci, stack: true})
+		}
+	}
+	return plan, nil
+}
+
+func (c *internalCoverageCampaign) Execute(_ context.Context, j memJob, _ int) (memOutcome, error) {
+	detected, failed, err := internalRun(c.opts, c.golds[j.caseIdx], j.tgt)
+	if err != nil {
+		return memOutcome{}, err
+	}
+	return memOutcome{detectedAt: detected, failed: failed}, nil
+}
+
+func (c *internalCoverageCampaign) Reduce(plan []memJob, results []memOutcome) (*InternalCoverageResult, error) {
+	res := &InternalCoverageResult{
+		RAM:            newRegionCoverage("RAM"),
+		Stack:          newRegionCoverage("Stack"),
+		Total:          newRegionCoverage("Total"),
+		RAMLocations:   len(c.ramTargets),
+		StackLocations: len(c.stackTargets),
+	}
+	for i, j := range plan {
+		out := results[i]
+		region := &res.RAM
+		if j.stack {
+			region = &res.Stack
+		}
+		region.accumulate(out.detectedAt, out.failed, c.opts.PeriodicMs)
+		res.Total.accumulate(out.detectedAt, out.failed, c.opts.PeriodicMs)
+	}
+	return res, nil
+}
+
+func (c *internalCoverageCampaign) ShardKey(j memJob, _ int) uint64 {
+	return shardKeyFor(c.opts, c.opts.Cases[j.caseIdx])
+}
+
+func (c *internalCoverageCampaign) Describe(j memJob, index int) string {
+	region := "RAM"
+	if j.stack {
+		region = "stack"
+	}
+	return describeRun(c.opts, "internal", index, j.caseIdx) + " region=" + region
+}
+
 // InternalCoverage runs the Section 7 campaign: single bit-flips
 // injected periodically (every opts.PeriodicMs) into sampled RAM and
 // stack locations, every test case, with all assertions deployed; runs
@@ -274,77 +392,21 @@ type InternalCoverageResult struct {
 // split into c_tot, c_fail and c_nofail. ramLocations and stackLocations
 // are the sampled location counts (the paper used 150 and 50; with 25
 // cases that is the paper's 5000 runs).
-func InternalCoverage(opts Options, ramLocations, stackLocations int) (*InternalCoverageResult, error) {
+func InternalCoverage(ctx context.Context, opts Options, ramLocations, stackLocations int) (*InternalCoverageResult, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	if ramLocations < 1 || stackLocations < 1 {
 		return nil, fmt.Errorf("experiment: location counts must be >= 1")
 	}
-	golds, err := goldens(opts)
+	golds, err := goldens(ctx, opts)
 	if err != nil {
 		return nil, err
 	}
-
-	// Enumerate targets on a scratch rig (cell IDs are stable across
-	// rigs: allocation order is fixed by construction).
-	scratch, err := target.AcquireRig(opts.Cases[0].Config(1))
-	if err != nil {
-		return nil, err
+	c := &internalCoverageCampaign{
+		opts: opts, ramLocations: ramLocations, stackLocations: stackLocations, golds: golds,
 	}
-	ramTargets := fi.SampleTargets(fi.EnumerateRAMTargets(scratch.Sys, scratch.Mem), ramLocations, opts.Seed*7+1)
-	stackTargets := fi.SampleTargets(fi.EnumerateStackTargets(scratch.Mem), stackLocations, opts.Seed*7+2)
-	target.ReleaseRig(scratch)
-
-	type job struct {
-		tgt     fi.MemTarget
-		caseIdx int
-		stack   bool
-	}
-	var plan []job
-	for _, tgt := range ramTargets {
-		for ci := range opts.Cases {
-			plan = append(plan, job{tgt: tgt, caseIdx: ci})
-		}
-	}
-	for _, tgt := range stackTargets {
-		for ci := range opts.Cases {
-			plan = append(plan, job{tgt: tgt, caseIdx: ci, stack: true})
-		}
-	}
-
-	type outcome struct {
-		detectedAt map[string]int64
-		failed     bool
-		err        error
-	}
-	results := make([]outcome, len(plan))
-	parallelFor(len(plan), opts.Workers, func(i int) {
-		j := plan[i]
-		detected, failed, err := internalRun(opts, golds[j.caseIdx], j.tgt)
-		results[i] = outcome{detectedAt: detected, failed: failed, err: err}
-	})
-
-	res := &InternalCoverageResult{
-		RAM:            newRegionCoverage("RAM"),
-		Stack:          newRegionCoverage("Stack"),
-		Total:          newRegionCoverage("Total"),
-		RAMLocations:   len(ramTargets),
-		StackLocations: len(stackTargets),
-	}
-	for i, j := range plan {
-		out := results[i]
-		if out.err != nil {
-			return nil, out.err
-		}
-		region := &res.RAM
-		if j.stack {
-			region = &res.Stack
-		}
-		region.accumulate(out.detectedAt, out.failed, opts.PeriodicMs)
-		res.Total.accumulate(out.detectedAt, out.failed, opts.PeriodicMs)
-	}
-	return res, nil
+	return campaign.Execute[memJob, memOutcome, *InternalCoverageResult](ctx, c, opts.executor(), opts.Timings)
 }
 
 func newRegionCoverage(name string) RegionCoverage {

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"testing"
@@ -65,7 +66,7 @@ func TestPermeabilityDeterministicAcrossWorkers(t *testing.T) {
 	var prints []string
 	for _, workers := range []int{1, 8} {
 		ClearGoldenCache()
-		res, err := EstimatePermeability(determinismOpts(workers), 6)
+		res, err := EstimatePermeability(context.Background(), determinismOpts(workers), 6)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -90,7 +91,7 @@ func TestPermeabilityDeterministicAcrossPooling(t *testing.T) {
 	for _, pooled := range []bool{true, false} {
 		target.SetRigPooling(pooled)
 		ClearGoldenCache()
-		res, err := EstimatePermeability(determinismOpts(4), 6)
+		res, err := EstimatePermeability(context.Background(), determinismOpts(4), 6)
 		if err != nil {
 			t.Fatalf("pooled=%v: %v", pooled, err)
 		}
@@ -116,7 +117,7 @@ func TestInputCoverageDeterministicAcrossWorkersAndPooling(t *testing.T) {
 	for _, a := range []arm{{1, false}, {8, true}} {
 		target.SetRigPooling(a.pooled)
 		ClearGoldenCache()
-		res, err := InputCoverage(determinismOpts(a.workers), 6, nil)
+		res, err := InputCoverage(context.Background(), determinismOpts(a.workers), 6, nil)
 		if err != nil {
 			t.Fatalf("workers=%d pooled=%v: %v", a.workers, a.pooled, err)
 		}
@@ -128,12 +129,74 @@ func TestInputCoverageDeterministicAcrossWorkersAndPooling(t *testing.T) {
 	}
 }
 
+// TestPermeabilityDeterministicAcrossExecutors asserts the engine
+// invariant behind the unified campaign runner: the serial executor and
+// the sharded worker pool — at shard counts 1, 2 and 8 — all produce
+// byte-identical campaign output for a fixed seed.
+func TestPermeabilityDeterministicAcrossExecutors(t *testing.T) {
+	type arm struct {
+		name            string
+		workers, shards int
+	}
+	arms := []arm{
+		{"serial", 1, 0},
+		{"sharded-1", 4, 1},
+		{"sharded-2", 4, 2},
+		{"sharded-8", 4, 8},
+	}
+	var ref string
+	for _, a := range arms {
+		ClearGoldenCache()
+		opts := determinismOpts(a.workers)
+		opts.Shards = a.shards
+		res, err := EstimatePermeability(context.Background(), opts, 6)
+		if err != nil {
+			t.Fatalf("%s: %v", a.name, err)
+		}
+		fp := permeabilityFingerprint(t, res)
+		if ref == "" {
+			ref = fp
+		} else if fp != ref {
+			t.Errorf("%s output differs from serial reference:\n--- serial ---\n%s\n--- %s ---\n%s",
+				a.name, ref, a.name, fp)
+		}
+	}
+}
+
+// TestInputCoverageDeterministicAcrossExecutors is the same
+// serial-vs-sharded equivalence over the Table 4 campaign, whose
+// reduction (per-EA and per-set maps) exercises a different result
+// shape than the permeability matrix.
+func TestInputCoverageDeterministicAcrossExecutors(t *testing.T) {
+	var ref string
+	for _, shards := range []int{0, 1, 2, 8} {
+		ClearGoldenCache()
+		workers := 1
+		if shards > 0 {
+			workers = 4
+		}
+		opts := determinismOpts(workers)
+		opts.Shards = shards
+		res, err := InputCoverage(context.Background(), opts, 6, nil)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		fp := coverageFingerprint(t, res)
+		if ref == "" {
+			ref = fp
+		} else if fp != ref {
+			t.Errorf("shards=%d output differs from serial reference:\n--- serial ---\n%s\n--- sharded ---\n%s",
+				shards, ref, fp)
+		}
+	}
+}
+
 // TestGoldenCacheReuse asserts that a second campaign over the same
 // options recomputes no golden runs and returns identical results.
 func TestGoldenCacheReuse(t *testing.T) {
 	ClearGoldenCache()
 	opts := determinismOpts(4)
-	first, err := EstimatePermeability(opts, 6)
+	first, err := EstimatePermeability(context.Background(), opts, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +204,7 @@ func TestGoldenCacheReuse(t *testing.T) {
 	if size != len(opts.Cases) {
 		t.Fatalf("golden cache holds %d runs, want %d", size, len(opts.Cases))
 	}
-	second, err := EstimatePermeability(opts, 6)
+	second, err := EstimatePermeability(context.Background(), opts, 6)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,13 +5,20 @@
 // mode" of DESIGN.md §3 — absolute numbers are properties of our
 // reconstructed target, the shape is compared against the paper in
 // EXPERIMENTS.md and integration tests.
+//
+// Every campaign is expressed as a campaign.Campaign (Plan, Execute,
+// Reduce) and scheduled by a pluggable campaign.Executor; the entry
+// points here only build plans and fold results. Results are invariant
+// across executors, worker counts and shard counts — all randomness is
+// keyed by plan index, never by scheduling.
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"sync"
 
+	"repro/internal/campaign"
 	"repro/internal/model"
 	"repro/internal/target"
 	"repro/internal/trace"
@@ -26,6 +33,13 @@ type Options struct {
 	Seed int64
 	// Workers bounds campaign parallelism (runs are independent).
 	Workers int
+	// Shards overrides the sharded executor's deterministic shard count
+	// (0 selects campaign.DefaultShards). Like Workers it never affects
+	// results, only how the plan is partitioned for scheduling.
+	Shards int
+	// Timings, when non-nil, receives one engine-observed wall-clock row
+	// per campaign (the BENCH_campaigns.json hook).
+	Timings *campaign.Collector
 	// MaxRunMs bounds a single run.
 	MaxRunMs int64
 	// TailMs extends recording past software arrest, so detections
@@ -68,6 +82,15 @@ func (o Options) Validate() error {
 	return nil
 }
 
+// executor returns the executor the options select: serial for a
+// single worker, the sharded worker pool otherwise.
+func (o Options) executor() campaign.Executor {
+	if o.Workers <= 1 {
+		return campaign.Serial{}
+	}
+	return campaign.Sharded{Workers: o.Workers, Shards: o.Shards}
+}
+
 // golden is the reference data of one test case.
 type golden struct {
 	tc        target.TestCase
@@ -90,6 +113,17 @@ func runSeed(opts Options, campaign string, index int) int64 {
 		h = h*131 + int64(c)
 	}
 	return h*1_000_003 + int64(index)
+}
+
+// describeRun renders one run's identity for engine diagnostics: the
+// campaign-derived seed and the test case a failing run belonged to.
+func describeRun(opts Options, name string, index, caseIdx int) string {
+	if caseIdx < 0 || caseIdx >= len(opts.Cases) {
+		return fmt.Sprintf("seed=%d", runSeed(opts, name, index))
+	}
+	tc := opts.Cases[caseIdx]
+	return fmt.Sprintf("seed=%d case=%d mass=%.0fkg v=%.0fm/s",
+		runSeed(opts, name, index), tc.ID, tc.MassKg, tc.EngageVelocityMps)
 }
 
 // runGolden executes the fault-free reference run of a test case,
@@ -124,8 +158,11 @@ func runGolden(opts Options, tc target.TestCase) (*golden, error) {
 }
 
 // goldens returns the reference data of every case, computing cache
-// misses in parallel and memoizing them in the process-wide GoldenCache.
-func goldens(opts Options) ([]*golden, error) {
+// misses on the options' executor and memoizing them in the
+// process-wide GoldenCache. Misses are sharded by the same case key as
+// injection runs, so a sharded worker computes exactly the goldens its
+// own shard needs.
+func goldens(ctx context.Context, opts Options) ([]*golden, error) {
 	out := make([]*golden, len(opts.Cases))
 	var missing []int
 	for i, tc := range opts.Cases {
@@ -138,50 +175,26 @@ func goldens(opts Options) ([]*golden, error) {
 	if len(missing) == 0 {
 		return out, nil
 	}
-	errs := make([]error, len(missing))
-	parallelFor(len(missing), opts.Workers, func(j int) {
+	keys := make([]uint64, len(missing))
+	for j, i := range missing {
+		keys[j] = shardKeyFor(opts, opts.Cases[i])
+	}
+	err := opts.executor().Run(ctx, len(missing), keys, func(j int) error {
 		i := missing[j]
-		out[i], errs[j] = runGolden(opts, opts.Cases[i])
-	})
-	for _, err := range errs {
+		g, err := runGolden(opts, opts.Cases[i])
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("golden run of case %d: %w", opts.Cases[i].ID, err)
 		}
+		out[i] = g
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for _, i := range missing {
 		globalGoldens.store(keyFor(opts, opts.Cases[i]), out[i])
 	}
 	return out, nil
-}
-
-// parallelFor runs fn(0..n-1) on up to workers goroutines and waits.
-// fn must only touch index-owned state.
-func parallelFor(n, workers int, fn func(i int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 }
 
 // pickBit draws a uniformly random bit index for a signal.

@@ -1,7 +1,7 @@
 package experiment
 
 import (
-	"sync/atomic"
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -45,29 +45,9 @@ func TestOptionsValidate(t *testing.T) {
 	}
 }
 
-func TestParallelFor(t *testing.T) {
-	for _, workers := range []int{1, 3, 16} {
-		var sum int64
-		hit := make([]int32, 100)
-		parallelFor(100, workers, func(i int) {
-			atomic.AddInt64(&sum, int64(i))
-			atomic.AddInt32(&hit[i], 1)
-		})
-		if sum != 99*100/2 {
-			t.Errorf("workers=%d: sum = %d", workers, sum)
-		}
-		for i, h := range hit {
-			if h != 1 {
-				t.Errorf("workers=%d: index %d ran %d times", workers, i, h)
-			}
-		}
-	}
-	parallelFor(0, 4, func(int) { t.Error("fn called for n=0") })
-}
-
 func TestGoldenRunsProduceAlignedTraces(t *testing.T) {
 	opts := smallOpts()
-	golds, err := goldens(opts)
+	golds, err := goldens(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,19 +67,19 @@ func TestGoldenRunsProduceAlignedTraces(t *testing.T) {
 
 func TestEstimatePermeabilityRejectsBadArgs(t *testing.T) {
 	opts := smallOpts()
-	if _, err := EstimatePermeability(opts, 0); err == nil {
+	if _, err := EstimatePermeability(context.Background(), opts, 0); err == nil {
 		t.Error("perInput 0 accepted")
 	}
 	bad := opts
 	bad.Workers = 0
-	if _, err := EstimatePermeability(bad, 10); err == nil {
+	if _, err := EstimatePermeability(context.Background(), bad, 10); err == nil {
 		t.Error("invalid options accepted")
 	}
 }
 
 func TestEstimatePermeabilitySmallCampaign(t *testing.T) {
 	opts := smallOpts()
-	res, err := EstimatePermeability(opts, 8) // 4 per case per input
+	res, err := EstimatePermeability(context.Background(), opts, 8) // 4 per case per input
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,12 +117,12 @@ func TestEstimatePermeabilitySmallCampaign(t *testing.T) {
 
 func TestEstimatePermeabilityDeterministic(t *testing.T) {
 	opts := smallOpts()
-	a, err := EstimatePermeability(opts, 6)
+	a, err := EstimatePermeability(context.Background(), opts, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts.Workers = 2 // determinism must not depend on parallelism
-	b, err := EstimatePermeability(opts, 6)
+	b, err := EstimatePermeability(context.Background(), opts, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +136,7 @@ func TestEstimatePermeabilityDeterministic(t *testing.T) {
 
 func TestInputCoverageSmallCampaign(t *testing.T) {
 	opts := smallOpts()
-	res, err := InputCoverage(opts, 16, nil)
+	res, err := InputCoverage(context.Background(), opts, 16, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +170,7 @@ func TestInputCoverageEHEqualsPA(t *testing.T) {
 		t.Skip("medium campaign")
 	}
 	opts := smallOpts()
-	res, err := InputCoverage(opts, 60, nil)
+	res, err := InputCoverage(context.Background(), opts, 60, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +208,7 @@ func TestInputCoverageEHEqualsPA(t *testing.T) {
 
 func TestInternalCoverageSmallCampaign(t *testing.T) {
 	opts := smallOpts()
-	res, err := InternalCoverage(opts, 20, 12)
+	res, err := InternalCoverage(context.Background(), opts, 20, 12)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +238,7 @@ func TestInternalCoveragePASignificantlyBelowEH(t *testing.T) {
 		t.Skip("medium campaign")
 	}
 	opts := smallOpts()
-	res, err := InternalCoverage(opts, 60, 40)
+	res, err := InternalCoverage(context.Background(), opts, 60, 40)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +270,7 @@ func TestMeasuredSelectionsReproducePaper(t *testing.T) {
 		t.Skip("medium campaign")
 	}
 	opts := smallOpts()
-	res, err := EstimatePermeability(opts, 40)
+	res, err := EstimatePermeability(context.Background(), opts, 40)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,10 +279,10 @@ func TestMeasuredSelectionsReproducePaper(t *testing.T) {
 
 func TestInternalCoverageRejectsBadCounts(t *testing.T) {
 	opts := smallOpts()
-	if _, err := InternalCoverage(opts, 0, 5); err == nil {
+	if _, err := InternalCoverage(context.Background(), opts, 0, 5); err == nil {
 		t.Error("zero RAM locations accepted")
 	}
-	if _, err := InputCoverage(opts, 0, nil); err == nil {
+	if _, err := InputCoverage(context.Background(), opts, 0, nil); err == nil {
 		t.Error("zero perSignal accepted")
 	}
 }

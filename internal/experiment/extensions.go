@@ -1,12 +1,15 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"repro/internal/campaign"
 	"repro/internal/erm"
 	"repro/internal/failure"
 	"repro/internal/fi"
+	"repro/internal/model"
 	"repro/internal/stats"
 	"repro/internal/target"
 )
@@ -38,76 +41,72 @@ func sensitivityModels() []fi.Corruption {
 	}
 }
 
-// ErrorModelSensitivity injects perModel errors into the PACNT input
-// (the one input whose errors are detectable at all) under each error
-// model and measures EH/PA coverage.
-func ErrorModelSensitivity(opts Options, perModel int) (*ModelSensitivityResult, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
-	if perModel < 1 {
-		return nil, fmt.Errorf("experiment: perModel %d must be >= 1", perModel)
-	}
-	golds, err := goldens(opts)
-	if err != nil {
-		return nil, err
-	}
-	sys := target.SharedSystem()
-	consumers := sys.ConsumersOf(target.SigPACNT)
-	if len(consumers) != 1 {
-		return nil, fmt.Errorf("experiment: PACNT has %d consumers", len(consumers))
-	}
-	port := consumers[0]
-	sig, _ := sys.Signal(target.SigPACNT)
+// sensJob is one error-model sensitivity run.
+type sensJob struct {
+	modelIdx int
+	caseIdx  int
+}
 
-	models := sensitivityModels()
-	perCase := perModel / len(opts.Cases)
+// sensOutcome is one sensitivity run's detections.
+type sensOutcome struct {
+	active     bool
+	detectedAt map[string]int64
+}
+
+// sensitivityCampaign is the A1 extension on the engine.
+type sensitivityCampaign struct {
+	opts     Options
+	perModel int
+	models   []fi.Corruption
+	golds    []*golden
+	port     model.PortRef
+	sig      *model.Signal
+}
+
+func (c *sensitivityCampaign) Name() string { return "model-sensitivity" }
+
+func (c *sensitivityCampaign) Plan() ([]sensJob, error) {
+	perCase := c.perModel / len(c.opts.Cases)
 	if perCase < 1 {
 		perCase = 1
 	}
-
-	type job struct {
-		modelIdx int
-		caseIdx  int
-	}
-	var plan []job
-	for mi := range models {
-		for ci := range opts.Cases {
+	var plan []sensJob
+	for mi := range c.models {
+		for ci := range c.opts.Cases {
 			for k := 0; k < perCase; k++ {
-				plan = append(plan, job{modelIdx: mi, caseIdx: ci})
+				plan = append(plan, sensJob{modelIdx: mi, caseIdx: ci})
 			}
 		}
 	}
+	return plan, nil
+}
 
-	type outcome struct {
-		active     bool
-		detectedAt map[string]int64
-		err        error
+func (c *sensitivityCampaign) Execute(_ context.Context, j sensJob, index int) (sensOutcome, error) {
+	rng := rand.New(rand.NewSource(runSeed(c.opts, "modsens", index)))
+	corr := c.models[j.modelIdx]
+	corr.Port = c.port
+	g := c.golds[j.caseIdx]
+	corr.FromMs = rng.Int63n(g.arrestMs)
+	switch corr.Kind {
+	case fi.CorruptBurst:
+		corr.Bit = uint8(rng.Intn(int(c.sig.Type.Width) - int(corr.BurstWidth) + 1))
+	default:
+		corr.Bit = uint8(rng.Intn(int(c.sig.Type.Width)))
 	}
-	results := make([]outcome, len(plan))
-	parallelFor(len(plan), opts.Workers, func(i int) {
-		j := plan[i]
-		rng := rand.New(rand.NewSource(runSeed(opts, "modsens", i)))
-		c := models[j.modelIdx]
-		c.Port = port
-		g := golds[j.caseIdx]
-		c.FromMs = rng.Int63n(g.arrestMs)
-		switch c.Kind {
-		case fi.CorruptBurst:
-			c.Bit = uint8(rng.Intn(int(sig.Type.Width) - int(c.BurstWidth) + 1))
-		default:
-			c.Bit = uint8(rng.Intn(int(sig.Type.Width)))
-		}
-		active, detected, err := corruptionCoverageRun(opts, g, c)
-		results[i] = outcome{active: active, detectedAt: detected, err: err}
-	})
+	active, detected, err := corruptionCoverageRun(c.opts, g, corr)
+	if err != nil {
+		return sensOutcome{}, err
+	}
+	return sensOutcome{active: active, detectedAt: detected}, nil
+}
 
+func (c *sensitivityCampaign) Reduce(plan []sensJob, results []sensOutcome) (*ModelSensitivityResult, error) {
 	res := &ModelSensitivityResult{
-		PerModel:       make(map[string]map[string]stats.Proportion, len(models)),
-		ActivePerModel: make(map[string]int, len(models)),
+		PerModel:       make(map[string]map[string]stats.Proportion, len(c.models)),
+		ActivePerModel: make(map[string]int, len(c.models)),
 		TotalRuns:      len(plan),
 	}
-	for _, m := range models {
+	for _, m := range c.models {
 		res.Models = append(res.Models, m.Kind.String())
 		sets := make(map[string]stats.Proportion, len(setMembers()))
 		for set := range setMembers() {
@@ -117,13 +116,10 @@ func ErrorModelSensitivity(opts Options, perModel int) (*ModelSensitivityResult,
 	}
 	for i, j := range plan {
 		out := results[i]
-		if out.err != nil {
-			return nil, out.err
-		}
 		if !out.active {
 			continue
 		}
-		name := models[j.modelIdx].Kind.String()
+		name := c.models[j.modelIdx].Kind.String()
 		res.ActivePerModel[name]++
 		for set, members := range setMembers() {
 			hit := false
@@ -139,6 +135,42 @@ func ErrorModelSensitivity(opts Options, perModel int) (*ModelSensitivityResult,
 		}
 	}
 	return res, nil
+}
+
+func (c *sensitivityCampaign) ShardKey(j sensJob, _ int) uint64 {
+	return shardKeyFor(c.opts, c.opts.Cases[j.caseIdx])
+}
+
+func (c *sensitivityCampaign) Describe(j sensJob, index int) string {
+	return describeRun(c.opts, "modsens", index, j.caseIdx) +
+		" model=" + c.models[j.modelIdx].Kind.String()
+}
+
+// ErrorModelSensitivity injects perModel errors into the PACNT input
+// (the one input whose errors are detectable at all) under each error
+// model and measures EH/PA coverage.
+func ErrorModelSensitivity(ctx context.Context, opts Options, perModel int) (*ModelSensitivityResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if perModel < 1 {
+		return nil, fmt.Errorf("experiment: perModel %d must be >= 1", perModel)
+	}
+	golds, err := goldens(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	sys := target.SharedSystem()
+	consumers := sys.ConsumersOf(target.SigPACNT)
+	if len(consumers) != 1 {
+		return nil, fmt.Errorf("experiment: PACNT has %d consumers", len(consumers))
+	}
+	sig, _ := sys.Signal(target.SigPACNT)
+	c := &sensitivityCampaign{
+		opts: opts, perModel: perModel, models: sensitivityModels(),
+		golds: golds, port: consumers[0], sig: sig,
+	}
+	return campaign.Execute[sensJob, sensOutcome, *ModelSensitivityResult](ctx, c, opts.executor(), opts.Timings)
 }
 
 // corruptionCoverageRun is coverageRun generalized over error models.
@@ -202,79 +234,78 @@ type RecoveryStudyResult struct {
 	RAMLocations, StackLocations int
 }
 
-// RecoveryStudy runs the internal error model three times over the same
-// sampled locations — without recovery, with the containment wrappers,
-// and with the hardened DIST_S — and compares failure rates. specs
-// defaults to target.DefaultERMSpecs() when nil.
-func RecoveryStudy(opts Options, ramLocations, stackLocations int, specs []erm.Spec) (*RecoveryStudyResult, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
-	if ramLocations < 1 || stackLocations < 1 {
-		return nil, fmt.Errorf("experiment: location counts must be >= 1")
-	}
-	if specs == nil {
-		specs = target.DefaultERMSpecs()
-	}
-	golds, err := goldens(opts)
+// recJob is one recovery-study run: one memory target, one case, one
+// arm (0 baseline, 1 wrapped, 2 hardened).
+type recJob struct {
+	tgt     fi.MemTarget
+	caseIdx int
+	stack   bool
+	arm     int
+}
+
+// recOutcome is one recovery run's verdict.
+type recOutcome struct {
+	failed     bool
+	recoveries int
+}
+
+// recoveryCampaign is the A5 extension on the engine.
+type recoveryCampaign struct {
+	opts                         Options
+	ramLocations, stackLocations int
+	specs                        []erm.Spec
+	golds                        []*golden
+	ramTargets, stackTargets     []fi.MemTarget
+}
+
+func (c *recoveryCampaign) Name() string { return "recovery" }
+
+func (c *recoveryCampaign) Plan() ([]recJob, error) {
+	scratch, err := target.AcquireRig(c.opts.Cases[0].Config(1))
 	if err != nil {
 		return nil, err
 	}
-	scratch, err := target.AcquireRig(opts.Cases[0].Config(1))
-	if err != nil {
-		return nil, err
-	}
-	ramTargets := fi.SampleTargets(fi.EnumerateRAMTargets(scratch.Sys, scratch.Mem), ramLocations, opts.Seed*7+1)
-	stackTargets := fi.SampleTargets(fi.EnumerateStackTargets(scratch.Mem), stackLocations, opts.Seed*7+2)
+	c.ramTargets = fi.SampleTargets(fi.EnumerateRAMTargets(scratch.Sys, scratch.Mem), c.ramLocations, c.opts.Seed*7+1)
+	c.stackTargets = fi.SampleTargets(fi.EnumerateStackTargets(scratch.Mem), c.stackLocations, c.opts.Seed*7+2)
 	target.ReleaseRig(scratch)
 
-	type job struct {
-		tgt     fi.MemTarget
-		caseIdx int
-		stack   bool
-		arm     int // 0 baseline, 1 wrapped, 2 hardened
-	}
-	var plan []job
+	var plan []recJob
 	add := func(tgts []fi.MemTarget, stack bool) {
 		for _, tgt := range tgts {
-			for ci := range opts.Cases {
+			for ci := range c.opts.Cases {
 				for arm := 0; arm < 3; arm++ {
-					plan = append(plan, job{tgt: tgt, caseIdx: ci, stack: stack, arm: arm})
+					plan = append(plan, recJob{tgt: tgt, caseIdx: ci, stack: stack, arm: arm})
 				}
 			}
 		}
 	}
-	add(ramTargets, false)
-	add(stackTargets, true)
+	add(c.ramTargets, false)
+	add(c.stackTargets, true)
+	return plan, nil
+}
 
-	type outcome struct {
-		failed     bool
-		recoveries int
-		err        error
+func (c *recoveryCampaign) Execute(_ context.Context, j recJob, _ int) (recOutcome, error) {
+	var ws []erm.Spec
+	if j.arm == 1 {
+		ws = c.specs
 	}
-	results := make([]outcome, len(plan))
-	parallelFor(len(plan), opts.Workers, func(i int) {
-		j := plan[i]
-		var ws []erm.Spec
-		if j.arm == 1 {
-			ws = specs
-		}
-		failed, rec, err := severeRun(opts, golds[j.caseIdx], j.tgt, ws, j.arm == 2)
-		results[i] = outcome{failed: failed, recoveries: rec, err: err}
-	})
+	failed, rec, err := severeRun(c.opts, c.golds[j.caseIdx], j.tgt, ws, j.arm == 2)
+	if err != nil {
+		return recOutcome{}, err
+	}
+	return recOutcome{failed: failed, recoveries: rec}, nil
+}
 
+func (c *recoveryCampaign) Reduce(plan []recJob, results []recOutcome) (*RecoveryStudyResult, error) {
 	res := &RecoveryStudyResult{
 		RAM:            RecoveryRegion{Region: "RAM"},
 		Stack:          RecoveryRegion{Region: "Stack"},
 		Total:          RecoveryRegion{Region: "Total"},
-		RAMLocations:   len(ramTargets),
-		StackLocations: len(stackTargets),
+		RAMLocations:   len(c.ramTargets),
+		StackLocations: len(c.stackTargets),
 	}
 	for i, j := range plan {
 		out := results[i]
-		if out.err != nil {
-			return nil, out.err
-		}
 		regions := []*RecoveryRegion{&res.Total, &res.RAM}
 		if j.stack {
 			regions[1] = &res.Stack
@@ -295,6 +326,40 @@ func RecoveryStudy(opts Options, ramLocations, stackLocations int, specs []erm.S
 		}
 	}
 	return res, nil
+}
+
+func (c *recoveryCampaign) ShardKey(j recJob, _ int) uint64 {
+	return shardKeyFor(c.opts, c.opts.Cases[j.caseIdx])
+}
+
+func (c *recoveryCampaign) Describe(j recJob, index int) string {
+	arm := [...]string{"baseline", "wrapped", "hardened"}[j.arm]
+	return describeRun(c.opts, "recovery", index, j.caseIdx) + " arm=" + arm
+}
+
+// RecoveryStudy runs the internal error model three times over the same
+// sampled locations — without recovery, with the containment wrappers,
+// and with the hardened DIST_S — and compares failure rates. specs
+// defaults to target.DefaultERMSpecs() when nil.
+func RecoveryStudy(ctx context.Context, opts Options, ramLocations, stackLocations int, specs []erm.Spec) (*RecoveryStudyResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if ramLocations < 1 || stackLocations < 1 {
+		return nil, fmt.Errorf("experiment: location counts must be >= 1")
+	}
+	if specs == nil {
+		specs = target.DefaultERMSpecs()
+	}
+	golds, err := goldens(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	c := &recoveryCampaign{
+		opts: opts, ramLocations: ramLocations, stackLocations: stackLocations,
+		specs: specs, golds: golds,
+	}
+	return campaign.Execute[recJob, recOutcome, *RecoveryStudyResult](ctx, c, opts.executor(), opts.Timings)
 }
 
 // severeRun executes one internal-model run, optionally with recovery

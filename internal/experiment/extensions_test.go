@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/fi"
@@ -11,7 +12,7 @@ import (
 
 func TestErrorModelSensitivitySmall(t *testing.T) {
 	opts := smallOpts()
-	res, err := ErrorModelSensitivity(opts, 10)
+	res, err := ErrorModelSensitivity(context.Background(), opts, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,19 +42,19 @@ func TestErrorModelSensitivitySmall(t *testing.T) {
 }
 
 func TestErrorModelSensitivityRejectsBadArgs(t *testing.T) {
-	if _, err := ErrorModelSensitivity(smallOpts(), 0); err == nil {
+	if _, err := ErrorModelSensitivity(context.Background(), smallOpts(), 0); err == nil {
 		t.Error("perModel 0 accepted")
 	}
 	bad := smallOpts()
 	bad.Workers = 0
-	if _, err := ErrorModelSensitivity(bad, 5); err == nil {
+	if _, err := ErrorModelSensitivity(context.Background(), bad, 5); err == nil {
 		t.Error("invalid options accepted")
 	}
 }
 
 func TestRecoveryStudySmall(t *testing.T) {
 	opts := smallOpts()
-	res, err := RecoveryStudy(opts, 15, 10, nil)
+	res, err := RecoveryStudy(context.Background(), opts, 15, 10, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestHardenedDistSReducesDominantFailures(t *testing.T) {
 		t.Skip("medium campaign")
 	}
 	opts := smallOpts()
-	golds, err := goldens(opts)
+	golds, err := goldens(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestWrappersSilentOnGoldenRuns(t *testing.T) {
 
 func TestCoverageLatenciesNonNegative(t *testing.T) {
 	opts := smallOpts()
-	res, err := InputCoverage(opts, 16, nil)
+	res, err := InputCoverage(context.Background(), opts, 16, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestCoverageLatenciesNonNegative(t *testing.T) {
 
 func TestSubsumptionCountsConsistent(t *testing.T) {
 	opts := smallOpts()
-	res, err := InputCoverage(opts, 24, nil)
+	res, err := InputCoverage(context.Background(), opts, 24, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestEATightnessStudy(t *testing.T) {
 	}
 	opts := smallOpts()
 	steps := []model.Word{2, 8, 16, 64}
-	points, err := EATightnessStudy(opts, 30, steps)
+	points, err := EATightnessStudy(context.Background(), opts, 30, steps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,10 +268,10 @@ func TestEATightnessStudy(t *testing.T) {
 
 func TestEATightnessStudyRejectsBadArgs(t *testing.T) {
 	opts := smallOpts()
-	if _, err := EATightnessStudy(opts, 0, []model.Word{8}); err == nil {
+	if _, err := EATightnessStudy(context.Background(), opts, 0, []model.Word{8}); err == nil {
 		t.Error("zero perStep accepted")
 	}
-	if _, err := EATightnessStudy(opts, 5, nil); err == nil {
+	if _, err := EATightnessStudy(context.Background(), opts, 5, nil); err == nil {
 		t.Error("no steps accepted")
 	}
 }
@@ -280,7 +281,7 @@ func TestEAIntegrationStudy(t *testing.T) {
 		t.Skip("medium campaign")
 	}
 	opts := smallOpts()
-	pt, err := EAIntegrationStudy(opts, 60)
+	pt, err := EAIntegrationStudy(context.Background(), opts, 60)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +305,7 @@ func TestEAIntegrationStudy(t *testing.T) {
 }
 
 func TestEAIntegrationStudyRejectsBadArgs(t *testing.T) {
-	if _, err := EAIntegrationStudy(smallOpts(), 0); err == nil {
+	if _, err := EAIntegrationStudy(context.Background(), smallOpts(), 0); err == nil {
 		t.Error("zero perSignal accepted")
 	}
 }

@@ -1,11 +1,14 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"repro/internal/campaign"
 	"repro/internal/ea"
 	"repro/internal/fi"
+	"repro/internal/model"
 	"repro/internal/stats"
 	"repro/internal/target"
 )
@@ -31,131 +34,103 @@ type IntegrationPoint struct {
 	GoldenRuns, InjectedRuns int
 }
 
-// EAIntegrationStudy measures how much detection the sampling
-// deployment loses to sub-period self-correcting transients, by running
-// identical PACNT injections against a sampled and a write-triggered
-// pulscnt assertion simultaneously. It quantifies the Table 4 deviation
-// discussed in EXPERIMENTS.md (our 0.79 vs the paper's 0.975).
-func EAIntegrationStudy(opts Options, perSignal int) (*IntegrationPoint, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
-	if perSignal < 1 {
-		return nil, fmt.Errorf("experiment: perSignal %d must be >= 1", perSignal)
-	}
-	golds, err := goldens(opts)
-	if err != nil {
-		return nil, err
-	}
-	sys := target.SharedSystem()
-	consumers := sys.ConsumersOf(target.SigPACNT)
-	if len(consumers) != 1 {
-		return nil, fmt.Errorf("experiment: PACNT has %d consumers", len(consumers))
-	}
-	port := consumers[0]
-	sig, _ := sys.Signal(target.SigPACNT)
+// integJob is one integration-study run: either the case's fault-free
+// run or injection k.
+type integJob struct {
+	caseIdx, k int
+	golden     bool
+}
 
-	ea4 := func() ea.Spec {
-		for _, s := range target.AllEASpecs() {
-			if s.Name == target.EA4 {
-				return s
-			}
-		}
-		panic("EA4 spec missing")
-	}()
+// integOutcome is one run's verdict under all three banks.
+type integOutcome struct {
+	golden                    bool
+	active                    bool
+	sampled, inlined, tightOn bool
+}
 
-	perCase := perSignal / len(opts.Cases)
+// integrationCampaign is the EA-integration study on the engine.
+type integrationCampaign struct {
+	opts       Options
+	perSignal  int
+	golds      []*golden
+	port       model.PortRef
+	sig        *model.Signal
+	ea4, tight ea.Spec
+}
+
+func (c *integrationCampaign) Name() string { return "integration" }
+
+func (c *integrationCampaign) Plan() ([]integJob, error) {
+	perCase := c.perSignal / len(c.opts.Cases)
 	if perCase < 1 {
 		perCase = 1
 	}
-	tight := ea4
-	tight.Name = "EA4i"
-	tight.MaxStep = 8
-
-	type job struct {
-		caseIdx, k int
-		golden     bool
-	}
-	var plan []job
-	for ci := range opts.Cases {
-		plan = append(plan, job{caseIdx: ci, golden: true})
+	var plan []integJob
+	for ci := range c.opts.Cases {
+		plan = append(plan, integJob{caseIdx: ci, golden: true})
 		for k := 0; k < perCase; k++ {
-			plan = append(plan, job{caseIdx: ci, k: k})
+			plan = append(plan, integJob{caseIdx: ci, k: k})
 		}
 	}
+	return plan, nil
+}
 
-	type outcome struct {
-		golden                    bool
-		active                    bool
-		sampled, inlined, tightOn bool
-		err                       error
+func (c *integrationCampaign) Execute(_ context.Context, j integJob, _ int) (integOutcome, error) {
+	g := c.golds[j.caseIdx]
+	rig, err := target.AcquireRig(g.tc.Config(caseSeed(c.opts, g.tc)))
+	if err != nil {
+		return integOutcome{}, err
 	}
-	results := make([]outcome, len(plan))
-	parallelFor(len(plan), opts.Workers, func(i int) {
-		j := plan[i]
-		g := golds[j.caseIdx]
-		rig, err := target.AcquireRig(g.tc.Config(caseSeed(opts, g.tc)))
-		if err != nil {
-			results[i] = outcome{err: err}
-			return
-		}
-		defer target.ReleaseRig(rig)
-		sampledBank, err := ea.NewBank(rig.Bus, target.ControlPeriodMs, []ea.Spec{ea4})
-		if err != nil {
-			results[i] = outcome{err: err}
-			return
-		}
-		rig.Sched.OnPostSlot(sampledBank.Hook)
-		writeBank, err := ea.NewWriteBank(rig.Bus, []ea.Spec{ea4})
-		if err != nil {
-			results[i] = outcome{err: err}
-			return
-		}
-		rig.Sched.OnPreSlot(writeBank.Hook)
-		rig.Bus.OnWrite(writeBank.WriteHook())
-		tightBank, err := ea.NewWriteBank(rig.Bus, []ea.Spec{tight})
-		if err != nil {
-			results[i] = outcome{err: err}
-			return
-		}
-		rig.Sched.OnPreSlot(tightBank.Hook)
-		rig.Bus.OnWrite(tightBank.WriteHook())
+	defer target.ReleaseRig(rig)
+	sampledBank, err := ea.NewBank(rig.Bus, target.ControlPeriodMs, []ea.Spec{c.ea4})
+	if err != nil {
+		return integOutcome{}, err
+	}
+	rig.Sched.OnPostSlot(sampledBank.Hook)
+	writeBank, err := ea.NewWriteBank(rig.Bus, []ea.Spec{c.ea4})
+	if err != nil {
+		return integOutcome{}, err
+	}
+	rig.Sched.OnPreSlot(writeBank.Hook)
+	rig.Bus.OnWrite(writeBank.WriteHook())
+	tightBank, err := ea.NewWriteBank(rig.Bus, []ea.Spec{c.tight})
+	if err != nil {
+		return integOutcome{}, err
+	}
+	rig.Sched.OnPreSlot(tightBank.Hook)
+	rig.Bus.OnWrite(tightBank.WriteHook())
 
-		active := true
-		if !j.golden {
-			rng := rand.New(rand.NewSource(runSeed(opts, "integ", j.caseIdx*1_000_000+j.k)))
-			flip := &fi.ReadFlip{
-				Port:   port,
-				Bit:    uint8(rng.Intn(int(sig.Type.Width))),
-				FromMs: rng.Int63n(g.arrestMs),
-			}
-			inj := fi.NewInjector(flip)
-			rig.Sched.OnPreSlot(inj.Hook)
-			rig.Bus.OnRead(inj.ReadHook())
-			if err := rig.RunFor(g.horizonMs); err != nil {
-				results[i] = outcome{err: err}
-				return
-			}
-			applied, at := flip.Applied()
-			active = applied && at < g.arrestMs
-		} else if err := rig.RunFor(g.horizonMs); err != nil {
-			results[i] = outcome{err: err}
-			return
+	active := true
+	if !j.golden {
+		rng := rand.New(rand.NewSource(runSeed(c.opts, "integ", j.caseIdx*1_000_000+j.k)))
+		flip := &fi.ReadFlip{
+			Port:   c.port,
+			Bit:    uint8(rng.Intn(int(c.sig.Type.Width))),
+			FromMs: rng.Int63n(g.arrestMs),
 		}
-		results[i] = outcome{
-			golden:  j.golden,
-			active:  active,
-			sampled: sampledBank.Detected(),
-			inlined: writeBank.Detected(),
-			tightOn: tightBank.Detected(),
+		inj := fi.NewInjector(flip)
+		rig.Sched.OnPreSlot(inj.Hook)
+		rig.Bus.OnRead(inj.ReadHook())
+		if err := rig.RunFor(g.horizonMs); err != nil {
+			return integOutcome{}, err
 		}
-	})
+		applied, at := flip.Applied()
+		active = applied && at < g.arrestMs
+	} else if err := rig.RunFor(g.horizonMs); err != nil {
+		return integOutcome{}, err
+	}
+	return integOutcome{
+		golden:  j.golden,
+		active:  active,
+		sampled: sampledBank.Detected(),
+		inlined: writeBank.Detected(),
+		tightOn: tightBank.Detected(),
+	}, nil
+}
 
+func (c *integrationCampaign) Reduce(_ []integJob, results []integOutcome) (*IntegrationPoint, error) {
 	var pt IntegrationPoint
 	for _, out := range results {
-		if out.err != nil {
-			return nil, out.err
-		}
 		if out.golden {
 			pt.GoldenRuns++
 			if out.tightOn {
@@ -172,4 +147,58 @@ func EAIntegrationStudy(opts Options, perSignal int) (*IntegrationPoint, error) 
 		pt.TightInline.Add(out.tightOn)
 	}
 	return &pt, nil
+}
+
+func (c *integrationCampaign) ShardKey(j integJob, _ int) uint64 {
+	return shardKeyFor(c.opts, c.opts.Cases[j.caseIdx])
+}
+
+func (c *integrationCampaign) Describe(j integJob, index int) string {
+	kind := "injected"
+	if j.golden {
+		kind = "golden"
+	}
+	return describeRun(c.opts, "integ", index, j.caseIdx) + " " + kind
+}
+
+// EAIntegrationStudy measures how much detection the sampling
+// deployment loses to sub-period self-correcting transients, by running
+// identical PACNT injections against a sampled and a write-triggered
+// pulscnt assertion simultaneously. It quantifies the Table 4 deviation
+// discussed in EXPERIMENTS.md (our 0.868 vs the paper's 0.975).
+func EAIntegrationStudy(ctx context.Context, opts Options, perSignal int) (*IntegrationPoint, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if perSignal < 1 {
+		return nil, fmt.Errorf("experiment: perSignal %d must be >= 1", perSignal)
+	}
+	golds, err := goldens(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	sys := target.SharedSystem()
+	consumers := sys.ConsumersOf(target.SigPACNT)
+	if len(consumers) != 1 {
+		return nil, fmt.Errorf("experiment: PACNT has %d consumers", len(consumers))
+	}
+	sig, _ := sys.Signal(target.SigPACNT)
+
+	ea4 := func() ea.Spec {
+		for _, s := range target.AllEASpecs() {
+			if s.Name == target.EA4 {
+				return s
+			}
+		}
+		panic("EA4 spec missing")
+	}()
+	tight := ea4
+	tight.Name = "EA4i"
+	tight.MaxStep = 8
+
+	c := &integrationCampaign{
+		opts: opts, perSignal: perSignal, golds: golds,
+		port: consumers[0], sig: sig, ea4: ea4, tight: tight,
+	}
+	return campaign.Execute[integJob, integOutcome, *IntegrationPoint](ctx, c, opts.executor(), opts.Timings)
 }

@@ -1,9 +1,11 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/fi"
 	"repro/internal/model"
@@ -25,46 +27,43 @@ type PermeabilityResult struct {
 	ActiveRuns, TotalRuns int
 }
 
-// EstimatePermeability runs the Section 5.3 campaign on the
-// reimplemented target: for every module input, inject single transient
-// bit-flips at the module's reads (spread over the test cases and over
-// run time), compare every module output against the golden run, and
-// count only direct errors — output deviations observed before any other
-// input of the module deviates, so errors that loop back through
-// downstream modules are excluded.
-//
-// perInput is the total number of injections per module input across all
-// test cases (the paper used 2000 per target signal).
-func EstimatePermeability(opts Options, perInput int) (*PermeabilityResult, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
-	if perInput < 1 {
-		return nil, fmt.Errorf("experiment: perInput %d must be >= 1", perInput)
-	}
-	golds, err := goldens(opts)
-	if err != nil {
-		return nil, err
-	}
-	sys := target.SharedSystem()
+// permJob is one permeability injection run: a bit-flip at one module
+// input, evaluated against one test case's golden run.
+type permJob struct {
+	mod     *model.ModuleDecl
+	port    model.PortRef
+	sig     model.SignalID
+	caseIdx int
+}
 
-	perCase := perInput / len(opts.Cases)
+// permOutcome is one run's evaluation: whether the injection was active
+// and which module outputs deviated directly.
+type permOutcome struct {
+	active bool
+	direct map[int]bool // output index -> deviated directly
+}
+
+// permeabilityCampaign is the Table 1 campaign on the engine.
+type permeabilityCampaign struct {
+	opts     Options
+	perInput int
+	golds    []*golden
+	sys      *model.System
+}
+
+func (c *permeabilityCampaign) Name() string { return "permeability" }
+
+func (c *permeabilityCampaign) Plan() ([]permJob, error) {
+	perCase := c.perInput / len(c.opts.Cases)
 	if perCase < 1 {
 		perCase = 1
 	}
-
-	type job struct {
-		mod     *model.ModuleDecl
-		port    model.PortRef
-		sig     model.SignalID
-		caseIdx int
-	}
-	var plan []job
-	for _, mod := range sys.Modules() {
+	var plan []permJob
+	for _, mod := range c.sys.Modules() {
 		for _, in := range mod.Inputs {
-			for ci := range opts.Cases {
+			for ci := range c.opts.Cases {
 				for k := 0; k < perCase; k++ {
-					plan = append(plan, job{
+					plan = append(plan, permJob{
 						mod:     mod,
 						port:    model.PortRef{Module: mod.ID, Dir: model.DirIn, Index: in.Index},
 						sig:     in.Signal,
@@ -74,26 +73,20 @@ func EstimatePermeability(opts Options, perInput int) (*PermeabilityResult, erro
 			}
 		}
 	}
+	return plan, nil
+}
 
-	type outcome struct {
-		active bool
-		direct map[int]bool // output index -> deviated directly
-		err    error
-	}
-	results := make([]outcome, len(plan))
-	parallelFor(len(plan), opts.Workers, func(i int) {
-		results[i] = permeabilityRun(opts, golds[plan[i].caseIdx], plan[i].mod, plan[i].port, plan[i].sig, i)
-	})
+func (c *permeabilityCampaign) Execute(_ context.Context, j permJob, index int) (permOutcome, error) {
+	return permeabilityRun(c.opts, c.golds[j.caseIdx], j.mod, j.port, j.sig, index)
+}
 
+func (c *permeabilityCampaign) Reduce(plan []permJob, results []permOutcome) (*PermeabilityResult, error) {
 	res := &PermeabilityResult{
-		Matrix:  core.NewPermeability(sys),
+		Matrix:  core.NewPermeability(c.sys),
 		Samples: make(map[model.Edge]stats.Proportion),
 	}
 	for i, job := range plan {
 		out := results[i]
-		if out.err != nil {
-			return nil, out.err
-		}
 		res.TotalRuns++
 		if !out.active {
 			continue
@@ -117,19 +110,48 @@ func EstimatePermeability(opts Options, perInput int) (*PermeabilityResult, erro
 	return res, nil
 }
 
+func (c *permeabilityCampaign) ShardKey(j permJob, _ int) uint64 {
+	return shardKeyFor(c.opts, c.opts.Cases[j.caseIdx])
+}
+
+func (c *permeabilityCampaign) Describe(j permJob, index int) string {
+	return describeRun(c.opts, "perm", index, j.caseIdx) + " signal=" + string(j.sig)
+}
+
+// EstimatePermeability runs the Section 5.3 campaign on the
+// reimplemented target: for every module input, inject single transient
+// bit-flips at the module's reads (spread over the test cases and over
+// run time), compare every module output against the golden run, and
+// count only direct errors — output deviations observed before any other
+// input of the module deviates, so errors that loop back through
+// downstream modules are excluded.
+//
+// perInput is the total number of injections per module input across all
+// test cases (the paper used 2000 per target signal).
+func EstimatePermeability(ctx context.Context, opts Options, perInput int) (*PermeabilityResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if perInput < 1 {
+		return nil, fmt.Errorf("experiment: perInput %d must be >= 1", perInput)
+	}
+	golds, err := goldens(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	c := &permeabilityCampaign{opts: opts, perInput: perInput, golds: golds, sys: target.SharedSystem()}
+	return campaign.Execute[permJob, permOutcome, *PermeabilityResult](ctx, c, opts.executor(), opts.Timings)
+}
+
 // permeabilityRun executes one injection run and evaluates direct output
 // deviations against the golden trace.
-func permeabilityRun(opts Options, g *golden, mod *model.ModuleDecl, port model.PortRef, sig model.SignalID, index int) (out struct {
-	active bool
-	direct map[int]bool
-	err    error
-}) {
+func permeabilityRun(opts Options, g *golden, mod *model.ModuleDecl, port model.PortRef, sig model.SignalID, index int) (permOutcome, error) {
+	var out permOutcome
 	rng := rand.New(rand.NewSource(runSeed(opts, "perm", index)))
 
 	rig, err := target.AcquireRig(g.tc.Config(caseSeed(opts, g.tc)))
 	if err != nil {
-		out.err = err
-		return out
+		return out, err
 	}
 	defer target.ReleaseRig(rig)
 
@@ -168,15 +190,14 @@ func permeabilityRun(opts Options, g *golden, mod *model.ModuleDecl, port model.
 	rig.Sched.OnPostSlot(rec.Hook)
 
 	if err := rig.RunFor(g.horizonMs); err != nil {
-		out.err = err
-		return out
+		return out, err
 	}
 
 	applied, at := flip.Applied()
 	out.active = applied && at < g.arrestMs
 	out.direct = make(map[int]bool, len(mod.Outputs))
 	if !out.active {
-		return out
+		return out, nil
 	}
 
 	ir := rec.Trace()
@@ -192,7 +213,7 @@ func permeabilityRun(opts Options, g *golden, mod *model.ModuleDecl, port model.
 		fd := trace.FirstDifference(g.trace, ir, op.Signal)
 		out.direct[op.Index] = fd != trace.NoDifference && (cutoff < 0 || fd <= cutoff)
 	}
-	return out
+	return out, nil
 }
 
 func dedupSignals(in []model.SignalID) []model.SignalID {

@@ -1,9 +1,11 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"repro/internal/campaign"
 	"repro/internal/ea"
 	"repro/internal/fi"
 	"repro/internal/model"
@@ -27,120 +29,103 @@ type TightnessPoint struct {
 	GoldenRuns, InjectedRuns int
 }
 
-// EATightnessStudy sweeps the pulscnt assertion's MaxStep and measures,
-// for each setting, (a) detection coverage for transient PACNT errors
-// and (b) false positives on fault-free runs — the trade the paper's EA
-// parameters navigate implicitly. perStep is the number of injections
-// per setting across all cases.
-func EATightnessStudy(opts Options, perStep int, steps []model.Word) ([]TightnessPoint, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
-	if perStep < 1 {
-		return nil, fmt.Errorf("experiment: perStep %d must be >= 1", perStep)
-	}
-	if len(steps) == 0 {
-		return nil, fmt.Errorf("experiment: no step settings")
-	}
-	golds, err := goldens(opts)
-	if err != nil {
-		return nil, err
-	}
-	sys := target.SharedSystem()
-	consumers := sys.ConsumersOf(target.SigPACNT)
-	if len(consumers) != 1 {
-		return nil, fmt.Errorf("experiment: PACNT has %d consumers", len(consumers))
-	}
-	port := consumers[0]
-	sig, _ := sys.Signal(target.SigPACNT)
+// tightJob is one run of the tightness sweep: either a fault-free run
+// (golden) or injection k, under step setting stepIdx.
+type tightJob struct {
+	stepIdx int
+	caseIdx int
+	k       int
+	golden  bool
+}
 
-	spec := func(maxStep model.Word) ea.Spec {
-		return ea.Spec{
-			Name: "EA4t", Signal: target.SigPulscnt, Kind: ea.KindCounter,
-			MinStep: 0, MaxStep: maxStep, WrapWidth: 16, WarmupChecks: 2,
-		}
-	}
+// tightOutcome is one run's verdict.
+type tightOutcome struct {
+	active   bool
+	detected bool
+}
 
-	perCase := perStep / len(opts.Cases)
+// tightnessCampaign is the A2 ablation on the engine.
+type tightnessCampaign struct {
+	opts    Options
+	perStep int
+	steps   []model.Word
+	golds   []*golden
+	port    model.PortRef
+	sig     *model.Signal
+}
+
+func (c *tightnessCampaign) Name() string { return "tightness" }
+
+func (c *tightnessCampaign) Plan() ([]tightJob, error) {
+	perCase := c.perStep / len(c.opts.Cases)
 	if perCase < 1 {
 		perCase = 1
 	}
-
-	type job struct {
-		stepIdx int
-		caseIdx int
-		k       int
-		golden  bool
-	}
-	var plan []job
-	for si := range steps {
-		for ci := range opts.Cases {
-			plan = append(plan, job{stepIdx: si, caseIdx: ci, golden: true})
+	var plan []tightJob
+	for si := range c.steps {
+		for ci := range c.opts.Cases {
+			plan = append(plan, tightJob{stepIdx: si, caseIdx: ci, golden: true})
 			for k := 0; k < perCase; k++ {
-				plan = append(plan, job{stepIdx: si, caseIdx: ci, k: k})
+				plan = append(plan, tightJob{stepIdx: si, caseIdx: ci, k: k})
 			}
 		}
 	}
+	return plan, nil
+}
 
-	type outcome struct {
-		active   bool
-		detected bool
-		err      error
+func (c *tightnessCampaign) spec(maxStep model.Word) ea.Spec {
+	return ea.Spec{
+		Name: "EA4t", Signal: target.SigPulscnt, Kind: ea.KindCounter,
+		MinStep: 0, MaxStep: maxStep, WrapWidth: 16, WarmupChecks: 2,
 	}
-	results := make([]outcome, len(plan))
-	parallelFor(len(plan), opts.Workers, func(i int) {
-		j := plan[i]
-		g := golds[j.caseIdx]
-		rig, err := target.AcquireRig(g.tc.Config(caseSeed(opts, g.tc)))
-		if err != nil {
-			results[i] = outcome{err: err}
-			return
-		}
-		defer target.ReleaseRig(rig)
-		bank, err := ea.NewBank(rig.Bus, target.ControlPeriodMs, []ea.Spec{spec(steps[j.stepIdx])})
-		if err != nil {
-			results[i] = outcome{err: err}
-			return
-		}
-		rig.Sched.OnPostSlot(bank.Hook)
+}
 
-		active := true
-		if !j.golden {
-			// Identical injections across settings: the seed depends on
-			// the case and iteration only, so every budget is evaluated
-			// against the same error set and coverage is exactly monotone
-			// in the budget.
-			rng := rand.New(rand.NewSource(runSeed(opts, "tight", j.caseIdx*1_000_000+j.k)))
-			flip := &fi.ReadFlip{
-				Port:   port,
-				Bit:    uint8(rng.Intn(int(sig.Type.Width))),
-				FromMs: rng.Int63n(g.arrestMs),
-			}
-			inj := fi.NewInjector(flip)
-			rig.Sched.OnPreSlot(inj.Hook)
-			rig.Bus.OnRead(inj.ReadHook())
-			if err := rig.RunFor(g.horizonMs); err != nil {
-				results[i] = outcome{err: err}
-				return
-			}
-			applied, at := flip.Applied()
-			active = applied && at < g.arrestMs
-		} else if err := rig.RunFor(g.horizonMs); err != nil {
-			results[i] = outcome{err: err}
-			return
-		}
-		results[i] = outcome{active: active, detected: bank.Detected()}
-	})
+func (c *tightnessCampaign) Execute(_ context.Context, j tightJob, _ int) (tightOutcome, error) {
+	g := c.golds[j.caseIdx]
+	rig, err := target.AcquireRig(g.tc.Config(caseSeed(c.opts, g.tc)))
+	if err != nil {
+		return tightOutcome{}, err
+	}
+	defer target.ReleaseRig(rig)
+	bank, err := ea.NewBank(rig.Bus, target.ControlPeriodMs, []ea.Spec{c.spec(c.steps[j.stepIdx])})
+	if err != nil {
+		return tightOutcome{}, err
+	}
+	rig.Sched.OnPostSlot(bank.Hook)
 
-	points := make([]TightnessPoint, len(steps))
-	for i := range steps {
-		points[i].MaxStep = steps[i]
+	active := true
+	if !j.golden {
+		// Identical injections across settings: the seed depends on
+		// the case and iteration only, so every budget is evaluated
+		// against the same error set and coverage is exactly monotone
+		// in the budget.
+		rng := rand.New(rand.NewSource(runSeed(c.opts, "tight", j.caseIdx*1_000_000+j.k)))
+		flip := &fi.ReadFlip{
+			Port:   c.port,
+			Bit:    uint8(rng.Intn(int(c.sig.Type.Width))),
+			FromMs: rng.Int63n(g.arrestMs),
+		}
+		inj := fi.NewInjector(flip)
+		rig.Sched.OnPreSlot(inj.Hook)
+		rig.Bus.OnRead(inj.ReadHook())
+		if err := rig.RunFor(g.horizonMs); err != nil {
+			return tightOutcome{}, err
+		}
+		applied, at := flip.Applied()
+		active = applied && at < g.arrestMs
+	} else if err := rig.RunFor(g.horizonMs); err != nil {
+		return tightOutcome{}, err
+	}
+	return tightOutcome{active: active, detected: bank.Detected()}, nil
+}
+
+func (c *tightnessCampaign) Reduce(plan []tightJob, results []tightOutcome) ([]TightnessPoint, error) {
+	points := make([]TightnessPoint, len(c.steps))
+	for i := range c.steps {
+		points[i].MaxStep = c.steps[i]
 	}
 	for i, j := range plan {
 		out := results[i]
-		if out.err != nil {
-			return nil, out.err
-		}
 		pt := &points[j.stepIdx]
 		if j.golden {
 			pt.GoldenRuns++
@@ -155,4 +140,49 @@ func EATightnessStudy(opts Options, perStep int, steps []model.Word) ([]Tightnes
 		}
 	}
 	return points, nil
+}
+
+func (c *tightnessCampaign) ShardKey(j tightJob, _ int) uint64 {
+	return shardKeyFor(c.opts, c.opts.Cases[j.caseIdx])
+}
+
+func (c *tightnessCampaign) Describe(j tightJob, index int) string {
+	kind := "injected"
+	if j.golden {
+		kind = "golden"
+	}
+	return describeRun(c.opts, "tight", index, j.caseIdx) +
+		fmt.Sprintf(" step=%d %s", c.steps[j.stepIdx], kind)
+}
+
+// EATightnessStudy sweeps the pulscnt assertion's MaxStep and measures,
+// for each setting, (a) detection coverage for transient PACNT errors
+// and (b) false positives on fault-free runs — the trade the paper's EA
+// parameters navigate implicitly. perStep is the number of injections
+// per setting across all cases.
+func EATightnessStudy(ctx context.Context, opts Options, perStep int, steps []model.Word) ([]TightnessPoint, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if perStep < 1 {
+		return nil, fmt.Errorf("experiment: perStep %d must be >= 1", perStep)
+	}
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("experiment: no step settings")
+	}
+	golds, err := goldens(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	sys := target.SharedSystem()
+	consumers := sys.ConsumersOf(target.SigPACNT)
+	if len(consumers) != 1 {
+		return nil, fmt.Errorf("experiment: PACNT has %d consumers", len(consumers))
+	}
+	sig, _ := sys.Signal(target.SigPACNT)
+	c := &tightnessCampaign{
+		opts: opts, perStep: perStep, steps: steps, golds: golds,
+		port: consumers[0], sig: sig,
+	}
+	return campaign.Execute[tightJob, tightOutcome, []TightnessPoint](ctx, c, opts.executor(), opts.Timings)
 }

@@ -1,65 +1,17 @@
 package experiment
 
-import (
-	"encoding/json"
-	"fmt"
-	"os"
-	"time"
-)
+import "repro/internal/campaign"
 
-// CampaignTiming is one row of the BENCH_campaigns.json report the
-// campaign commands emit: how many injection runs a campaign executed,
-// how long it took, and the resulting throughput.
-type CampaignTiming struct {
-	Campaign   string  `json:"campaign"`
-	Runs       int     `json:"runs"`
-	WallS      float64 `json:"wall_s"`
-	RunsPerSec float64 `json:"runs_per_sec"`
-}
-
-// NewCampaignTiming builds one timing row from a campaign's run count
-// and wall-clock duration.
-func NewCampaignTiming(campaign string, runs int, wall time.Duration) CampaignTiming {
-	t := CampaignTiming{
-		Campaign: campaign,
-		Runs:     runs,
-		WallS:    wall.Seconds(),
-	}
-	if t.WallS > 0 {
-		t.RunsPerSec = float64(runs) / t.WallS
-	}
-	return t
-}
-
-// benchReport is the BENCH_campaigns.json document.
-type benchReport struct {
-	Seed      int64            `json:"seed"`
-	Workers   int              `json:"workers"`
-	Campaigns []CampaignTiming `json:"campaigns"`
-	// GoldenCache reports the process-wide reference-run reuse at write
-	// time (cached runs, lookup hits, lookup misses).
-	GoldenCache struct {
-		Size   int   `json:"size"`
-		Hits   int64 `json:"hits"`
-		Misses int64 `json:"misses"`
-	} `json:"golden_cache"`
-}
-
-// WriteCampaignTimings writes the timing rows (plus golden-cache
-// statistics) as JSON to path. An empty path disables the report.
-func WriteCampaignTimings(path string, seed int64, workers int, timings []CampaignTiming) error {
-	if path == "" || len(timings) == 0 {
+// WriteCampaignTimings writes the rows an engine-level Collector
+// observed — one per campaign the invocation ran — as
+// BENCH_campaigns.json, annotated with the process-wide golden-cache
+// traffic at write time. An empty path or a nil collector disables the
+// report.
+func WriteCampaignTimings(path string, seed int64, workers int, col *campaign.Collector) error {
+	if col == nil {
 		return nil
 	}
-	rep := benchReport{Seed: seed, Workers: workers, Campaigns: timings}
-	rep.GoldenCache.Size, rep.GoldenCache.Hits, rep.GoldenCache.Misses = GoldenCacheStats()
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return fmt.Errorf("experiment: writing campaign timings: %w", err)
-	}
-	return nil
+	size, hits, misses := GoldenCacheStats()
+	cache := campaign.CacheStats{Size: size, Hits: hits, Misses: misses}
+	return campaign.WriteBench(path, seed, workers, col.Rows(), cache)
 }

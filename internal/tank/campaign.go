@@ -1,9 +1,11 @@
 package tank
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/fi"
 	"repro/internal/model"
@@ -52,41 +54,55 @@ type CampaignResult struct {
 	Runs    int
 }
 
-// EstimatePermeability runs the paper's permeability-estimation method
-// on the tank target: single transient bit-flips at every module input,
-// golden-run comparison per output, direct errors only. It validates
-// the framework's "generalized applicability" beyond the arrestment
-// system (the paper's stated future work).
-func EstimatePermeability(opts CampaignOptions) (*CampaignResult, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
-	sys := NewSystem()
+// tankJob is one injection run: a bit-flip at one module input port,
+// against one case's golden trace.
+type tankJob struct {
+	mod     *model.ModuleDecl
+	port    model.PortRef
+	sig     *model.Signal
+	caseIdx int
+	// watch and cutoffs implement the direct-errors-only rule for this
+	// input (shared across the port's jobs).
+	watch, cutoffs []model.SignalID
+}
 
+// tankOutcome is one run's evaluation.
+type tankOutcome struct {
+	applied bool
+	ir      *trace.Trace
+}
+
+// tankCampaign is the tank permeability estimation on the shared
+// campaign engine — the same Plan/Execute/Reduce decomposition the
+// arrestment campaigns use, demonstrating it is target-independent.
+type tankCampaign struct {
+	opts    CampaignOptions
+	sys     *model.System
+	goldens []*trace.Trace
+}
+
+func (c *tankCampaign) Name() string { return "tank-permeability" }
+
+func (c *tankCampaign) Plan() ([]tankJob, error) {
 	// Golden traces per case.
-	goldens := make([]*trace.Trace, len(opts.Cases))
-	for i, tc := range opts.Cases {
-		tr, err := runOnce(tc.Config(opts.Seed*101+int64(tc.ID)), AllSignals(), opts.RunMs, nil)
+	c.goldens = make([]*trace.Trace, len(c.opts.Cases))
+	for i, tc := range c.opts.Cases {
+		tr, err := runOnce(tc.Config(c.opts.Seed*101+int64(tc.ID)), AllSignals(), c.opts.RunMs, nil)
 		if err != nil {
 			return nil, err
 		}
-		goldens[i] = tr
+		c.goldens[i] = tr
 	}
 
-	perCase := opts.PerInput / len(opts.Cases)
+	perCase := c.opts.PerInput / len(c.opts.Cases)
 	if perCase < 1 {
 		perCase = 1
 	}
-
-	res := &CampaignResult{
-		Matrix:  core.NewPermeability(sys),
-		Samples: make(map[model.Edge]stats.Proportion),
-	}
-	runIdx := 0
-	for _, mod := range sys.Modules() {
+	var plan []tankJob
+	for _, mod := range c.sys.Modules() {
 		for _, in := range mod.Inputs {
 			port := model.PortRef{Module: mod.ID, Dir: model.DirIn, Index: in.Index}
-			sig, _ := sys.Signal(in.Signal)
+			sig, _ := c.sys.Signal(in.Signal)
 
 			// Watch the module's outputs and its cutoff inputs.
 			outputs := map[model.SignalID]bool{}
@@ -104,42 +120,62 @@ func EstimatePermeability(opts CampaignOptions) (*CampaignResult, error) {
 				cutoffs = append(cutoffs, other.Signal)
 			}
 
-			for ci, tc := range opts.Cases {
+			for ci := range c.opts.Cases {
 				for k := 0; k < perCase; k++ {
-					rng := rand.New(rand.NewSource(opts.Seed*100_003 + int64(runIdx)))
-					runIdx++
-					flip := &fi.ReadFlip{
-						Port:   port,
-						Bit:    uint8(rng.Intn(int(sig.Type.Width))),
-						FromMs: rng.Int63n(opts.RunMs - 1000),
-					}
-					inj := fi.NewInjector(flip)
-					ir, err := runOnce(tc.Config(opts.Seed*101+int64(tc.ID)), watch, opts.RunMs, inj)
-					if err != nil {
-						return nil, err
-					}
-					res.Runs++
-					if ok, _ := flip.Applied(); !ok {
-						continue
-					}
-					cutoff := -1
-					for _, s := range cutoffs {
-						if fd := trace.FirstDifference(goldens[ci], ir, s); fd != trace.NoDifference {
-							if cutoff < 0 || fd < cutoff {
-								cutoff = fd
-							}
-						}
-					}
-					for _, op := range mod.Outputs {
-						fd := trace.FirstDifference(goldens[ci], ir, op.Signal)
-						direct := fd != trace.NoDifference && (cutoff < 0 || fd <= cutoff)
-						e := model.Edge{Module: mod.ID, In: in.Index, Out: op.Index, From: in.Signal, To: op.Signal}
-						p := res.Samples[e]
-						p.Add(direct)
-						res.Samples[e] = p
-					}
+					plan = append(plan, tankJob{
+						mod: mod, port: port, sig: sig, caseIdx: ci,
+						watch: watch, cutoffs: cutoffs,
+					})
 				}
 			}
+		}
+	}
+	return plan, nil
+}
+
+func (c *tankCampaign) Execute(_ context.Context, j tankJob, index int) (tankOutcome, error) {
+	rng := rand.New(rand.NewSource(c.opts.Seed*100_003 + int64(index)))
+	tc := c.opts.Cases[j.caseIdx]
+	flip := &fi.ReadFlip{
+		Port:   j.port,
+		Bit:    uint8(rng.Intn(int(j.sig.Type.Width))),
+		FromMs: rng.Int63n(c.opts.RunMs - 1000),
+	}
+	inj := fi.NewInjector(flip)
+	ir, err := runOnce(tc.Config(c.opts.Seed*101+int64(tc.ID)), j.watch, c.opts.RunMs, inj)
+	if err != nil {
+		return tankOutcome{}, err
+	}
+	applied, _ := flip.Applied()
+	return tankOutcome{applied: applied, ir: ir}, nil
+}
+
+func (c *tankCampaign) Reduce(plan []tankJob, results []tankOutcome) (*CampaignResult, error) {
+	res := &CampaignResult{
+		Matrix:  core.NewPermeability(c.sys),
+		Samples: make(map[model.Edge]stats.Proportion),
+	}
+	for i, j := range plan {
+		out := results[i]
+		res.Runs++
+		if !out.applied {
+			continue
+		}
+		cutoff := -1
+		for _, s := range j.cutoffs {
+			if fd := trace.FirstDifference(c.goldens[j.caseIdx], out.ir, s); fd != trace.NoDifference {
+				if cutoff < 0 || fd < cutoff {
+					cutoff = fd
+				}
+			}
+		}
+		for _, op := range j.mod.Outputs {
+			fd := trace.FirstDifference(c.goldens[j.caseIdx], out.ir, op.Signal)
+			direct := fd != trace.NoDifference && (cutoff < 0 || fd <= cutoff)
+			e := model.Edge{Module: j.mod.ID, In: j.port.Index, Out: op.Index, From: j.sig.ID, To: op.Signal}
+			p := res.Samples[e]
+			p.Add(direct)
+			res.Samples[e] = p
 		}
 	}
 	for e, p := range res.Samples {
@@ -148,6 +184,23 @@ func EstimatePermeability(opts CampaignOptions) (*CampaignResult, error) {
 		}
 	}
 	return res, nil
+}
+
+func (c *tankCampaign) Describe(j tankJob, index int) string {
+	return fmt.Sprintf("seed=%d case=%d signal=%s", c.opts.Seed, c.opts.Cases[j.caseIdx].ID, j.sig.ID)
+}
+
+// EstimatePermeability runs the paper's permeability-estimation method
+// on the tank target: single transient bit-flips at every module input,
+// golden-run comparison per output, direct errors only. It validates
+// the framework's "generalized applicability" beyond the arrestment
+// system (the paper's stated future work).
+func EstimatePermeability(opts CampaignOptions) (*CampaignResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	c := &tankCampaign{opts: opts, sys: NewSystem()}
+	return campaign.Execute[tankJob, tankOutcome, *CampaignResult](context.Background(), c, campaign.Serial{}, nil)
 }
 
 // runOnce executes one tank run, recording the watch signals at slot
