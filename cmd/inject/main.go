@@ -18,6 +18,12 @@
 //	inject -campaign recovery [-ram 150] [-stack 50]
 //	inject -campaign tightness [-per-signal 500]
 //	inject -campaign integration [-per-signal 500]
+//
+// With -dispatch (or -checkpoint, which implies it) the campaign's
+// shards run in worker subprocesses — re-execs of this binary in a
+// hidden worker mode — with per-shard deadlines, retries and integrity
+// checks; -checkpoint journals finished shards so a killed campaign
+// resumes where it stopped. Results are byte-identical either way.
 package main
 
 import (
@@ -42,6 +48,10 @@ func main() {
 	}
 }
 
+// tightnessSteps is the MaxStep sweep of the tightness campaign. The
+// worker spec ships the same list, so parent and worker plans agree.
+func tightnessSteps() []model.Word { return []model.Word{2, 4, 8, 16, 32, 64} }
+
 func run() error {
 	camp := flag.String("campaign", "input",
 		"campaign: input, internal, models, recovery, tightness or integration")
@@ -53,15 +63,44 @@ func run() error {
 	shards := flag.Int("shards", 0, "plan shards (0 = default)")
 	benchOut := flag.String("bench-out", "BENCH_campaigns.json",
 		"campaign timing report path (empty disables)")
+	dispatchMode := flag.Bool("dispatch", false,
+		"run shards in fault-tolerant worker subprocesses")
+	checkpoint := flag.String("checkpoint", "",
+		"shard journal enabling kill/resume (implies -dispatch)")
+	shardTimeout := flag.Duration("shard-timeout", 0,
+		"per-shard worker deadline, e.g. 2m (0 = default)")
+	retries := flag.Int("retries", 0,
+		"shard retry budget (0 = default, -1 disables)")
+	workerShard := flag.Bool("worker-shard", false,
+		"internal: serve campaign shards to a parent dispatcher on stdin/stdout")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *workerShard {
+		return experiment.ServeWorker(ctx, os.Getenv(experiment.WorkerSpecEnv), os.Stdin, os.Stdout)
+	}
+	if err := experiment.ValidateDispatchFlags(*workers, *shards, *shardTimeout, *retries, *checkpoint, *dispatchMode); err != nil {
+		return err
+	}
+
 	opts := experiment.DefaultOptions(*seed)
 	opts.Workers = *workers
 	opts.Shards = *shards
 	opts.Timings = campaign.NewCollector()
+	if *dispatchMode || *checkpoint != "" {
+		steps := tightnessSteps()
+		spec := experiment.WorkerSpec{
+			PerSignal: *perSignal, RAMLocations: *ram, StackLocations: *stack,
+			PerModel: *perSignal, RecoveryRAM: *ram, RecoveryStack: *stack,
+			PerStep: *perSignal, Steps: steps, IntegPerSignal: *perSignal,
+		}
+		if err := experiment.SelfDispatch(&opts, spec, "-worker-shard",
+			*checkpoint, *shardTimeout, *retries, os.Stderr); err != nil {
+			return err
+		}
+	}
 
 	switch *camp {
 	case "input":
@@ -98,7 +137,7 @@ func run() error {
 		}
 		fmt.Println(report.RecoveryTable(res))
 	case "tightness":
-		steps := []model.Word{2, 4, 8, 16, 32, 64}
+		steps := tightnessSteps()
 		fmt.Fprintf(os.Stderr, "EA tightness sweep: %d injections per setting...\n", *perSignal)
 		res, err := experiment.EATightnessStudy(ctx, opts, *perSignal, steps)
 		if err != nil {

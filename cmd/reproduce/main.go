@@ -11,6 +11,13 @@
 // Usage:
 //
 //	reproduce [-mode both|paper|measured] [-quick] [-artifact all|table1|...|figure6]
+//
+// With -dispatch (or -checkpoint, which implies it) the measured-mode
+// campaigns run their shards in worker subprocesses — re-execs of this
+// binary in a hidden worker mode — with per-shard deadlines, retries
+// and integrity checks; -checkpoint journals finished shards so a
+// killed reproduction resumes where it stopped. Results are
+// byte-identical either way.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/core"
@@ -57,10 +65,27 @@ func run() error {
 	shards := flag.Int("shards", 0, "plan shards (0 = default)")
 	benchOut := flag.String("bench-out", "BENCH_campaigns.json",
 		"campaign timing report path (measured mode; empty disables)")
+	dispatchMode := flag.Bool("dispatch", false,
+		"run measured-mode shards in fault-tolerant worker subprocesses")
+	checkpoint := flag.String("checkpoint", "",
+		"shard journal enabling kill/resume (implies -dispatch)")
+	shardTimeout := flag.Duration("shard-timeout", 0,
+		"per-shard worker deadline, e.g. 2m (0 = default)")
+	retries := flag.Int("retries", 0,
+		"shard retry budget (0 = default, -1 disables)")
+	workerShard := flag.Bool("worker-shard", false,
+		"internal: serve campaign shards to a parent dispatcher on stdin/stdout")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *workerShard {
+		return experiment.ServeWorker(ctx, os.Getenv(experiment.WorkerSpecEnv), os.Stdin, os.Stdout)
+	}
+	if err := experiment.ValidateDispatchFlags(*workers, *shards, *shardTimeout, *retries, *checkpoint, *dispatchMode); err != nil {
+		return err
+	}
 
 	want := func(name string) bool {
 		if name == "extensions" {
@@ -82,7 +107,13 @@ func run() error {
 	}
 	if *mode == "measured" || *mode == "both" {
 		header("MEASURED MODE: end-to-end reproduction on the reimplemented target")
-		if err := measuredMode(ctx, want, sz, *seed, *workers, *shards, *benchOut); err != nil {
+		df := dispatchFlags{
+			enabled:    *dispatchMode || *checkpoint != "",
+			checkpoint: *checkpoint,
+			timeout:    *shardTimeout,
+			retries:    *retries,
+		}
+		if err := measuredMode(ctx, want, sz, *seed, *workers, *shards, *benchOut, df); err != nil {
 			return err
 		}
 	}
@@ -170,11 +201,31 @@ func paperMode(want func(string) bool) error {
 	return analyticalArtifacts(want, paper.Table1())
 }
 
-func measuredMode(ctx context.Context, want func(string) bool, sz sizes, seed int64, workers, shards int, benchOut string) error {
+// dispatchFlags carries the subprocess-dispatcher selection from the
+// command line into measured mode.
+type dispatchFlags struct {
+	enabled    bool
+	checkpoint string
+	timeout    time.Duration
+	retries    int
+}
+
+func measuredMode(ctx context.Context, want func(string) bool, sz sizes, seed int64, workers, shards int, benchOut string, df dispatchFlags) error {
 	opts := experiment.DefaultOptions(seed)
 	opts.Workers = workers
 	opts.Shards = shards
 	opts.Timings = campaign.NewCollector()
+	if df.enabled {
+		spec := experiment.WorkerSpec{
+			PerInput: sz.perInput, PerSignal: sz.perSignal,
+			RAMLocations: sz.ram, StackLocations: sz.stack,
+			PerModel: sz.perSignal / 2, RecoveryRAM: sz.ram / 2, RecoveryStack: sz.stack / 2,
+		}
+		if err := experiment.SelfDispatch(&opts, spec, "-worker-shard",
+			df.checkpoint, df.timeout, df.retries, os.Stderr); err != nil {
+			return err
+		}
+	}
 
 	fmt.Fprintf(os.Stderr, "permeability campaign: %d per input x 13 inputs...\n", sz.perInput)
 	perm, err := experiment.EstimatePermeability(ctx, opts, sz.perInput)

@@ -76,15 +76,43 @@ func Execute[Run, Result, Out any](ctx context.Context, c Campaign[Run, Result, 
 	}
 
 	results := make([]Result, len(plan))
-	start := time.Now()
-	err = ex.Run(ctx, len(plan), keys, func(i int) error {
+	fn := func(i int) error {
 		res, err := c.Execute(ctx, plan[i], i)
 		if err != nil {
 			return fmt.Errorf("%s: run %d%s: %w", c.Name(), i, describe(c, plan, i), err)
 		}
 		results[i] = res
 		return nil
-	})
+	}
+	start := time.Now()
+	// Executors that can source results from worker processes or a
+	// checkpoint journal get the payload path, provided the campaign's
+	// results can cross a process boundary (Wire). Campaigns without a
+	// codec fall back to plain in-process scheduling.
+	if pex, isPayload := ex.(PayloadExecutor); isPayload {
+		if w, hasWire := any(c).(Wire[Result]); hasWire {
+			err = pex.RunPayload(ctx, PayloadJob{
+				Campaign: c.Name(),
+				N:        len(plan),
+				Keys:     keys,
+				PlanHash: PlanHash(c.Name(), len(plan), keys),
+				Exec:     func(i int) error { return call(fn, i) },
+				Encode:   func(i int) ([]byte, error) { return w.EncodeResult(results[i]) },
+				Store: func(i int, payload []byte) error {
+					res, derr := w.DecodeResult(payload)
+					if derr != nil {
+						return derr
+					}
+					results[i] = res
+					return nil
+				},
+			})
+		} else {
+			err = ex.Run(ctx, len(plan), keys, fn)
+		}
+	} else {
+		err = ex.Run(ctx, len(plan), keys, fn)
+	}
 	if col != nil {
 		col.Observe(c.Name(), len(plan), time.Since(start))
 	}

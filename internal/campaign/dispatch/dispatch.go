@@ -1,0 +1,588 @@
+package dispatch
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// DefaultShardTimeout is the per-shard deadline when Subprocess leaves
+// ShardTimeout zero. A worker that has not answered a shard within it
+// is declared hung, killed, and the shard is re-dispatched.
+const DefaultShardTimeout = 5 * time.Minute
+
+// helloTimeout bounds how long a freshly spawned worker may take to
+// announce itself before the spawn counts as failed.
+const helloTimeout = 30 * time.Second
+
+// Subprocess is a campaign.PayloadExecutor that ships whole shards to
+// worker processes over stdin/stdout frames. The plan is partitioned
+// exactly like campaign.Sharded — run i lands in shard keys[i]%Shards,
+// a pure function of campaign identity — so output is byte-identical
+// to in-process execution.
+//
+// The seam is hardened end-to-end:
+//
+//   - a worker that crashes (any exit, including SIGKILL) or hangs past
+//     ShardTimeout is killed and its shard retried on a fresh worker,
+//     with capped exponential backoff and deterministic jitter; the
+//     failed worker is never reused;
+//   - every response is integrity-checked (FNV-1a over the shard id and
+//     payloads, computed worker-side); a mismatch is treated as a
+//     corrupted result and the shard re-run;
+//   - campaign-level failures reported by a worker (a run returning an
+//     error, or panicking) are deterministic and abort immediately —
+//     retrying cannot heal them;
+//   - when Checkpoint names a journal, each completed shard is synced
+//     to it, and a later invocation of the same campaign resumes by
+//     replaying journaled shards and dispatching only the missing ones;
+//   - when Command is empty, or spawning the first worker fails,
+//     execution degrades gracefully to in-process shard execution
+//     (same partition, same checkpointing) instead of failing.
+type Subprocess struct {
+	// Command is the argv (binary plus args) that starts one worker —
+	// typically the current binary re-exec'd with a hidden worker flag.
+	// Empty selects in-process execution.
+	Command []string
+	// Env is appended to the parent environment of every worker.
+	Env []string
+	// WorkerStderr receives worker stderr (nil discards it).
+	WorkerStderr io.Writer
+	// Workers bounds how many shards are in flight at once (>= 1); in
+	// subprocess mode it is also the ceiling on live worker processes.
+	Workers int
+	// Shards is the partition width (0 selects campaign.DefaultShards).
+	Shards int
+	// ShardTimeout is the per-shard deadline (0 selects
+	// DefaultShardTimeout).
+	ShardTimeout time.Duration
+	// Retries is how many times a failed shard is re-dispatched after
+	// its first attempt (0 selects campaign.DefaultAttempts-1; negative
+	// disables retries).
+	Retries int
+	// BackoffBase and BackoffCap shape the retry backoff (zero selects
+	// the campaign package defaults).
+	BackoffBase, BackoffCap time.Duration
+	// Seed feeds the deterministic backoff jitter.
+	Seed int64
+	// Checkpoint, when non-empty, names the shard journal enabling
+	// crash/resume.
+	Checkpoint string
+	// Log receives dispatcher diagnostics — retries, degradation,
+	// resume accounting (nil discards them).
+	Log io.Writer
+
+	logMu sync.Mutex
+	seq   atomic.Uint64
+}
+
+func (s *Subprocess) workers() int {
+	if s.Workers < 1 {
+		return 1
+	}
+	return s.Workers
+}
+
+func (s *Subprocess) shards() int {
+	if s.Shards < 1 {
+		return campaign.DefaultShards
+	}
+	return s.Shards
+}
+
+func (s *Subprocess) shardTimeout() time.Duration {
+	if s.ShardTimeout <= 0 {
+		return DefaultShardTimeout
+	}
+	return s.ShardTimeout
+}
+
+// attempts returns the total tries per shard.
+func (s *Subprocess) attempts() int {
+	switch {
+	case s.Retries < 0:
+		return 1
+	case s.Retries == 0:
+		return campaign.DefaultAttempts
+	default:
+		return s.Retries + 1
+	}
+}
+
+func (s *Subprocess) Name() string {
+	mode := "subprocess"
+	if len(s.Command) == 0 {
+		mode = "subprocess-inproc"
+	}
+	return fmt.Sprintf("%s(workers=%d,shards=%d)", mode, s.workers(), s.shards())
+}
+
+func (s *Subprocess) logf(format string, args ...any) {
+	if s.Log == nil {
+		return
+	}
+	s.logMu.Lock()
+	fmt.Fprintf(s.Log, format+"\n", args...)
+	s.logMu.Unlock()
+}
+
+// Run is the plain executor path, used when a campaign has no wire
+// codec: nothing can cross a process boundary, so it executes on the
+// in-process sharded pool with the same partition.
+func (s *Subprocess) Run(ctx context.Context, n int, keys []uint64, fn func(i int) error) error {
+	return campaign.Sharded{Workers: s.workers(), Shards: s.Shards}.Run(ctx, n, keys, fn)
+}
+
+// task is one shard of work: its bucket, deterministic id and plan
+// indices (ascending).
+type task struct {
+	bucket  int
+	id      uint64
+	indices []int
+}
+
+// permanentError marks failures retrying cannot heal (campaign-level
+// run errors, plan mismatches): the dispatcher aborts instead of
+// burning the retry budget.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// RunPayload executes the campaign's plan shard by shard: resume
+// journaled shards, then dispatch the rest to workers (or run them in
+// process when degraded), retrying infrastructure failures per shard.
+func (s *Subprocess) RunPayload(ctx context.Context, job campaign.PayloadJob) error {
+	tasks := s.partition(job)
+
+	var j *journal
+	if s.Checkpoint != "" {
+		var err error
+		if j, err = openJournal(s.Checkpoint); err != nil {
+			return err
+		}
+		defer j.close()
+	}
+
+	pool := &workerPool{s: s}
+	defer pool.closeAll()
+	degraded := len(s.Command) == 0
+	if !degraded {
+		// Probe: if the very first worker cannot be spawned (missing
+		// binary, fork limits, sandbox), degrade to in-process
+		// execution rather than failing the campaign.
+		if w, err := pool.spawn(); err != nil {
+			s.logf("dispatch: cannot spawn workers (%v); degrading to in-process execution", err)
+			degraded = true
+		} else {
+			pool.release(w)
+		}
+	}
+
+	pending := tasks[:0]
+	resumed := 0
+	for _, t := range tasks {
+		if j != nil {
+			if payloads, ok := j.lookup(job.Campaign, hex64(job.PlanHash), hex64(t.id)); ok {
+				if replayShard(job, t, payloads) {
+					resumed++
+					continue
+				}
+				s.logf("dispatch: journaled shard %s failed to replay; re-running it", hex64(t.id))
+			}
+		}
+		pending = append(pending, t)
+	}
+	if j != nil && resumed > 0 {
+		s.logf("dispatch: resumed %d/%d shards of %s from checkpoint %s", resumed, len(tasks), job.Campaign, s.Checkpoint)
+	}
+	if len(pending) == 0 {
+		return ctx.Err()
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+
+	work := make(chan task)
+	var wg sync.WaitGroup
+	slots := s.workers()
+	if slots > len(pending) {
+		slots = len(pending)
+	}
+	wg.Add(slots)
+	for w := 0; w < slots; w++ {
+		go func() {
+			defer wg.Done()
+			for t := range work {
+				if ctx.Err() != nil {
+					return
+				}
+				if err := s.runShard(ctx, job, t, j, pool, degraded); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for _, t := range pending {
+		select {
+		case work <- t:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// partition buckets the plan exactly like campaign.Sharded: run i in
+// bucket keys[i] % shards, ascending plan order within a bucket.
+func (s *Subprocess) partition(job campaign.PayloadJob) []task {
+	shards := s.shards()
+	buckets := make([][]int, shards)
+	for i := 0; i < job.N; i++ {
+		k := uint64(i)
+		if job.Keys != nil {
+			k = job.Keys[i]
+		}
+		b := int(k % uint64(shards))
+		buckets[b] = append(buckets[b], i)
+	}
+	var tasks []task
+	for b, indices := range buckets {
+		if len(indices) == 0 {
+			continue
+		}
+		tasks = append(tasks, task{bucket: b, id: shardID(job.PlanHash, b, indices), indices: indices})
+	}
+	return tasks
+}
+
+// replayShard stores a journaled shard's payloads; false means the
+// entry could not be replayed (corrupt payload) and the shard must be
+// re-run. A partial replay is harmless: the re-run overwrites every
+// index-owned slot.
+func replayShard(job campaign.PayloadJob, t task, payloads []runPayload) bool {
+	if !indicesMatch(payloads, t.indices) {
+		return false
+	}
+	for _, rp := range payloads {
+		if err := job.Store(rp.Index, rp.Payload); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+func indicesMatch(payloads []runPayload, indices []int) bool {
+	if len(payloads) != len(indices) {
+		return false
+	}
+	for k, rp := range payloads {
+		if rp.Index != indices[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// runShard drives one shard to completion: dispatch (or execute in
+// process), verify, store, journal — retrying infrastructure failures
+// with backoff on a fresh worker until the attempt budget is gone.
+func (s *Subprocess) runShard(ctx context.Context, job campaign.PayloadJob, t task, j *journal, pool *workerPool, degraded bool) error {
+	attempts := s.attempts()
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var payloads []runPayload
+		var err error
+		if degraded {
+			payloads, err = s.runShardInProcess(ctx, job, t, j != nil)
+		} else {
+			payloads, err = s.runShardOnWorker(ctx, job, t, pool)
+		}
+		if err == nil {
+			if j != nil {
+				if aerr := j.append(job.Campaign, hex64(job.PlanHash), hex64(t.id), payloads); aerr != nil {
+					return aerr
+				}
+			}
+			if attempt > 1 {
+				s.logf("dispatch: shard %s (%d runs) completed on attempt %d/%d", hex64(t.id), len(t.indices), attempt, attempts)
+			}
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return fmt.Errorf("dispatch: shard %s: %w", hex64(t.id), err)
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		lastErr = err
+		if attempt < attempts {
+			d := campaign.BackoffDelay(s.BackoffBase, s.BackoffCap, s.Seed, t.id, attempt)
+			s.logf("dispatch: shard %s attempt %d/%d failed: %v; retrying on a fresh worker in %s",
+				hex64(t.id), attempt, attempts, err, d)
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	return fmt.Errorf("dispatch: shard %s failed after %d attempts: %w", hex64(t.id), attempts, lastErr)
+}
+
+// runShardInProcess is the degraded path: execute the shard's runs in
+// this process (results land via job.Exec) and, when journaling,
+// encode them for the checkpoint. Campaign errors are permanent.
+func (s *Subprocess) runShardInProcess(ctx context.Context, job campaign.PayloadJob, t task, journaling bool) ([]runPayload, error) {
+	var payloads []runPayload
+	for _, i := range t.indices {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := job.Exec(i); err != nil {
+			return nil, &permanentError{err}
+		}
+		if journaling {
+			p, err := job.Encode(i)
+			if err != nil {
+				return nil, &permanentError{err}
+			}
+			payloads = append(payloads, runPayload{Index: i, Payload: p})
+		}
+	}
+	return payloads, nil
+}
+
+// runShardOnWorker dispatches the shard to a pooled worker process and
+// stores the verified payloads. Transport failures (crash, hang,
+// corruption) are retryable; the worker that produced one is destroyed
+// so the retry lands on a fresh process.
+func (s *Subprocess) runShardOnWorker(ctx context.Context, job campaign.PayloadJob, t task, pool *workerPool) ([]runPayload, error) {
+	w, err := pool.acquire()
+	if err != nil {
+		return nil, fmt.Errorf("spawning worker: %w", err)
+	}
+	req := request{
+		Seq:      s.seq.Add(1),
+		Campaign: job.Campaign,
+		PlanHash: hex64(job.PlanHash),
+		Shard:    hex64(t.id),
+		Indices:  t.indices,
+	}
+	resp, err := w.roundTrip(ctx, req, s.shardTimeout())
+	if err != nil {
+		pool.destroy(w)
+		return nil, err
+	}
+	if resp.Error != "" {
+		pool.release(w)
+		return nil, &permanentError{fmt.Errorf("worker reported: %s", resp.Error)}
+	}
+	if !indicesMatch(resp.Results, t.indices) || resp.Hash != hex64(payloadHash(t.id, resp.Results)) {
+		pool.destroy(w)
+		return nil, fmt.Errorf("corrupted shard result (integrity check failed for shard %s)", hex64(t.id))
+	}
+	for _, rp := range resp.Results {
+		if serr := job.Store(rp.Index, rp.Payload); serr != nil {
+			pool.destroy(w)
+			return nil, fmt.Errorf("corrupted shard result (run %d failed to decode): %w", rp.Index, serr)
+		}
+	}
+	pool.release(w)
+	return resp.Results, nil
+}
+
+// workerPool hands out live worker processes to shard slots. A slot
+// returns a healthy worker with release (reused for the next shard)
+// and a suspect one with destroy (killed and reaped; the replacement
+// is spawned fresh). At most Workers processes are alive at once
+// because each slot holds at most one.
+type workerPool struct {
+	s    *Subprocess
+	mu   sync.Mutex
+	idle []*workerProc
+}
+
+func (p *workerPool) acquire() (*workerProc, error) {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		w := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return w, nil
+	}
+	p.mu.Unlock()
+	return p.spawn()
+}
+
+func (p *workerPool) release(w *workerProc) {
+	p.mu.Lock()
+	p.idle = append(p.idle, w)
+	p.mu.Unlock()
+}
+
+func (p *workerPool) destroy(w *workerProc) { w.kill() }
+
+func (p *workerPool) closeAll() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	for _, w := range idle {
+		w.kill()
+	}
+}
+
+func (p *workerPool) spawn() (*workerProc, error) {
+	s := p.s
+	cmd := exec.Command(s.Command[0], s.Command[1:]...)
+	cmd.Env = append(os.Environ(), s.Env...)
+	cmd.Stderr = s.WorkerStderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("starting worker %q: %w", s.Command[0], err)
+	}
+	w := &workerProc{
+		cmd:     cmd,
+		stdin:   stdin,
+		frames:  make(chan response, 1),
+		helloOK: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go w.read(stdout)
+	select {
+	case <-w.helloOK:
+		return w, nil
+	case <-w.done:
+		w.kill()
+		return nil, fmt.Errorf("worker exited before hello: %v", w.err)
+	case <-time.After(helloTimeout):
+		w.kill()
+		return nil, fmt.Errorf("worker did not announce itself within %s", helloTimeout)
+	}
+}
+
+// workerProc is one live worker process plus its frame reader.
+type workerProc struct {
+	cmd     *exec.Cmd
+	stdin   io.WriteCloser
+	frames  chan response
+	helloOK chan struct{}
+	done    chan struct{}
+	err     error
+}
+
+// read drains the worker's stdout: the hello frame first, then one
+// response per request, delivered on w.frames. Any read error (EOF
+// from a crash, garbage framing) ends the loop; w.err keeps the cause.
+func (w *workerProc) read(stdout io.Reader) {
+	defer close(w.done)
+	br := bufio.NewReader(stdout)
+	var h hello
+	if err := readFrame(br, &h); err != nil {
+		w.err = fmt.Errorf("reading hello: %w", err)
+		return
+	}
+	if h.Proto != protoVersion {
+		w.err = fmt.Errorf("worker speaks protocol %d, want %d", h.Proto, protoVersion)
+		return
+	}
+	close(w.helloOK)
+	for {
+		var resp response
+		if err := readFrame(br, &resp); err != nil {
+			if err != io.EOF {
+				w.err = err
+			}
+			return
+		}
+		w.frames <- resp
+	}
+}
+
+// roundTrip sends one shard request and waits for its response within
+// the deadline. A worker that crashes mid-shard surfaces here as a
+// closed frame stream ("worker crashed"); one that hangs surfaces as a
+// deadline overrun. Either way the caller destroys the worker.
+func (w *workerProc) roundTrip(ctx context.Context, req request, deadline time.Duration) (response, error) {
+	if err := writeFrame(w.stdin, req); err != nil {
+		return response{}, fmt.Errorf("worker crashed (request write failed: %v)", err)
+	}
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	select {
+	case resp := <-w.frames:
+		if resp.Seq != req.Seq || resp.Shard != req.Shard {
+			return response{}, fmt.Errorf("corrupted shard result (response for seq %d shard %s, want seq %d shard %s)",
+				resp.Seq, resp.Shard, req.Seq, req.Shard)
+		}
+		return resp, nil
+	case <-w.done:
+		state := "stream ended"
+		if ps := w.cmd.ProcessState; ps != nil {
+			state = ps.String()
+		}
+		if w.err != nil {
+			return response{}, fmt.Errorf("worker crashed mid-shard (%v)", w.err)
+		}
+		return response{}, fmt.Errorf("worker crashed mid-shard (%s)", state)
+	case <-timer.C:
+		return response{}, fmt.Errorf("worker hung (no response within %s)", deadline)
+	case <-ctx.Done():
+		return response{}, ctx.Err()
+	}
+}
+
+// kill tears the worker down hard and reaps it. Closing stdin first
+// lets a healthy worker exit on EOF; the Kill covers the rest.
+func (w *workerProc) kill() {
+	w.stdin.Close()
+	if w.cmd.Process != nil {
+		w.cmd.Process.Kill()
+	}
+	<-w.done
+	w.cmd.Wait()
+}

@@ -1,0 +1,160 @@
+// Package dispatch ships whole campaign shards to worker processes.
+//
+// The parent re-execs the current binary in a hidden worker mode and
+// speaks a length-prefixed JSON frame protocol over the worker's
+// stdin/stdout: one request frame per shard (campaign name, plan hash,
+// shard id, run indices), one response frame back (encoded results plus
+// an integrity hash). The seam is hardened end-to-end — per-shard
+// deadlines, crash and hang detection, retry with capped exponential
+// backoff and deterministic jitter on a fresh worker, response
+// integrity verification, shard-granular checkpoint/resume — and
+// degrades gracefully to in-process execution when subprocesses cannot
+// be spawned. Everything the protocol moves is a pure function of
+// campaign identity, so a dispatched campaign reduces byte-identically
+// to a serial one; internal/campaign/chaos injects faults into this
+// very seam to prove it.
+package dispatch
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+)
+
+// protoVersion gates the frame protocol; parent and worker must agree.
+const protoVersion = 1
+
+// maxFrame bounds a frame body so a corrupted length prefix cannot ask
+// the reader to allocate unbounded memory (a detected data error, in
+// the paper's terms, not a crash).
+const maxFrame = 256 << 20
+
+// hello is the first frame a worker writes after starting, proving the
+// process came up and speaks our protocol version.
+type hello struct {
+	Proto int `json:"proto"`
+	PID   int `json:"pid"`
+}
+
+// request asks a worker to execute one shard of a campaign's plan.
+type request struct {
+	Seq      uint64 `json:"seq"`
+	Campaign string `json:"campaign"`
+	// PlanHash is campaign.PlanHash rendered %016x (JSON numbers cannot
+	// carry 64-bit values exactly).
+	PlanHash string `json:"plan_hash"`
+	// Shard is the shard's deterministic FNV-1a id, rendered %016x.
+	Shard string `json:"shard"`
+	// Indices are the plan indices of the shard, ascending.
+	Indices []int `json:"indices"`
+}
+
+// runPayload is one run's encoded result inside a response.
+type runPayload struct {
+	Index   int    `json:"index"`
+	Payload []byte `json:"payload"`
+}
+
+// response carries one shard's results (or the worker-side error).
+type response struct {
+	Seq   uint64 `json:"seq"`
+	Shard string `json:"shard"`
+	// Error, when non-empty, reports a campaign-level failure inside
+	// the worker (a run returned an error or panicked). These are
+	// deterministic, so the parent aborts instead of retrying.
+	Error   string       `json:"error,omitempty"`
+	Results []runPayload `json:"results,omitempty"`
+	// Hash is payloadHash over (shard, results), rendered %016x. It is
+	// computed worker-side before the frame enters the pipe, so any
+	// corruption in transit is detected by the parent and the shard is
+	// re-run.
+	Hash string `json:"hash,omitempty"`
+}
+
+// hex64 renders a 64-bit id the way every frame and journal entry
+// carries it.
+func hex64(v uint64) string { return fmt.Sprintf("%016x", v) }
+
+// payloadHash fingerprints one shard's output, bound to the shard's
+// own id: FNV-1a over the shard id, then every (index, payload) pair.
+// A response whose hash does not match its content — or whose shard id
+// does not match the request — is treated as a corrupted result.
+func payloadHash(shard uint64, results []runPayload) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], shard)
+	h.Write(buf[:])
+	for _, r := range results {
+		binary.BigEndian.PutUint64(buf[:], uint64(r.Index))
+		h.Write(buf[:])
+		binary.BigEndian.PutUint64(buf[:], uint64(len(r.Payload)))
+		h.Write(buf[:])
+		h.Write(r.Payload)
+	}
+	return h.Sum64()
+}
+
+// shardID derives a shard's deterministic identity from the campaign's
+// plan hash, the bucket number and the member indices. It names the
+// shard in diagnostics, journal entries and wire frames.
+func shardID(planHash uint64, bucket int, indices []int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], planHash)
+	h.Write(buf[:])
+	binary.BigEndian.PutUint64(buf[:], uint64(bucket))
+	h.Write(buf[:])
+	for _, i := range indices {
+		binary.BigEndian.PutUint64(buf[:], uint64(i))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// writeFrame marshals v and writes it as one length-prefixed frame.
+func writeFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("dispatch: marshaling frame: %w", err)
+	}
+	var pre [4]byte
+	binary.BigEndian.PutUint32(pre[:], uint32(len(body)))
+	if _, err := w.Write(pre[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	if bw, ok := w.(*bufio.Writer); ok {
+		return bw.Flush()
+	}
+	return nil
+}
+
+// readFrame reads one length-prefixed frame into v. io.EOF at a frame
+// boundary is returned as-is (clean shutdown); anything else that cuts
+// a frame short is an unexpected-EOF error.
+func readFrame(r io.Reader, v any) error {
+	var pre [4]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("dispatch: reading frame length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(pre[:])
+	if n > maxFrame {
+		return fmt.Errorf("dispatch: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return fmt.Errorf("dispatch: reading %d-byte frame: %w", n, err)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("dispatch: decoding frame: %w", err)
+	}
+	return nil
+}

@@ -34,6 +34,17 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("run panicked: %v\n%s", e.Value, e.Stack)
 }
 
+// Unwrap exposes the panic value as the error's cause when the run
+// panicked with an error (panic(err) is common in library code), so
+// engine diagnostics pass errors.Is/errors.As checks against the
+// underlying error. Panics with non-error values have no cause.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // call invokes fn(i), converting a panic into a *PanicError.
 func call(fn func(i int) error, i int) (err error) {
 	defer func() {
@@ -148,6 +159,7 @@ func (s Sharded) Run(ctx context.Context, n int, keys []uint64, fn func(i int) e
 			}
 		}()
 	}
+feed:
 	for _, b := range buckets {
 		if len(b) == 0 {
 			continue
@@ -155,6 +167,9 @@ func (s Sharded) Run(ctx context.Context, n int, keys []uint64, fn func(i int) e
 		select {
 		case work <- b:
 		case <-ctx.Done():
+			// Stop feeding: after cancellation no worker will accept
+			// another bucket, so iterating the remainder only spins.
+			break feed
 		}
 	}
 	close(work)

@@ -1,0 +1,125 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// Default retry parameters, shared with the subprocess dispatcher.
+const (
+	// DefaultAttempts is how many times a run is tried in total when
+	// Retry.Attempts is zero.
+	DefaultAttempts = 3
+	// DefaultBackoffBase is the first retry delay when unset.
+	DefaultBackoffBase = 2 * time.Millisecond
+	// DefaultBackoffCap bounds the exponential backoff when unset.
+	DefaultBackoffCap = 250 * time.Millisecond
+)
+
+// BackoffDelay returns the sleep before retry attempt `attempt`
+// (1-based: the delay taken after the attempt-1 failure): capped
+// exponential backoff plus deterministic jitter. The jitter is a pure
+// function of (seed, key, attempt) — never of wall clock or scheduling
+// — so a retried campaign backs off identically on every replay, which
+// keeps fault-tolerance tests reproducible.
+func BackoffDelay(base, cap time.Duration, seed int64, key uint64, attempt int) time.Duration {
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if cap <= 0 {
+		cap = DefaultBackoffCap
+	}
+	d := base
+	for i := 1; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d", seed, key, attempt)
+	jitter := time.Duration(h.Sum64() % uint64(base))
+	return d + jitter
+}
+
+// Retry wraps an Executor with a per-run attempt loop: a run that
+// fails — by error or by panic — is retried with capped exponential
+// backoff and deterministic jitter until it succeeds or Attempts is
+// exhausted. Because campaign runs are pure functions of (run, index),
+// re-executing one is always safe, and a transient fault injected at
+// the executor seam (see internal/campaign/chaos) heals without
+// changing campaign output. Context cancellation is never retried.
+//
+// Retry changes the Executor contract's "at most once" to "at least
+// once on failure": results land in index-owned slots, so a re-execution
+// overwrites a slot with the identical value.
+type Retry struct {
+	// Inner schedules the runs (nil defaults to Serial).
+	Inner Executor
+	// Attempts is the total tries per run (0 selects DefaultAttempts).
+	Attempts int
+	// BackoffBase and BackoffCap shape the retry delay (zero values
+	// select the package defaults).
+	BackoffBase, BackoffCap time.Duration
+	// Seed feeds the deterministic backoff jitter.
+	Seed int64
+	// Sleep replaces time.Sleep (tests); nil selects time.Sleep.
+	Sleep func(time.Duration)
+	// OnRetry, when non-nil, observes every failed attempt before its
+	// backoff: the run index, the 1-based attempt number and the error.
+	OnRetry func(index, attempt int, err error)
+}
+
+func (r Retry) inner() Executor {
+	if r.Inner == nil {
+		return Serial{}
+	}
+	return r.Inner
+}
+
+func (r Retry) attempts() int {
+	if r.Attempts < 1 {
+		return DefaultAttempts
+	}
+	return r.Attempts
+}
+
+func (r Retry) Name() string {
+	return fmt.Sprintf("retry(%s,attempts=%d)", r.inner().Name(), r.attempts())
+}
+
+func (r Retry) Run(ctx context.Context, n int, keys []uint64, fn func(i int) error) error {
+	sleep := r.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	attempts := r.attempts()
+	return r.inner().Run(ctx, n, keys, func(i int) error {
+		var err error
+		for attempt := 1; attempt <= attempts; attempt++ {
+			// Recover panics here, before the inner executor's own
+			// recovery can turn them into a campaign abort: a panic is
+			// just another failed attempt until retries are exhausted.
+			if err = call(fn, i); err == nil {
+				return nil
+			}
+			if ctx.Err() != nil || attempt == attempts {
+				break
+			}
+			if r.OnRetry != nil {
+				r.OnRetry(i, attempt, err)
+			}
+			key := uint64(i)
+			if keys != nil {
+				key = keys[i]
+			}
+			sleep(BackoffDelay(r.BackoffBase, r.BackoffCap, r.Seed, key, attempt))
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("after %d attempts: %w", attempts, err)
+	})
+}

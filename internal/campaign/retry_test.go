@@ -1,0 +1,159 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// flaky fails (or panics) the first failures[i] attempts of run i.
+type flaky struct {
+	mu       sync.Mutex
+	failures map[int]int
+	attempts map[int]int
+	panics   bool
+}
+
+func (f *flaky) fn(i int) error {
+	f.mu.Lock()
+	f.attempts[i]++
+	n := f.attempts[i]
+	f.mu.Unlock()
+	if n <= f.failures[i] {
+		if f.panics {
+			panic(fmt.Sprintf("transient fault (run %d attempt %d)", i, n))
+		}
+		return fmt.Errorf("transient fault (run %d attempt %d)", i, n)
+	}
+	return nil
+}
+
+func TestRetryHealsTransientErrorsAndPanics(t *testing.T) {
+	for _, panics := range []bool{false, true} {
+		for _, inner := range []Executor{Serial{}, Sharded{Workers: 4, Shards: 8}} {
+			f := &flaky{failures: map[int]int{3: 2, 7: 1}, attempts: map[int]int{}, panics: panics}
+			ex := Retry{Inner: inner, Attempts: 3, Sleep: func(time.Duration) {}}
+			if err := ex.Run(context.Background(), 10, nil, f.fn); err != nil {
+				t.Fatalf("panics=%v inner=%s: %v", panics, inner.Name(), err)
+			}
+			if f.attempts[3] != 3 || f.attempts[7] != 2 || f.attempts[0] != 1 {
+				t.Errorf("panics=%v inner=%s: attempts = %v", panics, inner.Name(), f.attempts)
+			}
+		}
+	}
+}
+
+func TestRetryExhaustionSurfacesLastError(t *testing.T) {
+	boom := errors.New("boom")
+	var retries []int
+	ex := Retry{
+		Attempts: 3,
+		Sleep:    func(time.Duration) {},
+		OnRetry:  func(index, attempt int, err error) { retries = append(retries, attempt) },
+	}
+	err := ex.Run(context.Background(), 1, nil, func(i int) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Errorf("err %q does not name the attempt count", err)
+	}
+	if len(retries) != 2 {
+		t.Errorf("OnRetry observed %v, want attempts [1 2]", retries)
+	}
+}
+
+func TestRetryDoesNotRetryCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	ex := Retry{Attempts: 5, Sleep: func(time.Duration) {}}
+	err := ex.Run(ctx, 1, nil, func(i int) error {
+		calls++
+		cancel()
+		return errors.New("failed as the context died")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Errorf("run attempted %d times under a cancelled context, want 1", calls)
+	}
+}
+
+func TestRetryPreservesPanicDiagnostics(t *testing.T) {
+	cause := errors.New("root cause")
+	ex := Retry{Attempts: 2, Sleep: func(time.Duration) {}}
+	err := ex.Run(context.Background(), 3, nil, func(i int) error {
+		if i == 1 {
+			panic(cause)
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 1 {
+		t.Fatalf("err = %v, want PanicError at index 1", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Errorf("PanicError does not unwrap to the panicked error: %v", err)
+	}
+}
+
+func TestBackoffDelayDeterministicAndCapped(t *testing.T) {
+	base, cap := 10*time.Millisecond, 80*time.Millisecond
+	var prev []time.Duration
+	for trial := 0; trial < 2; trial++ {
+		var ds []time.Duration
+		for attempt := 1; attempt <= 6; attempt++ {
+			ds = append(ds, BackoffDelay(base, cap, 42, 0xfeed, attempt))
+		}
+		if trial == 1 {
+			for i := range ds {
+				if ds[i] != prev[i] {
+					t.Fatalf("backoff not deterministic: %v vs %v", ds, prev)
+				}
+			}
+		}
+		prev = ds
+	}
+	for attempt, d := range prev {
+		if d < base || d >= cap+base {
+			t.Errorf("attempt %d: delay %v outside [base, cap+jitter)", attempt+1, d)
+		}
+	}
+	if prev[0] >= prev[3] {
+		t.Errorf("backoff does not grow: %v", prev)
+	}
+	// Different keys draw different jitter.
+	if BackoffDelay(base, cap, 42, 1, 1) == BackoffDelay(base, cap, 42, 2, 1) &&
+		BackoffDelay(base, cap, 42, 1, 2) == BackoffDelay(base, cap, 42, 2, 2) {
+		t.Error("jitter does not depend on the key")
+	}
+}
+
+func TestPanicErrorUnwrapsErrorValues(t *testing.T) {
+	cause := errors.New("panicked cause")
+	for _, ex := range executors() {
+		c := &squares{n: 5, fail: func(i int) error {
+			if i == 2 {
+				panic(cause)
+			}
+			return nil
+		}}
+		_, err := Execute[int, int, int](context.Background(), c, ex, nil)
+		if !errors.Is(err, cause) {
+			t.Errorf("%s: engine diagnostic does not unwrap to the panicked error: %v", ex.Name(), err)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("%s: no PanicError in %v", ex.Name(), err)
+		}
+	}
+	// Non-error panic values have no cause.
+	if (&PanicError{Value: "not an error"}).Unwrap() != nil {
+		t.Error("string panic value should not unwrap")
+	}
+}

@@ -1,0 +1,90 @@
+package campaign
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+)
+
+// Wire is an optional Campaign refinement: campaigns whose results can
+// cross a process boundary. EncodeResult and DecodeResult must be
+// exact inverses for every value Execute can produce — the dispatcher
+// relies on decode(encode(r)) being indistinguishable from r during
+// Reduce, which is what makes a dispatched campaign byte-identical to
+// an in-process one.
+type Wire[Result any] interface {
+	EncodeResult(Result) ([]byte, error)
+	DecodeResult([]byte) (Result, error)
+}
+
+// JSONWire implements Wire via encoding/json. Campaigns embed it to
+// opt into cross-process dispatch; the result type must round-trip
+// JSON faithfully (exported fields, integer/bool/map payloads — Go
+// floats also round-trip exactly, but avoid NaN).
+type JSONWire[Result any] struct{}
+
+func (JSONWire[Result]) EncodeResult(r Result) ([]byte, error) { return json.Marshal(r) }
+
+func (JSONWire[Result]) DecodeResult(b []byte) (Result, error) {
+	var r Result
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("campaign: decoding wire result: %w", err)
+	}
+	return r, nil
+}
+
+// PayloadJob is the engine's view of one campaign handed to a
+// PayloadExecutor: the plan's size, shard keys and identity hash, plus
+// three callbacks. Exec performs run i in this process and stores its
+// result (panics are already recovered into *PanicError). Encode
+// serializes the locally stored result of run i; Store decodes a
+// remotely computed payload and stores it as run i's result. Exec and
+// Store are safe to call concurrently for distinct indices.
+type PayloadJob struct {
+	// Campaign is the campaign's Name(), used to address the matching
+	// plan in worker processes and checkpoint journals.
+	Campaign string
+	// N is the plan length.
+	N int
+	// Keys holds run i's shard key at Keys[i] (nil when the campaign
+	// assigns none; executors then key by plan index).
+	Keys []uint64
+	// PlanHash fingerprints (Campaign, N, Keys): two processes agree on
+	// it iff they built the same plan partition.
+	PlanHash uint64
+	// Exec executes run i locally and stores its result.
+	Exec func(i int) error
+	// Encode serializes the stored result of run i.
+	Encode func(i int) ([]byte, error)
+	// Store decodes payload and stores it as run i's result.
+	Store func(i int, payload []byte) error
+}
+
+// PayloadExecutor is an Executor refinement for executors that can
+// obtain run results as opaque payloads — from worker processes or a
+// checkpoint journal — instead of (or in addition to) executing runs
+// in this process. The engine prefers RunPayload over Run whenever the
+// campaign implements Wire.
+type PayloadExecutor interface {
+	Executor
+	RunPayload(ctx context.Context, job PayloadJob) error
+}
+
+// PlanHash fingerprints a campaign's plan partition: its name, plan
+// length and shard keys. Workers verify it before executing a shard so
+// a parent/worker configuration mismatch is detected instead of
+// silently computing the wrong runs, and checkpoint journals bind
+// entries to it so a stale journal is never replayed into a different
+// campaign.
+func PlanHash(name string, n int, keys []uint64) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|", name, n)
+	var buf [8]byte
+	for _, k := range keys {
+		binary.BigEndian.PutUint64(buf[:], k)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}

@@ -67,15 +67,17 @@ type covJob struct {
 	caseIdx int
 }
 
-// covOutcome is one input-model run's detections.
+// covOutcome is one input-model run's detections, wire-encodable for
+// the subprocess dispatcher.
 type covOutcome struct {
-	active     bool
-	injectedAt int64
-	detectedAt map[string]int64
+	Active     bool             `json:"active"`
+	InjectedAt int64            `json:"injected_at"`
+	DetectedAt map[string]int64 `json:"detected_at,omitempty"`
 }
 
 // inputCoverageCampaign is the Table 4 campaign on the engine.
 type inputCoverageCampaign struct {
+	campaign.JSONWire[covOutcome]
 	opts      Options
 	perSignal int
 	signals   []model.SignalID
@@ -110,7 +112,7 @@ func (c *inputCoverageCampaign) Execute(_ context.Context, j covJob, index int) 
 	if err != nil {
 		return covOutcome{}, err
 	}
-	return covOutcome{active: active, injectedAt: injectedAt, detectedAt: detected}, nil
+	return covOutcome{Active: active, InjectedAt: injectedAt, DetectedAt: detected}, nil
 }
 
 func (c *inputCoverageCampaign) Reduce(plan []covJob, results []covOutcome) (*InputCoverageResult, error) {
@@ -121,8 +123,8 @@ func (c *inputCoverageCampaign) Reduce(plan []covJob, results []covOutcome) (*In
 	all := newCoverageRow("All")
 	for i, j := range plan {
 		out := results[i]
-		rows[j.sig].accumulate(out.active, out.injectedAt, out.detectedAt)
-		all.accumulate(out.active, out.injectedAt, out.detectedAt)
+		rows[j.sig].accumulate(out.Active, out.InjectedAt, out.DetectedAt)
+		all.accumulate(out.Active, out.InjectedAt, out.DetectedAt)
 	}
 	res := &InputCoverageResult{All: *all}
 	for _, sig := range c.signals {
@@ -147,6 +149,14 @@ func (c *inputCoverageCampaign) Describe(j covJob, index int) string {
 // the paper). Signals defaults to the target's four system inputs when
 // nil.
 func InputCoverage(ctx context.Context, opts Options, perSignal int, signals []model.SignalID) (*InputCoverageResult, error) {
+	c, err := newInputCoverageCampaign(ctx, opts, perSignal, signals)
+	if err != nil {
+		return nil, err
+	}
+	return campaign.Execute[covJob, covOutcome, *InputCoverageResult](ctx, c, opts.executor(), opts.Timings)
+}
+
+func newInputCoverageCampaign(ctx context.Context, opts Options, perSignal int, signals []model.SignalID) (*inputCoverageCampaign, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -160,11 +170,10 @@ func InputCoverage(ctx context.Context, opts Options, perSignal int, signals []m
 	if err != nil {
 		return nil, err
 	}
-	c := &inputCoverageCampaign{
+	return &inputCoverageCampaign{
 		opts: opts, perSignal: perSignal, signals: signals,
 		golds: golds, sys: target.SharedSystem(),
-	}
-	return campaign.Execute[covJob, covOutcome, *InputCoverageResult](ctx, c, opts.executor(), opts.Timings)
+	}, nil
 }
 
 func newCoverageRow(sig model.SignalID) *CoverageRow {
@@ -304,14 +313,16 @@ type memJob struct {
 	stack   bool
 }
 
-// memOutcome is one internal-model run's detections and verdict.
+// memOutcome is one internal-model run's detections and verdict,
+// wire-encodable for the subprocess dispatcher.
 type memOutcome struct {
-	detectedAt map[string]int64
-	failed     bool
+	DetectedAt map[string]int64 `json:"detected_at,omitempty"`
+	Failed     bool             `json:"failed"`
 }
 
 // internalCoverageCampaign is the Figure 3 campaign on the engine.
 type internalCoverageCampaign struct {
+	campaign.JSONWire[memOutcome]
 	opts                         Options
 	ramLocations, stackLocations int
 	golds                        []*golden
@@ -350,7 +361,7 @@ func (c *internalCoverageCampaign) Execute(_ context.Context, j memJob, _ int) (
 	if err != nil {
 		return memOutcome{}, err
 	}
-	return memOutcome{detectedAt: detected, failed: failed}, nil
+	return memOutcome{DetectedAt: detected, Failed: failed}, nil
 }
 
 func (c *internalCoverageCampaign) Reduce(plan []memJob, results []memOutcome) (*InternalCoverageResult, error) {
@@ -367,8 +378,8 @@ func (c *internalCoverageCampaign) Reduce(plan []memJob, results []memOutcome) (
 		if j.stack {
 			region = &res.Stack
 		}
-		region.accumulate(out.detectedAt, out.failed, c.opts.PeriodicMs)
-		res.Total.accumulate(out.detectedAt, out.failed, c.opts.PeriodicMs)
+		region.accumulate(out.DetectedAt, out.Failed, c.opts.PeriodicMs)
+		res.Total.accumulate(out.DetectedAt, out.Failed, c.opts.PeriodicMs)
 	}
 	return res, nil
 }
@@ -393,6 +404,14 @@ func (c *internalCoverageCampaign) Describe(j memJob, index int) string {
 // are the sampled location counts (the paper used 150 and 50; with 25
 // cases that is the paper's 5000 runs).
 func InternalCoverage(ctx context.Context, opts Options, ramLocations, stackLocations int) (*InternalCoverageResult, error) {
+	c, err := newInternalCoverageCampaign(ctx, opts, ramLocations, stackLocations)
+	if err != nil {
+		return nil, err
+	}
+	return campaign.Execute[memJob, memOutcome, *InternalCoverageResult](ctx, c, opts.executor(), opts.Timings)
+}
+
+func newInternalCoverageCampaign(ctx context.Context, opts Options, ramLocations, stackLocations int) (*internalCoverageCampaign, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -403,10 +422,9 @@ func InternalCoverage(ctx context.Context, opts Options, ramLocations, stackLoca
 	if err != nil {
 		return nil, err
 	}
-	c := &internalCoverageCampaign{
+	return &internalCoverageCampaign{
 		opts: opts, ramLocations: ramLocations, stackLocations: stackLocations, golds: golds,
-	}
-	return campaign.Execute[memJob, memOutcome, *InternalCoverageResult](ctx, c, opts.executor(), opts.Timings)
+	}, nil
 }
 
 func newRegionCoverage(name string) RegionCoverage {

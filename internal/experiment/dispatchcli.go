@@ -1,0 +1,67 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// ValidateDispatchFlags checks the scheduling flags shared by
+// cmd/inject and cmd/reproduce before any campaign work starts, so a
+// bad invocation fails with a usage error instead of a mid-campaign
+// surprise. dispatch reports whether -dispatch (or an implying flag)
+// was given.
+func ValidateDispatchFlags(workers, shards int, shardTimeout time.Duration, retries int, checkpoint string, dispatch bool) error {
+	switch {
+	case workers < 1:
+		return fmt.Errorf("-workers %d: must be >= 1", workers)
+	case shards < 0:
+		return fmt.Errorf("-shards %d: must be >= 0 (0 selects the default)", shards)
+	case shardTimeout < 0:
+		return fmt.Errorf("-shard-timeout %v: must not be negative (0 selects the default)", shardTimeout)
+	case retries < -1:
+		return fmt.Errorf("-retries %d: must be >= -1 (-1 disables retries, 0 selects the default)", retries)
+	}
+	if !dispatch && checkpoint == "" && (shardTimeout != 0 || retries != 0) {
+		return fmt.Errorf("-shard-timeout and -retries require -dispatch or -checkpoint")
+	}
+	if checkpoint != "" {
+		if dir := filepath.Dir(checkpoint); dir != "." {
+			if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+				return fmt.Errorf("-checkpoint %q: parent directory %q is not a directory", checkpoint, dir)
+			}
+		}
+	}
+	return nil
+}
+
+// SelfDispatch switches opts onto the fault-tolerant subprocess
+// dispatcher, with workers that are re-execs of the current binary
+// under workerFlag and the given spec shipped through the worker
+// environment. If the current executable cannot be resolved the
+// command list stays empty and the dispatcher runs shards in-process
+// (its degraded mode) — checkpointing still works there.
+func SelfDispatch(opts *Options, spec WorkerSpec, workerFlag, checkpoint string, shardTimeout time.Duration, retries int, log io.Writer) error {
+	spec.Options = *opts
+	specJSON, err := spec.Encode()
+	if err != nil {
+		return err
+	}
+	cfg := &DispatchConfig{
+		Env:          []string{WorkerSpecEnv + "=" + specJSON},
+		Checkpoint:   checkpoint,
+		ShardTimeout: shardTimeout,
+		Retries:      retries,
+		Log:          log,
+		WorkerStderr: log,
+	}
+	if exe, err := os.Executable(); err == nil {
+		cfg.Command = []string{exe, workerFlag}
+	} else if log != nil {
+		fmt.Fprintf(log, "dispatch: cannot resolve current executable (%v); shards will run in-process\n", err)
+	}
+	opts.Dispatch = cfg
+	return nil
+}

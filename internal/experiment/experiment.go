@@ -16,13 +16,41 @@ package experiment
 import (
 	"context"
 	"fmt"
+	"io"
 	"math/rand"
+	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/campaign/dispatch"
 	"repro/internal/model"
 	"repro/internal/target"
 	"repro/internal/trace"
 )
+
+// DispatchConfig selects multi-process campaign execution: shards are
+// shipped to worker subprocesses (re-execs of the current binary in
+// worker mode) with per-shard deadlines, retries, integrity checks and
+// optional checkpoint/resume. All fields beyond Command tune the
+// hardening; results are byte-identical to in-process execution.
+type DispatchConfig struct {
+	// Command is the worker argv; empty runs shards in-process (the
+	// dispatcher's degraded mode, still honoring Checkpoint).
+	Command []string `json:"-"`
+	// Env is appended to each worker's environment.
+	Env []string `json:"-"`
+	// Checkpoint names the shard journal enabling crash/resume ("" off).
+	Checkpoint string `json:"-"`
+	// ShardTimeout is the per-shard worker deadline (0 selects
+	// dispatch.DefaultShardTimeout).
+	ShardTimeout time.Duration `json:"-"`
+	// Retries is how many times a failed shard is re-dispatched
+	// (0 selects the default budget; negative disables retries).
+	Retries int `json:"-"`
+	// Log receives dispatcher diagnostics (nil discards them).
+	Log io.Writer `json:"-"`
+	// WorkerStderr receives worker-process stderr (nil discards it).
+	WorkerStderr io.Writer `json:"-"`
+}
 
 // Options configures a campaign.
 type Options struct {
@@ -39,7 +67,10 @@ type Options struct {
 	Shards int
 	// Timings, when non-nil, receives one engine-observed wall-clock row
 	// per campaign (the BENCH_campaigns.json hook).
-	Timings *campaign.Collector
+	Timings *campaign.Collector `json:"-"`
+	// Dispatch, when non-nil, moves execution onto the fault-tolerant
+	// subprocess dispatcher. Never set inside a worker process.
+	Dispatch *DispatchConfig `json:"-"`
 	// MaxRunMs bounds a single run.
 	MaxRunMs int64
 	// TailMs extends recording past software arrest, so detections
@@ -50,6 +81,11 @@ type Options struct {
 	GraceMs int64
 	// PeriodicMs is the injection period of the internal error model.
 	PeriodicMs int64
+
+	// execOverride, when non-nil, replaces the selected executor. Tests
+	// use it to compose fault-injecting wrappers (campaign/chaos) around
+	// the engine; being unexported it never crosses the wire to workers.
+	execOverride campaign.Executor
 }
 
 // DefaultOptions returns the full-size campaign configuration.
@@ -79,12 +115,38 @@ func (o Options) Validate() error {
 	case o.PeriodicMs <= 0:
 		return fmt.Errorf("experiment: PeriodicMs %d must be positive", o.PeriodicMs)
 	}
+	if d := o.Dispatch; d != nil {
+		if d.ShardTimeout < 0 {
+			return fmt.Errorf("experiment: Dispatch.ShardTimeout %v must not be negative", d.ShardTimeout)
+		}
+		if d.Retries < -1 {
+			return fmt.Errorf("experiment: Dispatch.Retries %d must be >= -1", d.Retries)
+		}
+	}
 	return nil
 }
 
-// executor returns the executor the options select: serial for a
-// single worker, the sharded worker pool otherwise.
+// executor returns the executor the options select: the subprocess
+// dispatcher when Dispatch is configured, serial for a single worker,
+// the sharded worker pool otherwise.
 func (o Options) executor() campaign.Executor {
+	if o.execOverride != nil {
+		return o.execOverride
+	}
+	if d := o.Dispatch; d != nil {
+		return &dispatch.Subprocess{
+			Command:      d.Command,
+			Env:          d.Env,
+			WorkerStderr: d.WorkerStderr,
+			Workers:      o.Workers,
+			Shards:       o.Shards,
+			ShardTimeout: d.ShardTimeout,
+			Retries:      d.Retries,
+			Seed:         o.Seed,
+			Checkpoint:   d.Checkpoint,
+			Log:          d.Log,
+		}
+	}
 	if o.Workers <= 1 {
 		return campaign.Serial{}
 	}

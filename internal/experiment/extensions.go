@@ -47,14 +47,16 @@ type sensJob struct {
 	caseIdx  int
 }
 
-// sensOutcome is one sensitivity run's detections.
+// sensOutcome is one sensitivity run's detections, wire-encodable for
+// the subprocess dispatcher.
 type sensOutcome struct {
-	active     bool
-	detectedAt map[string]int64
+	Active     bool             `json:"active"`
+	DetectedAt map[string]int64 `json:"detected_at,omitempty"`
 }
 
 // sensitivityCampaign is the A1 extension on the engine.
 type sensitivityCampaign struct {
+	campaign.JSONWire[sensOutcome]
 	opts     Options
 	perModel int
 	models   []fi.Corruption
@@ -97,7 +99,7 @@ func (c *sensitivityCampaign) Execute(_ context.Context, j sensJob, index int) (
 	if err != nil {
 		return sensOutcome{}, err
 	}
-	return sensOutcome{active: active, detectedAt: detected}, nil
+	return sensOutcome{Active: active, DetectedAt: detected}, nil
 }
 
 func (c *sensitivityCampaign) Reduce(plan []sensJob, results []sensOutcome) (*ModelSensitivityResult, error) {
@@ -116,7 +118,7 @@ func (c *sensitivityCampaign) Reduce(plan []sensJob, results []sensOutcome) (*Mo
 	}
 	for i, j := range plan {
 		out := results[i]
-		if !out.active {
+		if !out.Active {
 			continue
 		}
 		name := c.models[j.modelIdx].Kind.String()
@@ -124,7 +126,7 @@ func (c *sensitivityCampaign) Reduce(plan []sensJob, results []sensOutcome) (*Mo
 		for set, members := range setMembers() {
 			hit := false
 			for _, ea := range members {
-				if _, ok := out.detectedAt[ea]; ok {
+				if _, ok := out.DetectedAt[ea]; ok {
 					hit = true
 					break
 				}
@@ -150,6 +152,14 @@ func (c *sensitivityCampaign) Describe(j sensJob, index int) string {
 // (the one input whose errors are detectable at all) under each error
 // model and measures EH/PA coverage.
 func ErrorModelSensitivity(ctx context.Context, opts Options, perModel int) (*ModelSensitivityResult, error) {
+	c, err := newSensitivityCampaign(ctx, opts, perModel)
+	if err != nil {
+		return nil, err
+	}
+	return campaign.Execute[sensJob, sensOutcome, *ModelSensitivityResult](ctx, c, opts.executor(), opts.Timings)
+}
+
+func newSensitivityCampaign(ctx context.Context, opts Options, perModel int) (*sensitivityCampaign, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -166,11 +176,10 @@ func ErrorModelSensitivity(ctx context.Context, opts Options, perModel int) (*Mo
 		return nil, fmt.Errorf("experiment: PACNT has %d consumers", len(consumers))
 	}
 	sig, _ := sys.Signal(target.SigPACNT)
-	c := &sensitivityCampaign{
+	return &sensitivityCampaign{
 		opts: opts, perModel: perModel, models: sensitivityModels(),
 		golds: golds, port: consumers[0], sig: sig,
-	}
-	return campaign.Execute[sensJob, sensOutcome, *ModelSensitivityResult](ctx, c, opts.executor(), opts.Timings)
+	}, nil
 }
 
 // corruptionCoverageRun is coverageRun generalized over error models.
@@ -243,14 +252,16 @@ type recJob struct {
 	arm     int
 }
 
-// recOutcome is one recovery run's verdict.
+// recOutcome is one recovery run's verdict, wire-encodable for the
+// subprocess dispatcher.
 type recOutcome struct {
-	failed     bool
-	recoveries int
+	Failed     bool `json:"failed"`
+	Recoveries int  `json:"recoveries,omitempty"`
 }
 
 // recoveryCampaign is the A5 extension on the engine.
 type recoveryCampaign struct {
+	campaign.JSONWire[recOutcome]
 	opts                         Options
 	ramLocations, stackLocations int
 	specs                        []erm.Spec
@@ -293,7 +304,7 @@ func (c *recoveryCampaign) Execute(_ context.Context, j recJob, _ int) (recOutco
 	if err != nil {
 		return recOutcome{}, err
 	}
-	return recOutcome{failed: failed, recoveries: rec}, nil
+	return recOutcome{Failed: failed, Recoveries: rec}, nil
 }
 
 func (c *recoveryCampaign) Reduce(plan []recJob, results []recOutcome) (*RecoveryStudyResult, error) {
@@ -319,10 +330,10 @@ func (c *recoveryCampaign) Reduce(plan []recJob, results []recOutcome) (*Recover
 				arm = &region.Hardened
 			}
 			arm.Runs++
-			if out.failed {
+			if out.Failed {
 				arm.Failures++
 			}
-			arm.Recoveries += out.recoveries
+			arm.Recoveries += out.Recoveries
 		}
 	}
 	return res, nil
@@ -342,6 +353,14 @@ func (c *recoveryCampaign) Describe(j recJob, index int) string {
 // and with the hardened DIST_S — and compares failure rates. specs
 // defaults to target.DefaultERMSpecs() when nil.
 func RecoveryStudy(ctx context.Context, opts Options, ramLocations, stackLocations int, specs []erm.Spec) (*RecoveryStudyResult, error) {
+	c, err := newRecoveryCampaign(ctx, opts, ramLocations, stackLocations, specs)
+	if err != nil {
+		return nil, err
+	}
+	return campaign.Execute[recJob, recOutcome, *RecoveryStudyResult](ctx, c, opts.executor(), opts.Timings)
+}
+
+func newRecoveryCampaign(ctx context.Context, opts Options, ramLocations, stackLocations int, specs []erm.Spec) (*recoveryCampaign, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -355,11 +374,10 @@ func RecoveryStudy(ctx context.Context, opts Options, ramLocations, stackLocatio
 	if err != nil {
 		return nil, err
 	}
-	c := &recoveryCampaign{
+	return &recoveryCampaign{
 		opts: opts, ramLocations: ramLocations, stackLocations: stackLocations,
 		specs: specs, golds: golds,
-	}
-	return campaign.Execute[recJob, recOutcome, *RecoveryStudyResult](ctx, c, opts.executor(), opts.Timings)
+	}, nil
 }
 
 // severeRun executes one internal-model run, optionally with recovery

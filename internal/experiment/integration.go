@@ -41,15 +41,19 @@ type integJob struct {
 	golden     bool
 }
 
-// integOutcome is one run's verdict under all three banks.
+// integOutcome is one run's verdict under all three banks,
+// wire-encodable for the subprocess dispatcher.
 type integOutcome struct {
-	golden                    bool
-	active                    bool
-	sampled, inlined, tightOn bool
+	Golden  bool `json:"golden"`
+	Active  bool `json:"active"`
+	Sampled bool `json:"sampled"`
+	Inlined bool `json:"inlined"`
+	TightOn bool `json:"tight_on"`
 }
 
 // integrationCampaign is the EA-integration study on the engine.
 type integrationCampaign struct {
+	campaign.JSONWire[integOutcome]
 	opts       Options
 	perSignal  int
 	golds      []*golden
@@ -120,31 +124,31 @@ func (c *integrationCampaign) Execute(_ context.Context, j integJob, _ int) (int
 		return integOutcome{}, err
 	}
 	return integOutcome{
-		golden:  j.golden,
-		active:  active,
-		sampled: sampledBank.Detected(),
-		inlined: writeBank.Detected(),
-		tightOn: tightBank.Detected(),
+		Golden:  j.golden,
+		Active:  active,
+		Sampled: sampledBank.Detected(),
+		Inlined: writeBank.Detected(),
+		TightOn: tightBank.Detected(),
 	}, nil
 }
 
 func (c *integrationCampaign) Reduce(_ []integJob, results []integOutcome) (*IntegrationPoint, error) {
 	var pt IntegrationPoint
 	for _, out := range results {
-		if out.golden {
+		if out.Golden {
 			pt.GoldenRuns++
-			if out.tightOn {
+			if out.TightOn {
 				pt.TightInlineFalsePositives++
 			}
 			continue
 		}
 		pt.InjectedRuns++
-		if !out.active {
+		if !out.Active {
 			continue
 		}
-		pt.Sampled.Add(out.sampled)
-		pt.WriteTriggered.Add(out.inlined)
-		pt.TightInline.Add(out.tightOn)
+		pt.Sampled.Add(out.Sampled)
+		pt.WriteTriggered.Add(out.Inlined)
+		pt.TightInline.Add(out.TightOn)
 	}
 	return &pt, nil
 }
@@ -167,6 +171,14 @@ func (c *integrationCampaign) Describe(j integJob, index int) string {
 // pulscnt assertion simultaneously. It quantifies the Table 4 deviation
 // discussed in EXPERIMENTS.md (our 0.868 vs the paper's 0.975).
 func EAIntegrationStudy(ctx context.Context, opts Options, perSignal int) (*IntegrationPoint, error) {
+	c, err := newIntegrationCampaign(ctx, opts, perSignal)
+	if err != nil {
+		return nil, err
+	}
+	return campaign.Execute[integJob, integOutcome, *IntegrationPoint](ctx, c, opts.executor(), opts.Timings)
+}
+
+func newIntegrationCampaign(ctx context.Context, opts Options, perSignal int) (*integrationCampaign, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -196,9 +208,8 @@ func EAIntegrationStudy(ctx context.Context, opts Options, perSignal int) (*Inte
 	tight.Name = "EA4i"
 	tight.MaxStep = 8
 
-	c := &integrationCampaign{
+	return &integrationCampaign{
 		opts: opts, perSignal: perSignal, golds: golds,
 		port: consumers[0], sig: sig, ea4: ea4, tight: tight,
-	}
-	return campaign.Execute[integJob, integOutcome, *IntegrationPoint](ctx, c, opts.executor(), opts.Timings)
+	}, nil
 }

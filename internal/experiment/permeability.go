@@ -37,14 +37,17 @@ type permJob struct {
 }
 
 // permOutcome is one run's evaluation: whether the injection was active
-// and which module outputs deviated directly.
+// and which module outputs deviated directly. Fields are exported with
+// JSON tags so the outcome can cross the dispatcher's wire codec.
 type permOutcome struct {
-	active bool
-	direct map[int]bool // output index -> deviated directly
+	Active bool         `json:"active"`
+	Direct map[int]bool `json:"direct,omitempty"` // output index -> deviated directly
 }
 
-// permeabilityCampaign is the Table 1 campaign on the engine.
+// permeabilityCampaign is the Table 1 campaign on the engine. The
+// embedded JSONWire makes its results dispatchable to worker processes.
 type permeabilityCampaign struct {
+	campaign.JSONWire[permOutcome]
 	opts     Options
 	perInput int
 	golds    []*golden
@@ -88,7 +91,7 @@ func (c *permeabilityCampaign) Reduce(plan []permJob, results []permOutcome) (*P
 	for i, job := range plan {
 		out := results[i]
 		res.TotalRuns++
-		if !out.active {
+		if !out.Active {
 			continue
 		}
 		res.ActiveRuns++
@@ -98,7 +101,7 @@ func (c *permeabilityCampaign) Reduce(plan []permJob, results []permOutcome) (*P
 				From: job.sig, To: op.Signal,
 			}
 			p := res.Samples[e]
-			p.Add(out.direct[op.Index])
+			p.Add(out.Direct[op.Index])
 			res.Samples[e] = p
 		}
 	}
@@ -129,6 +132,16 @@ func (c *permeabilityCampaign) Describe(j permJob, index int) string {
 // perInput is the total number of injections per module input across all
 // test cases (the paper used 2000 per target signal).
 func EstimatePermeability(ctx context.Context, opts Options, perInput int) (*PermeabilityResult, error) {
+	c, err := newPermeabilityCampaign(ctx, opts, perInput)
+	if err != nil {
+		return nil, err
+	}
+	return campaign.Execute[permJob, permOutcome, *PermeabilityResult](ctx, c, opts.executor(), opts.Timings)
+}
+
+// newPermeabilityCampaign validates and builds the campaign; worker
+// processes rebuild the identical campaign through this same path.
+func newPermeabilityCampaign(ctx context.Context, opts Options, perInput int) (*permeabilityCampaign, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -139,8 +152,7 @@ func EstimatePermeability(ctx context.Context, opts Options, perInput int) (*Per
 	if err != nil {
 		return nil, err
 	}
-	c := &permeabilityCampaign{opts: opts, perInput: perInput, golds: golds, sys: target.SharedSystem()}
-	return campaign.Execute[permJob, permOutcome, *PermeabilityResult](ctx, c, opts.executor(), opts.Timings)
+	return &permeabilityCampaign{opts: opts, perInput: perInput, golds: golds, sys: target.SharedSystem()}, nil
 }
 
 // permeabilityRun executes one injection run and evaluates direct output
@@ -194,9 +206,9 @@ func permeabilityRun(opts Options, g *golden, mod *model.ModuleDecl, port model.
 	}
 
 	applied, at := flip.Applied()
-	out.active = applied && at < g.arrestMs
-	out.direct = make(map[int]bool, len(mod.Outputs))
-	if !out.active {
+	out.Active = applied && at < g.arrestMs
+	out.Direct = make(map[int]bool, len(mod.Outputs))
+	if !out.Active {
 		return out, nil
 	}
 
@@ -211,7 +223,7 @@ func permeabilityRun(opts Options, g *golden, mod *model.ModuleDecl, port model.
 	}
 	for _, op := range mod.Outputs {
 		fd := trace.FirstDifference(g.trace, ir, op.Signal)
-		out.direct[op.Index] = fd != trace.NoDifference && (cutoff < 0 || fd <= cutoff)
+		out.Direct[op.Index] = fd != trace.NoDifference && (cutoff < 0 || fd <= cutoff)
 	}
 	return out, nil
 }

@@ -38,14 +38,16 @@ type tightJob struct {
 	golden  bool
 }
 
-// tightOutcome is one run's verdict.
+// tightOutcome is one run's verdict, wire-encodable for the subprocess
+// dispatcher.
 type tightOutcome struct {
-	active   bool
-	detected bool
+	Active   bool `json:"active"`
+	Detected bool `json:"detected"`
 }
 
 // tightnessCampaign is the A2 ablation on the engine.
 type tightnessCampaign struct {
+	campaign.JSONWire[tightOutcome]
 	opts    Options
 	perStep int
 	steps   []model.Word
@@ -116,7 +118,7 @@ func (c *tightnessCampaign) Execute(_ context.Context, j tightJob, _ int) (tight
 	} else if err := rig.RunFor(g.horizonMs); err != nil {
 		return tightOutcome{}, err
 	}
-	return tightOutcome{active: active, detected: bank.Detected()}, nil
+	return tightOutcome{Active: active, Detected: bank.Detected()}, nil
 }
 
 func (c *tightnessCampaign) Reduce(plan []tightJob, results []tightOutcome) ([]TightnessPoint, error) {
@@ -129,14 +131,14 @@ func (c *tightnessCampaign) Reduce(plan []tightJob, results []tightOutcome) ([]T
 		pt := &points[j.stepIdx]
 		if j.golden {
 			pt.GoldenRuns++
-			if out.detected {
+			if out.Detected {
 				pt.FalsePositiveRuns++
 			}
 			continue
 		}
 		pt.InjectedRuns++
-		if out.active {
-			pt.Coverage.Add(out.detected)
+		if out.Active {
+			pt.Coverage.Add(out.Detected)
 		}
 	}
 	return points, nil
@@ -161,6 +163,14 @@ func (c *tightnessCampaign) Describe(j tightJob, index int) string {
 // parameters navigate implicitly. perStep is the number of injections
 // per setting across all cases.
 func EATightnessStudy(ctx context.Context, opts Options, perStep int, steps []model.Word) ([]TightnessPoint, error) {
+	c, err := newTightnessCampaign(ctx, opts, perStep, steps)
+	if err != nil {
+		return nil, err
+	}
+	return campaign.Execute[tightJob, tightOutcome, []TightnessPoint](ctx, c, opts.executor(), opts.Timings)
+}
+
+func newTightnessCampaign(ctx context.Context, opts Options, perStep int, steps []model.Word) (*tightnessCampaign, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -180,9 +190,8 @@ func EATightnessStudy(ctx context.Context, opts Options, perStep int, steps []mo
 		return nil, fmt.Errorf("experiment: PACNT has %d consumers", len(consumers))
 	}
 	sig, _ := sys.Signal(target.SigPACNT)
-	c := &tightnessCampaign{
+	return &tightnessCampaign{
 		opts: opts, perStep: perStep, steps: steps, golds: golds,
 		port: consumers[0], sig: sig,
-	}
-	return campaign.Execute[tightJob, tightOutcome, []TightnessPoint](ctx, c, opts.executor(), opts.Timings)
+	}, nil
 }

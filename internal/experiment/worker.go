@@ -1,0 +1,129 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/campaign/dispatch"
+	"repro/internal/erm"
+	"repro/internal/model"
+)
+
+// WorkerSpecEnv is the environment variable through which the parent
+// process ships a JSON WorkerSpec to its shard workers.
+const WorkerSpecEnv = "REPRO_WORKER_SPEC"
+
+// WorkerSpec carries everything a worker process needs to rebuild the
+// campaigns of one invocation bit-for-bit: the options plus every
+// campaign's sizing parameters. The parent serializes it into the
+// worker environment (WorkerSpecEnv); the worker rebuilds a campaign
+// on demand when the first shard request naming it arrives, and the
+// dispatch plan-hash handshake verifies both sides agree on the plan.
+type WorkerSpec struct {
+	// Options is the invocation's configuration. Scheduling-only fields
+	// (Workers, Timings, Dispatch) are not serialized; the worker
+	// executes single shards and must never re-dispatch.
+	Options Options `json:"options"`
+
+	PerInput       int              `json:"per_input,omitempty"`       // permeability
+	PerSignal      int              `json:"per_signal,omitempty"`      // input-coverage
+	Signals        []model.SignalID `json:"signals,omitempty"`         // input-coverage (nil = defaults)
+	RAMLocations   int              `json:"ram_locations,omitempty"`   // internal-coverage, recovery
+	StackLocations int              `json:"stack_locations,omitempty"` // internal-coverage, recovery
+	PerStep        int              `json:"per_step,omitempty"`        // tightness
+	Steps          []model.Word     `json:"steps,omitempty"`           // tightness
+	PerModel       int              `json:"per_model,omitempty"`       // model-sensitivity
+	RecoveryRAM    int              `json:"recovery_ram,omitempty"`    // recovery
+	RecoveryStack  int              `json:"recovery_stack,omitempty"`  // recovery
+	Specs          []erm.Spec       `json:"specs,omitempty"`           // recovery (nil = defaults)
+	IntegPerSignal int              `json:"integ_per_signal,omitempty"` // integration
+}
+
+// Encode renders the spec for the worker environment.
+func (s WorkerSpec) Encode() (string, error) {
+	s.Options.Timings = nil
+	s.Options.Dispatch = nil
+	b, err := json.Marshal(s)
+	if err != nil {
+		return "", fmt.Errorf("experiment: encoding worker spec: %w", err)
+	}
+	return string(b), nil
+}
+
+// buildWorker rebuilds the named campaign from the spec and adapts it
+// for shard serving. The builders are the same ones the parent's entry
+// points use, so plans, shard keys and plan hashes agree by
+// construction.
+func (s WorkerSpec) buildWorker(ctx context.Context, name string) (dispatch.Worker, error) {
+	opts := s.Options
+	opts.Timings = nil
+	opts.Dispatch = nil
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	switch name {
+	case "permeability":
+		c, err := newPermeabilityCampaign(ctx, opts, s.PerInput)
+		if err != nil {
+			return nil, err
+		}
+		return dispatch.Adapt[permJob, permOutcome, *PermeabilityResult](c)
+	case "input-coverage":
+		c, err := newInputCoverageCampaign(ctx, opts, s.PerSignal, s.Signals)
+		if err != nil {
+			return nil, err
+		}
+		return dispatch.Adapt[covJob, covOutcome, *InputCoverageResult](c)
+	case "internal-coverage":
+		c, err := newInternalCoverageCampaign(ctx, opts, s.RAMLocations, s.StackLocations)
+		if err != nil {
+			return nil, err
+		}
+		return dispatch.Adapt[memJob, memOutcome, *InternalCoverageResult](c)
+	case "tightness":
+		c, err := newTightnessCampaign(ctx, opts, s.PerStep, s.Steps)
+		if err != nil {
+			return nil, err
+		}
+		return dispatch.Adapt[tightJob, tightOutcome, []TightnessPoint](c)
+	case "model-sensitivity":
+		c, err := newSensitivityCampaign(ctx, opts, s.PerModel)
+		if err != nil {
+			return nil, err
+		}
+		return dispatch.Adapt[sensJob, sensOutcome, *ModelSensitivityResult](c)
+	case "recovery":
+		c, err := newRecoveryCampaign(ctx, opts, s.RecoveryRAM, s.RecoveryStack, s.Specs)
+		if err != nil {
+			return nil, err
+		}
+		return dispatch.Adapt[recJob, recOutcome, *RecoveryStudyResult](c)
+	case "integration":
+		c, err := newIntegrationCampaign(ctx, opts, s.IntegPerSignal)
+		if err != nil {
+			return nil, err
+		}
+		return dispatch.Adapt[integJob, integOutcome, *IntegrationPoint](c)
+	}
+	return nil, fmt.Errorf("experiment: no campaign named %q", name)
+}
+
+// ServeWorker runs the hidden worker mode of the campaign commands:
+// decode the spec the parent put in the environment and answer shard
+// requests on stdin/stdout until the parent closes the pipe. Campaign
+// state (plans, golden runs) is built lazily per campaign name and
+// reused across the shards this process serves.
+func ServeWorker(ctx context.Context, specJSON string, r io.Reader, w io.Writer) error {
+	if specJSON == "" {
+		return fmt.Errorf("experiment: worker mode requires a spec in $%s", WorkerSpecEnv)
+	}
+	var spec WorkerSpec
+	if err := json.Unmarshal([]byte(specJSON), &spec); err != nil {
+		return fmt.Errorf("experiment: decoding worker spec: %w", err)
+	}
+	return dispatch.Serve(ctx, func(name string) (dispatch.Worker, error) {
+		return spec.buildWorker(ctx, name)
+	}, r, w)
+}
