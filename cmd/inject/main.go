@@ -73,6 +73,12 @@ func run() error {
 		"shard retry budget (0 = default, -1 disables)")
 	workerShard := flag.Bool("worker-shard", false,
 		"internal: serve campaign shards to a parent dispatcher on stdin/stdout")
+	obsAddr := flag.String("obs-addr", "",
+		"serve /metrics, /healthz, /debug/vars and /debug/pprof on this address (e.g. localhost:9090)")
+	eventsOut := flag.String("events-out", "",
+		"stream NDJSON span/event records to this file (- for stderr)")
+	progress := flag.Bool("progress", false,
+		"live campaign progress line on stderr (~1 Hz)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -84,6 +90,13 @@ func run() error {
 	if err := experiment.ValidateDispatchFlags(*workers, *shards, *shardTimeout, *retries, *checkpoint, *dispatchMode); err != nil {
 		return err
 	}
+	stopTelemetry, err := experiment.StartTelemetry(experiment.TelemetryFlags{
+		ObsAddr: *obsAddr, EventsOut: *eventsOut, Progress: *progress,
+	}, os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer stopTelemetry()
 
 	opts := experiment.DefaultOptions(*seed)
 	opts.Workers = *workers
@@ -162,6 +175,7 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown -campaign %q", *camp)
 	}
+	experiment.PrintRetrySummary(os.Stderr, opts.Timings)
 	if err := experiment.WriteCampaignTimings(*benchOut, *seed, *workers, opts.Timings); err != nil {
 		return err
 	}

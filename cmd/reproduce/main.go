@@ -75,6 +75,12 @@ func run() error {
 		"shard retry budget (0 = default, -1 disables)")
 	workerShard := flag.Bool("worker-shard", false,
 		"internal: serve campaign shards to a parent dispatcher on stdin/stdout")
+	obsAddr := flag.String("obs-addr", "",
+		"serve /metrics, /healthz, /debug/vars and /debug/pprof on this address (e.g. localhost:9090)")
+	eventsOut := flag.String("events-out", "",
+		"stream NDJSON span/event records to this file (- for stderr)")
+	progress := flag.Bool("progress", false,
+		"live campaign progress line on stderr (~1 Hz)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -86,6 +92,13 @@ func run() error {
 	if err := experiment.ValidateDispatchFlags(*workers, *shards, *shardTimeout, *retries, *checkpoint, *dispatchMode); err != nil {
 		return err
 	}
+	stopTelemetry, err := experiment.StartTelemetry(experiment.TelemetryFlags{
+		ObsAddr: *obsAddr, EventsOut: *eventsOut, Progress: *progress,
+	}, os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer stopTelemetry()
 
 	want := func(name string) bool {
 		if name == "extensions" {
@@ -278,6 +291,7 @@ func measuredMode(ctx context.Context, want func(string) bool, sz sizes, seed in
 		section("Extension: recovery study")
 		fmt.Println(report.RecoveryTable(rs))
 	}
+	experiment.PrintRetrySummary(os.Stderr, opts.Timings)
 	if err := experiment.WriteCampaignTimings(benchOut, opts.Seed, opts.Workers, opts.Timings); err != nil {
 		return err
 	}

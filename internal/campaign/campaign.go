@@ -12,7 +12,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Campaign decomposes one experiment into independently schedulable
@@ -62,8 +65,21 @@ func Execute[Run, Result, Out any](ctx context.Context, c Campaign[Run, Result, 
 	if ex == nil {
 		ex = Serial{}
 	}
+	// Telemetry is strictly observational: every instrument below is
+	// nil-safe, results never depend on telemetry state, and with no
+	// telemetry installed each site costs one nil check.
+	tel := obs.Active()
+	var root *obs.Span
+	if tel != nil {
+		root = tel.Events.StartSpan("campaign", map[string]string{
+			"campaign": c.Name(), "executor": ex.Name(),
+		})
+	}
+	planSpan := root.Child("plan", nil)
 	plan, err := c.Plan()
+	planSpan.End()
 	if err != nil {
+		root.End()
 		return zero, fmt.Errorf("%s: plan: %w", c.Name(), err)
 	}
 
@@ -84,6 +100,37 @@ func Execute[Run, Result, Out any](ctx context.Context, c Campaign[Run, Result, 
 		results[i] = res
 		return nil
 	}
+
+	// Retry/redispatch deltas bracket the execution so the collector's
+	// row reports only this campaign's movement even when several
+	// campaigns share one process-wide telemetry.
+	var (
+		runsDone                  *obs.Counter
+		preRunRetries, preShRetry int64
+		preShardCounts            []int64
+	)
+	if tel != nil {
+		tel.Campaigns.Inc()
+		tel.Reg.Counter("repro_campaign_runs_total", obs.L("campaign", c.Name())).Add(int64(len(plan)))
+		runsDone = tel.Reg.Counter("repro_campaign_runs_done_total", obs.L("campaign", c.Name()))
+		tel.Progress.StartCampaign(c.Name(), len(plan))
+		preRunRetries = tel.RunRetries.Value()
+		preShRetry = tel.DispatchRetries.Value()
+		preShardCounts = tel.ShardDur.Counts()
+
+		inner := fn
+		fn = func(i int) error {
+			runStart := time.Now()
+			err := inner(i)
+			tel.RunDur.ObserveSince(runStart)
+			if err == nil {
+				runsDone.Inc()
+				tel.Progress.RunDone(1)
+			}
+			return err
+		}
+	}
+	execSpan := root.Child("execute", map[string]string{"runs": strconv.Itoa(len(plan))})
 	start := time.Now()
 	// Executors that can source results from worker processes or a
 	// checkpoint journal get the payload path, provided the campaign's
@@ -104,6 +151,12 @@ func Execute[Run, Result, Out any](ctx context.Context, c Campaign[Run, Result, 
 						return derr
 					}
 					results[i] = res
+					// Runs dispatched to worker processes (or replayed
+					// from a checkpoint) land here, not through fn.
+					runsDone.Inc()
+					if tel != nil {
+						tel.Progress.RunDone(1)
+					}
 					return nil
 				},
 			})
@@ -113,10 +166,25 @@ func Execute[Run, Result, Out any](ctx context.Context, c Campaign[Run, Result, 
 	} else {
 		err = ex.Run(ctx, len(plan), keys, fn)
 	}
+	execSpan.End()
 	if col != nil {
-		col.Observe(c.Name(), len(plan), time.Since(start))
+		ext := Extras{}
+		if tel != nil {
+			ext.RunRetries = tel.RunRetries.Value() - preRunRetries
+			ext.ShardRetries = tel.DispatchRetries.Value() - preShRetry
+			counts := tel.ShardDur.Counts()
+			for i := range counts {
+				if i < len(preShardCounts) {
+					counts[i] -= preShardCounts[i]
+				}
+			}
+			ext.ShardP50Ms = 1000 * obs.QuantileFromCounts(obs.DurationBuckets, counts, 0.50)
+			ext.ShardP99Ms = 1000 * obs.QuantileFromCounts(obs.DurationBuckets, counts, 0.99)
+		}
+		col.ObserveExt(c.Name(), len(plan), time.Since(start), ext)
 	}
 	if err != nil {
+		root.End()
 		// Panics are recovered inside the executor, which cannot know the
 		// run's meaning; attach the campaign-level description here.
 		var pe *PanicError
@@ -125,7 +193,11 @@ func Execute[Run, Result, Out any](ctx context.Context, c Campaign[Run, Result, 
 		}
 		return zero, err
 	}
-	return c.Reduce(plan, results)
+	reduceSpan := root.Child("reduce", nil)
+	out, err := c.Reduce(plan, results)
+	reduceSpan.End()
+	root.End()
+	return out, err
 }
 
 // describe renders run i via the campaign's Describer, if implemented.

@@ -260,7 +260,10 @@ func TestWriteBenchRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if rep.Seed != 1 || rep.Workers != 8 || len(rep.Campaigns) != 1 || rep.GoldenCache != cache {
+	// WriteBench derives the hit rate from the raw hit/miss counts.
+	wantCache := cache
+	wantCache.HitRate = 0.7
+	if rep.Seed != 1 || rep.Workers != 8 || len(rep.Campaigns) != 1 || rep.GoldenCache != wantCache {
 		t.Errorf("report = %+v", rep)
 	}
 	// Empty path and empty rows are no-ops.

@@ -22,10 +22,12 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 )
 
 // Fault names one injected failure kind.
@@ -121,6 +123,13 @@ func (c Chaos) decide(index int) Fault {
 func (c Chaos) fired(index int, kind Fault) {
 	if c.OnFault != nil {
 		c.OnFault(index, kind)
+	}
+	if tel := obs.Active(); tel != nil {
+		tel.Reg.Counter("repro_chaos_faults_total", obs.L("kind", string(kind))).Inc()
+		tel.Events.Emit("chaos.fault", map[string]string{
+			"run":  strconv.Itoa(index),
+			"kind": string(kind),
+		})
 	}
 }
 

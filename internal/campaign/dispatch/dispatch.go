@@ -8,11 +8,13 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 )
 
 // DefaultShardTimeout is the per-shard deadline when Subprocess leaves
@@ -163,6 +165,12 @@ func (e *permanentError) Unwrap() error { return e.err }
 // process when degraded), retrying infrastructure failures per shard.
 func (s *Subprocess) RunPayload(ctx context.Context, job campaign.PayloadJob) error {
 	tasks := s.partition(job)
+	tel := obs.Active()
+	if tel != nil {
+		tel.DispatchShards.Add(int64(len(tasks)))
+		tel.ShardsPlanned.Add(int64(len(tasks)))
+		tel.Progress.SetShards(len(tasks))
+	}
 
 	var j *journal
 	if s.Checkpoint != "" {
@@ -187,6 +195,11 @@ func (s *Subprocess) RunPayload(ctx context.Context, job campaign.PayloadJob) er
 			pool.release(w)
 		}
 	}
+	if tel != nil && degraded {
+		tel.Degraded.Set(1)
+		tel.Events.Emit("dispatch.degraded", map[string]string{"campaign": job.Campaign})
+		defer tel.Degraded.Set(0)
+	}
 
 	pending := tasks[:0]
 	resumed := 0
@@ -195,6 +208,12 @@ func (s *Subprocess) RunPayload(ctx context.Context, job campaign.PayloadJob) er
 			if payloads, ok := j.lookup(job.Campaign, hex64(job.PlanHash), hex64(t.id)); ok {
 				if replayShard(job, t, payloads) {
 					resumed++
+					if tel != nil {
+						tel.DispatchResumed.Inc()
+						tel.DispatchDone.Inc()
+						tel.ShardsDone.Inc()
+						tel.Progress.ShardDone()
+					}
 					continue
 				}
 				s.logf("dispatch: journaled shard %s failed to replay; re-running it", hex64(t.id))
@@ -204,6 +223,12 @@ func (s *Subprocess) RunPayload(ctx context.Context, job campaign.PayloadJob) er
 	}
 	if j != nil && resumed > 0 {
 		s.logf("dispatch: resumed %d/%d shards of %s from checkpoint %s", resumed, len(tasks), job.Campaign, s.Checkpoint)
+		if tel != nil {
+			tel.Events.Emit("dispatch.resume", map[string]string{
+				"campaign": job.Campaign,
+				"shards":   strconv.Itoa(resumed),
+			})
+		}
 	}
 	if len(pending) == 0 {
 		return ctx.Err()
@@ -321,7 +346,13 @@ func indicesMatch(payloads []runPayload, indices []int) bool {
 // with backoff on a fresh worker until the attempt budget is gone.
 func (s *Subprocess) runShard(ctx context.Context, job campaign.PayloadJob, t task, j *journal, pool *workerPool, degraded bool) error {
 	attempts := s.attempts()
+	tel := obs.Active()
+	var shardStart time.Time
+	if tel != nil {
+		shardStart = time.Now()
+	}
 	var lastErr error
+	classified := false
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -342,10 +373,25 @@ func (s *Subprocess) runShard(ctx context.Context, job campaign.PayloadJob, t ta
 			if attempt > 1 {
 				s.logf("dispatch: shard %s (%d runs) completed on attempt %d/%d", hex64(t.id), len(t.indices), attempt, attempts)
 			}
+			if tel != nil {
+				tel.ShardDur.ObserveSince(shardStart)
+				tel.DispatchDone.Inc()
+				tel.ShardsDone.Inc()
+				tel.Progress.ShardDone()
+			}
 			return nil
 		}
 		var perm *permanentError
 		if errors.As(err, &perm) {
+			// Classification is logged exactly once per failure, here:
+			// permanent failures never reach the retry loop below.
+			s.logf("dispatch: shard %s: permanent failure (campaign-level error; re-dispatch cannot heal it): %v", hex64(t.id), err)
+			if tel != nil {
+				tel.DispatchPermanent.Inc()
+				tel.Events.Emit("dispatch.permanent", map[string]string{
+					"shard": hex64(t.id), "error": err.Error(),
+				})
+			}
 			return fmt.Errorf("dispatch: shard %s: %w", hex64(t.id), err)
 		}
 		if cerr := ctx.Err(); cerr != nil {
@@ -354,8 +400,26 @@ func (s *Subprocess) runShard(ctx context.Context, job campaign.PayloadJob, t ta
 		lastErr = err
 		if attempt < attempts {
 			d := campaign.BackoffDelay(s.BackoffBase, s.BackoffCap, s.Seed, t.id, attempt)
-			s.logf("dispatch: shard %s attempt %d/%d failed: %v; retrying on a fresh worker in %s",
-				hex64(t.id), attempt, attempts, err, d)
+			// The retryable classification (with the error) is logged on
+			// the shard's first failure only; later attempts log the
+			// bare retry so a flapping shard cannot flood the log.
+			if !classified {
+				classified = true
+				s.logf("dispatch: shard %s attempt %d/%d failed: %v (classified retryable); retrying on a fresh worker in %s",
+					hex64(t.id), attempt, attempts, err, d)
+			} else {
+				s.logf("dispatch: shard %s attempt %d/%d failed; retrying in %s", hex64(t.id), attempt, attempts, d)
+			}
+			if tel != nil {
+				tel.DispatchRetries.Inc()
+				tel.Progress.Retry()
+				tel.Events.Emit("dispatch.retry", map[string]string{
+					"shard":      hex64(t.id),
+					"attempt":    strconv.Itoa(attempt),
+					"backoff_ms": strconv.FormatInt(d.Milliseconds(), 10),
+					"error":      err.Error(),
+				})
+			}
 			select {
 			case <-time.After(d):
 			case <-ctx.Done():
@@ -416,11 +480,19 @@ func (s *Subprocess) runShardOnWorker(ctx context.Context, job campaign.PayloadJ
 	}
 	if !indicesMatch(resp.Results, t.indices) || resp.Hash != hex64(payloadHash(t.id, resp.Results)) {
 		pool.destroy(w)
+		if tel := obs.Active(); tel != nil {
+			tel.DispatchIntegrity.Inc()
+			tel.Events.Emit("dispatch.integrity", map[string]string{"shard": hex64(t.id)})
+		}
 		return nil, fmt.Errorf("corrupted shard result (integrity check failed for shard %s)", hex64(t.id))
 	}
 	for _, rp := range resp.Results {
 		if serr := job.Store(rp.Index, rp.Payload); serr != nil {
 			pool.destroy(w)
+			if tel := obs.Active(); tel != nil {
+				tel.DispatchIntegrity.Inc()
+				tel.Events.Emit("dispatch.integrity", map[string]string{"shard": hex64(t.id)})
+			}
 			return nil, fmt.Errorf("corrupted shard result (run %d failed to decode): %w", rp.Index, serr)
 		}
 	}
@@ -495,6 +567,10 @@ func (p *workerPool) spawn() (*workerProc, error) {
 	go w.read(stdout)
 	select {
 	case <-w.helloOK:
+		if tel := obs.Active(); tel != nil {
+			tel.WorkerSpawns.Inc()
+			tel.Events.Emit("dispatch.spawn", map[string]string{"pid": strconv.Itoa(cmd.Process.Pid)})
+		}
 		return w, nil
 	case <-w.done:
 		w.kill()
@@ -512,6 +588,7 @@ type workerProc struct {
 	frames  chan response
 	helloOK chan struct{}
 	done    chan struct{}
+	killed  atomic.Bool
 	err     error
 }
 
@@ -532,14 +609,24 @@ func (w *workerProc) read(stdout io.Reader) {
 	}
 	close(w.helloOK)
 	for {
-		var resp response
-		if err := readFrame(br, &resp); err != nil {
+		var env envelope
+		if err := readFrame(br, &env); err != nil {
 			if err != io.EOF {
 				w.err = err
 			}
 			return
 		}
-		w.frames <- resp
+		// Telemetry frames are merged as they arrive (the worker sends
+		// them ahead of the response they describe); only responses are
+		// handed to the shard slot.
+		if env.Metrics != nil {
+			if tel := obs.Active(); tel != nil {
+				tel.Reg.Merge(env.Metrics)
+			}
+		}
+		if env.Resp != nil {
+			w.frames <- *env.Resp
+		}
 	}
 }
 
@@ -579,6 +666,11 @@ func (w *workerProc) roundTrip(ctx context.Context, req request, deadline time.D
 // kill tears the worker down hard and reaps it. Closing stdin first
 // lets a healthy worker exit on EOF; the Kill covers the rest.
 func (w *workerProc) kill() {
+	if w.killed.CompareAndSwap(false, true) {
+		if tel := obs.Active(); tel != nil {
+			tel.WorkerKills.Inc()
+		}
+	}
 	w.stdin.Close()
 	if w.cmd.Process != nil {
 		w.cmd.Process.Kill()

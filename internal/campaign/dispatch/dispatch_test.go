@@ -172,12 +172,13 @@ func corruptServe(marker string, lookup func(string) (Worker, error)) error {
 				Results: []runPayload{{Index: req.Indices[0], Payload: []byte("garbage")}},
 				Hash:    hex64(0xdead),
 			}
-			if err := writeFrame(bw, resp); err != nil {
+			if err := writeFrame(bw, envelope{Resp: &resp}); err != nil {
 				return err
 			}
 			continue
 		}
-		if err := writeFrame(bw, serveShard(context.Background(), workers, lookup, req)); err != nil {
+		resp := serveShard(context.Background(), workers, lookup, req)
+		if err := writeFrame(bw, envelope{Resp: &resp}); err != nil {
 			return err
 		}
 	}

@@ -22,10 +22,14 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+
+	"repro/internal/obs"
 )
 
 // protoVersion gates the frame protocol; parent and worker must agree.
-const protoVersion = 1
+// Version 2 wrapped worker→parent traffic in envelope frames so workers
+// can interleave telemetry deltas with shard responses.
+const protoVersion = 2
 
 // maxFrame bounds a frame body so a corrupted length prefix cannot ask
 // the reader to allocate unbounded memory (a detected data error, in
@@ -72,6 +76,17 @@ type response struct {
 	// corruption in transit is detected by the parent and the shard is
 	// re-run.
 	Hash string `json:"hash,omitempty"`
+}
+
+// envelope is one worker→parent frame after the hello: either a shard
+// response or a batch of telemetry deltas (counter/histogram movement
+// since the worker's previous metrics frame — see obs.DeltaTracker).
+// Workers send the metrics frame for a shard before its response, so by
+// the time the parent observes a campaign as finished every worker-side
+// count has been merged.
+type envelope struct {
+	Resp    *response    `json:"resp,omitempty"`
+	Metrics []obs.Series `json:"metrics,omitempty"`
 }
 
 // hex64 renders a 64-bit id the way every frame and journal entry

@@ -8,8 +8,10 @@ import (
 	"os"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 )
 
 // Worker is the worker-process view of one campaign: enough to verify
@@ -90,7 +92,19 @@ func (a *adapter[Run, Result, Out]) ExecuteEncoded(ctx context.Context, i int) (
 			err = fmt.Errorf("%s: run %d panicked: %v\n%s", a.c.Name(), i, r, debug.Stack())
 		}
 	}()
+	var start time.Time
+	tel := obs.Active()
+	if tel != nil {
+		start = time.Now()
+	}
 	res, err := a.c.Execute(ctx, a.plan[i], i)
+	if tel != nil {
+		tel.RunDur.ObserveSince(start)
+		// Worker-side run counts live under their own family; the
+		// parent owns repro_campaign_runs_done_total (one increment per
+		// landed result), so merging these can never double count.
+		tel.Reg.Counter("repro_worker_runs_total", obs.L("campaign", a.c.Name())).Inc()
+	}
 	if err != nil {
 		return nil, fmt.Errorf("%s: run %d: %w", a.c.Name(), i, err)
 	}
@@ -111,6 +125,7 @@ func Serve(ctx context.Context, lookup func(name string) (Worker, error), r io.R
 	}
 	br := bufio.NewReader(r)
 	workers := make(map[string]Worker)
+	var deltas obs.DeltaTracker
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -123,7 +138,17 @@ func Serve(ctx context.Context, lookup func(name string) (Worker, error), r io.R
 			return err
 		}
 		resp := serveShard(ctx, workers, lookup, req)
-		if err := writeFrame(bw, resp); err != nil {
+		// Ship this shard's telemetry movement ahead of its response:
+		// once the parent has the response it may declare the campaign
+		// done, so the counts must already be merged by then.
+		if tel := obs.Active(); tel != nil {
+			if moved := deltas.Delta(tel.Reg); len(moved) > 0 {
+				if err := writeFrame(bw, envelope{Metrics: moved}); err != nil {
+					return err
+				}
+			}
+		}
+		if err := writeFrame(bw, envelope{Resp: &resp}); err != nil {
 			return err
 		}
 	}

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Executor schedules the n independent runs of a campaign plan. Run
@@ -63,6 +66,16 @@ type Serial struct{}
 func (Serial) Name() string { return "serial" }
 
 func (Serial) Run(ctx context.Context, n int, _ []uint64, fn func(i int) error) error {
+	// Serial is one shard covering the whole plan: the shard telemetry
+	// below keeps progress and bench percentiles meaningful in -workers 1
+	// mode without changing execution in any way.
+	tel := obs.Active()
+	var start time.Time
+	if tel != nil && n > 0 {
+		tel.ShardsPlanned.Inc()
+		tel.Progress.SetShards(1)
+		start = time.Now()
+	}
 	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -70,6 +83,11 @@ func (Serial) Run(ctx context.Context, n int, _ []uint64, fn func(i int) error) 
 		if err := call(fn, i); err != nil {
 			return err
 		}
+	}
+	if tel != nil && n > 0 {
+		tel.ShardDur.ObserveSince(start)
+		tel.ShardsDone.Inc()
+		tel.Progress.ShardDone()
 	}
 	return nil
 }
@@ -124,6 +142,18 @@ func (s Sharded) Run(ctx context.Context, n int, keys []uint64, fn func(i int) e
 		buckets[b] = append(buckets[b], i)
 	}
 
+	tel := obs.Active()
+	if tel != nil {
+		planned := 0
+		for _, b := range buckets {
+			if len(b) > 0 {
+				planned++
+			}
+		}
+		tel.ShardsPlanned.Add(int64(planned))
+		tel.Progress.SetShards(planned)
+	}
+
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -147,6 +177,10 @@ func (s Sharded) Run(ctx context.Context, n int, keys []uint64, fn func(i int) e
 		go func() {
 			defer wg.Done()
 			for shard := range work {
+				var shardStart time.Time
+				if tel != nil {
+					shardStart = time.Now()
+				}
 				for _, i := range shard {
 					if ctx.Err() != nil {
 						return
@@ -155,6 +189,11 @@ func (s Sharded) Run(ctx context.Context, n int, keys []uint64, fn func(i int) e
 						fail(err)
 						return
 					}
+				}
+				if tel != nil {
+					tel.ShardDur.ObserveSince(shardStart)
+					tel.ShardsDone.Inc()
+					tel.Progress.ShardDone()
 				}
 			}
 		}()

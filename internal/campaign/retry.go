@@ -4,7 +4,10 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"strconv"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Default retry parameters, shared with the subprocess dispatcher.
@@ -110,6 +113,15 @@ func (r Retry) Run(ctx context.Context, n int, keys []uint64, fn func(i int) err
 			}
 			if r.OnRetry != nil {
 				r.OnRetry(i, attempt, err)
+			}
+			if tel := obs.Active(); tel != nil {
+				tel.RunRetries.Inc()
+				tel.Progress.Retry()
+				tel.Events.Emit("run.retry", map[string]string{
+					"run":     strconv.Itoa(i),
+					"attempt": strconv.Itoa(attempt),
+					"error":   err.Error(),
+				})
 			}
 			key := uint64(i)
 			if keys != nil {

@@ -9,12 +9,33 @@ import (
 )
 
 // Timing is one row of the BENCH_campaigns.json report: how many runs
-// a campaign executed, how long it took, and the throughput.
+// a campaign executed, how long it took, and the throughput. The
+// telemetry-derived fields (retries, redispatches, shard latency
+// percentiles) are omitted when zero, so reports from telemetry-free
+// runs keep the original schema exactly.
 type Timing struct {
 	Campaign   string  `json:"campaign"`
 	Runs       int     `json:"runs"`
 	WallS      float64 `json:"wall_s"`
 	RunsPerSec float64 `json:"runs_per_sec"`
+	// RunRetries counts run re-attempts by the Retry executor during
+	// this campaign.
+	RunRetries int64 `json:"run_retries,omitempty"`
+	// ShardRetries counts shard re-dispatches by the subprocess
+	// dispatcher during this campaign.
+	ShardRetries int64 `json:"shard_retries,omitempty"`
+	// ShardP50Ms / ShardP99Ms estimate per-shard wall-time percentiles
+	// (milliseconds) from the shard-duration histogram's movement.
+	ShardP50Ms float64 `json:"shard_p50_ms,omitempty"`
+	ShardP99Ms float64 `json:"shard_p99_ms,omitempty"`
+}
+
+// Extras carries the telemetry-derived additions to a timing row.
+type Extras struct {
+	RunRetries   int64
+	ShardRetries int64
+	ShardP50Ms   float64
+	ShardP99Ms   float64
 }
 
 // NewTiming builds one timing row from a campaign's run count and
@@ -46,8 +67,18 @@ func NewCollector() *Collector { return &Collector{} }
 
 // Observe appends one campaign's timing row.
 func (c *Collector) Observe(campaign string, runs int, wall time.Duration) {
+	c.ObserveExt(campaign, runs, wall, Extras{})
+}
+
+// ObserveExt appends one campaign's timing row with telemetry extras.
+func (c *Collector) ObserveExt(campaign string, runs int, wall time.Duration, ext Extras) {
+	row := NewTiming(campaign, runs, wall)
+	row.RunRetries = ext.RunRetries
+	row.ShardRetries = ext.ShardRetries
+	row.ShardP50Ms = ext.ShardP50Ms
+	row.ShardP99Ms = ext.ShardP99Ms
 	c.mu.Lock()
-	c.rows = append(c.rows, NewTiming(campaign, runs, wall))
+	c.rows = append(c.rows, row)
 	c.mu.Unlock()
 }
 
@@ -59,11 +90,13 @@ func (c *Collector) Rows() []Timing {
 }
 
 // CacheStats reports reference-run cache traffic alongside the timing
-// rows (the experiment layer's golden cache).
+// rows (the experiment layer's golden cache). HitRate is hits over
+// total lookups, 0 when the cache was never consulted.
 type CacheStats struct {
-	Size   int   `json:"size"`
-	Hits   int64 `json:"hits"`
-	Misses int64 `json:"misses"`
+	Size    int     `json:"size"`
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
 }
 
 // benchReport is the BENCH_campaigns.json document.
@@ -79,6 +112,9 @@ type benchReport struct {
 func WriteBench(path string, seed int64, workers int, rows []Timing, cache CacheStats) error {
 	if path == "" || len(rows) == 0 {
 		return nil
+	}
+	if total := cache.Hits + cache.Misses; total > 0 && cache.HitRate == 0 {
+		cache.HitRate = float64(cache.Hits) / float64(total)
 	}
 	rep := benchReport{Seed: seed, Workers: workers, Campaigns: rows, GoldenCache: cache}
 	data, err := json.MarshalIndent(rep, "", "  ")

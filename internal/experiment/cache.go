@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/target"
 	"repro/internal/trace"
 )
@@ -76,6 +77,13 @@ func (c *GoldenCache) lookup(k goldenKey) (*golden, bool) {
 	} else {
 		c.misses.Add(1)
 	}
+	if tel := obs.Active(); tel != nil {
+		if ok {
+			tel.GoldenHits.Inc()
+		} else {
+			tel.GoldenMisses.Inc()
+		}
+	}
 	return g, ok
 }
 
@@ -83,7 +91,11 @@ func (c *GoldenCache) lookup(k goldenKey) (*golden, bool) {
 func (c *GoldenCache) store(k goldenKey, g *golden) {
 	c.mu.Lock()
 	c.runs[k] = g
+	size := len(c.runs)
 	c.mu.Unlock()
+	if tel := obs.Active(); tel != nil {
+		tel.GoldenSize.Set(int64(size))
+	}
 }
 
 // GoldenCacheStats reports process-wide cache traffic: cached reference

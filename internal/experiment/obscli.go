@@ -1,0 +1,109 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/obs"
+)
+
+// TelemetryFlags carries the observability flags shared by cmd/inject
+// and cmd/reproduce.
+type TelemetryFlags struct {
+	// ObsAddr, when non-empty, serves the diagnostics HTTP endpoint
+	// (/metrics, /healthz, /debug/vars, /debug/pprof) on this address.
+	ObsAddr string
+	// EventsOut, when non-empty, streams NDJSON span/event records to
+	// this file ("-" selects stderr).
+	EventsOut string
+	// Progress enables the live stderr progress line.
+	Progress bool
+}
+
+// StartTelemetry installs the process-wide telemetry for a campaign
+// command and returns its shutdown function. The registry is always
+// installed — counting retries, cache traffic and shard movement is
+// cheap and feeds the end-of-run retry summary and the -bench-out
+// extras — while the exposure surfaces (HTTP endpoint, event stream,
+// progress line) are attached only when their flags ask for them.
+func StartTelemetry(f TelemetryFlags, stderr io.Writer) (func(), error) {
+	cfg := obs.Config{}
+	var eventsFile *os.File
+	switch f.EventsOut {
+	case "":
+	case "-":
+		cfg.EventSink = stderr
+	default:
+		file, err := os.Create(f.EventsOut)
+		if err != nil {
+			return nil, fmt.Errorf("-events-out %q: %w", f.EventsOut, err)
+		}
+		eventsFile = file
+		cfg.EventSink = file
+	}
+	if f.Progress {
+		cfg.ProgressSink = stderr
+		cfg.ProgressInterval = time.Second
+	}
+
+	tel := obs.New(cfg)
+	obs.Install(tel)
+
+	var stopServer func()
+	if f.ObsAddr != "" {
+		addr, stop, err := tel.Serve(f.ObsAddr)
+		if err != nil {
+			if eventsFile != nil {
+				eventsFile.Close()
+			}
+			obs.Install(nil)
+			return nil, fmt.Errorf("-obs-addr %q: %w", f.ObsAddr, err)
+		}
+		stopServer = stop
+		fmt.Fprintf(stderr, "telemetry: serving /metrics /healthz /debug/vars /debug/pprof on http://%s\n", addr)
+	}
+
+	return func() {
+		tel.Close()
+		if stopServer != nil {
+			stopServer()
+		}
+		if eventsFile != nil {
+			eventsFile.Close()
+		}
+	}, nil
+}
+
+// PrintRetrySummary reports, per campaign, how many runs the Retry
+// executor re-attempted and how many shards the dispatcher re-dispatched
+// — movement that previously existed only as backoff sleeps invisible in
+// any report. Campaigns without retries are folded into one clean line.
+func PrintRetrySummary(w io.Writer, col *campaign.Collector) {
+	if col == nil {
+		return
+	}
+	rows := col.Rows()
+	if len(rows) == 0 {
+		return
+	}
+	var parts []string
+	var runRetries, shardRetries int64
+	for _, r := range rows {
+		runRetries += r.RunRetries
+		shardRetries += r.ShardRetries
+		if r.RunRetries > 0 || r.ShardRetries > 0 {
+			parts = append(parts, fmt.Sprintf("%s: %d run retries, %d shard re-dispatches",
+				r.Campaign, r.RunRetries, r.ShardRetries))
+		}
+	}
+	if len(parts) == 0 {
+		fmt.Fprintln(w, "retry summary: no run retries or shard re-dispatches")
+		return
+	}
+	fmt.Fprintf(w, "retry summary: %s (total: %d run retries, %d shard re-dispatches)\n",
+		strings.Join(parts, "; "), runRetries, shardRetries)
+}

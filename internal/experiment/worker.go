@@ -9,6 +9,7 @@ import (
 	"repro/internal/campaign/dispatch"
 	"repro/internal/erm"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // WorkerSpecEnv is the environment variable through which the parent
@@ -27,17 +28,17 @@ type WorkerSpec struct {
 	// executes single shards and must never re-dispatch.
 	Options Options `json:"options"`
 
-	PerInput       int              `json:"per_input,omitempty"`       // permeability
-	PerSignal      int              `json:"per_signal,omitempty"`      // input-coverage
-	Signals        []model.SignalID `json:"signals,omitempty"`         // input-coverage (nil = defaults)
-	RAMLocations   int              `json:"ram_locations,omitempty"`   // internal-coverage, recovery
-	StackLocations int              `json:"stack_locations,omitempty"` // internal-coverage, recovery
-	PerStep        int              `json:"per_step,omitempty"`        // tightness
-	Steps          []model.Word     `json:"steps,omitempty"`           // tightness
-	PerModel       int              `json:"per_model,omitempty"`       // model-sensitivity
-	RecoveryRAM    int              `json:"recovery_ram,omitempty"`    // recovery
-	RecoveryStack  int              `json:"recovery_stack,omitempty"`  // recovery
-	Specs          []erm.Spec       `json:"specs,omitempty"`           // recovery (nil = defaults)
+	PerInput       int              `json:"per_input,omitempty"`        // permeability
+	PerSignal      int              `json:"per_signal,omitempty"`       // input-coverage
+	Signals        []model.SignalID `json:"signals,omitempty"`          // input-coverage (nil = defaults)
+	RAMLocations   int              `json:"ram_locations,omitempty"`    // internal-coverage, recovery
+	StackLocations int              `json:"stack_locations,omitempty"`  // internal-coverage, recovery
+	PerStep        int              `json:"per_step,omitempty"`         // tightness
+	Steps          []model.Word     `json:"steps,omitempty"`            // tightness
+	PerModel       int              `json:"per_model,omitempty"`        // model-sensitivity
+	RecoveryRAM    int              `json:"recovery_ram,omitempty"`     // recovery
+	RecoveryStack  int              `json:"recovery_stack,omitempty"`   // recovery
+	Specs          []erm.Spec       `json:"specs,omitempty"`            // recovery (nil = defaults)
 	IntegPerSignal int              `json:"integ_per_signal,omitempty"` // integration
 }
 
@@ -123,6 +124,10 @@ func ServeWorker(ctx context.Context, specJSON string, r io.Reader, w io.Writer)
 	if err := json.Unmarshal([]byte(specJSON), &spec); err != nil {
 		return fmt.Errorf("experiment: decoding worker spec: %w", err)
 	}
+	// Workers always run with a (registry-only) telemetry so rig-pool,
+	// golden-cache and per-run counts exist to forward to the parent
+	// over the shard protocol's metrics frames.
+	obs.EnsureActive()
 	return dispatch.Serve(ctx, func(name string) (dispatch.Worker, error) {
 		return spec.buildWorker(ctx, name)
 	}, r, w)

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one NDJSON record on the -events-out stream. Span records
+// carry a span id (and parent id when nested) plus a duration once the
+// span ends; point events carry neither.
+//
+//	{"ts_ms":12,"kind":"span","name":"campaign.execute","span":1,"dur_ms":4031,"attrs":{"campaign":"permeability"}}
+//	{"ts_ms":15,"kind":"event","name":"dispatch.retry","attrs":{"shard":"a1b2","attempt":"2"}}
+type Event struct {
+	// TSMillis is milliseconds since the event log was created,
+	// measured on the monotonic clock (immune to wall-clock steps).
+	TSMillis int64             `json:"ts_ms"`
+	Kind     string            `json:"kind"` // "event", "span"
+	Name     string            `json:"name"`
+	Span     uint64            `json:"span,omitempty"`
+	Parent   uint64            `json:"parent,omitempty"`
+	DurMs    int64             `json:"dur_ms,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// EventLog serializes events as NDJSON to a sink. All methods are
+// nil-safe no-ops and safe for concurrent use.
+type EventLog struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	enc    *json.Encoder
+	anchor time.Time
+	ids    atomic.Uint64
+}
+
+// NewEventLog wraps w in a buffered NDJSON event sink. Call Flush (or
+// Telemetry.Close) before the process exits.
+func NewEventLog(w io.Writer) *EventLog {
+	bw := bufio.NewWriter(w)
+	return &EventLog{w: bw, enc: json.NewEncoder(bw), anchor: time.Now()}
+}
+
+// now reports milliseconds since the log's anchor, monotonically.
+func (l *EventLog) now() int64 { return time.Since(l.anchor).Milliseconds() }
+
+func (l *EventLog) write(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_ = l.enc.Encode(e)
+}
+
+// Emit records a point event.
+func (l *EventLog) Emit(name string, attrs map[string]string) {
+	if l == nil {
+		return
+	}
+	l.write(Event{TSMillis: l.now(), Kind: "event", Name: name, Attrs: attrs})
+}
+
+// Flush drains the buffer to the underlying writer.
+func (l *EventLog) Flush() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_ = l.w.Flush()
+}
+
+// Span is an in-flight timed operation. End writes one span record
+// carrying the start offset and duration; Child opens a nested span.
+// The zero value and nil are inert.
+type Span struct {
+	log   *EventLog
+	name  string
+	id    uint64
+	par   uint64
+	start time.Time
+	tsMS  int64
+	attrs map[string]string
+}
+
+// StartSpan opens a root span.
+func (l *EventLog) StartSpan(name string, attrs map[string]string) *Span {
+	if l == nil {
+		return nil
+	}
+	return &Span{
+		log: l, name: name,
+		id:    l.ids.Add(1),
+		start: time.Now(),
+		tsMS:  l.now(),
+		attrs: attrs,
+	}
+}
+
+// Child opens a span nested under s.
+func (s *Span) Child(name string, attrs map[string]string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := s.log.StartSpan(name, attrs)
+	c.par = s.id
+	return c
+}
+
+// End closes the span, emitting its record. Safe to call on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.log.write(Event{
+		TSMillis: s.tsMS,
+		Kind:     "span",
+		Name:     s.name,
+		Span:     s.id,
+		Parent:   s.par,
+		DurMs:    time.Since(s.start).Milliseconds(),
+		Attrs:    s.attrs,
+	})
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// publishOnce guards the process-wide expvar registration (expvar
+// panics on duplicate names).
+var publishOnce sync.Once
+
+// Handler builds the diagnostics mux for this telemetry:
+//
+//	/metrics      Prometheus text exposition
+//	/healthz      JSON liveness (uptime, series count)
+//	/debug/vars   expvar (Go runtime vars + repro_metrics snapshot)
+//	/debug/pprof  net/http/pprof profiles
+func (t *Telemetry) Handler() http.Handler {
+	publishOnce.Do(func() {
+		expvar.Publish("repro_metrics", expvar.Func(func() any {
+			return Active().Snapshot()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = t.Reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"status":"ok","uptime_s":%.3f,"series":%d}`+"\n",
+			t.Uptime().Seconds(), len(t.Reg.Snapshot()))
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Snapshot is a nil-safe snapshot of the telemetry's registry, used by
+// the expvar bridge.
+func (t *Telemetry) Snapshot() []Series {
+	if t == nil {
+		return nil
+	}
+	return t.Reg.Snapshot()
+}
+
+// Serve starts the diagnostics HTTP server on addr (host:port; an
+// empty port picks a free one). It returns the bound address and a
+// shutdown function. The server runs until the process exits or the
+// shutdown function is called; serve errors after shutdown are
+// ignored.
+func (t *Telemetry) Serve(addr string) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: t.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

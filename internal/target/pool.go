@@ -3,6 +3,8 @@ package target
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // rigPool recycles fully-assembled rigs across injection runs. A rig is
@@ -29,7 +31,14 @@ func RigPoolingEnabled() bool { return !poolingDisabled.Load() }
 // available. Pass it back with ReleaseRig when the run is over; the rig
 // must not be used after release.
 func AcquireRig(cfg Config) (*Rig, error) {
+	tel := obs.Active()
+	if tel != nil {
+		tel.RigAcquires.Inc()
+	}
 	if poolingDisabled.Load() {
+		if tel != nil {
+			tel.RigBuilds.Inc()
+		}
 		return NewRig(cfg)
 	}
 	if v := rigPool.Get(); v != nil {
@@ -37,7 +46,13 @@ func AcquireRig(cfg Config) (*Rig, error) {
 		if err := r.Reset(cfg); err != nil {
 			return nil, err
 		}
+		if tel != nil {
+			tel.RigReuses.Inc()
+		}
 		return r, nil
+	}
+	if tel != nil {
+		tel.RigBuilds.Inc()
 	}
 	return NewRig(cfg)
 }
@@ -46,6 +61,9 @@ func AcquireRig(cfg Config) (*Rig, error) {
 func ReleaseRig(r *Rig) {
 	if r == nil || poolingDisabled.Load() {
 		return
+	}
+	if tel := obs.Active(); tel != nil {
+		tel.RigReleases.Inc()
 	}
 	rigPool.Put(r)
 }
