@@ -1,0 +1,213 @@
+// Command adaptcheck verifies an adaptive permeability campaign
+// against its exact reference. It consumes the per-edge sample files
+// written by propan -save-samples (one from an -exact run, one from an
+// adaptive run over the same seed and sizes) and checks:
+//
+//   - both campaigns measured the same set of edges;
+//   - the adaptive campaign never executed more trials than the exact
+//     one on any edge (adaptive trials are a prefix of the exact plan);
+//   - every edge's estimates agree within Wilson-interval tolerance:
+//     the two intervals at the given z must intersect;
+//   - the adaptive run saved injections (total_runs < planned_runs),
+//     with planned_runs matching the exact campaign's volume.
+//
+// With -bench, the adaptive BENCH_campaigns.json is also audited: the
+// permeability row must account runs_planned = runs_executed +
+// runs_saved with runs_saved > 0.
+//
+// Usage:
+//
+//	adaptcheck -exact exact.json -adaptive adaptive.json [-bench BENCH_adaptive.json] [-z 1.96]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "adaptcheck:", err)
+		os.Exit(1)
+	}
+}
+
+// sampleEdge mirrors one row of the samples document propan writes.
+type sampleEdge struct {
+	Module    string `json:"module"`
+	In        int    `json:"in"`
+	Out       int    `json:"out"`
+	From      string `json:"from"`
+	To        string `json:"to"`
+	Successes int    `json:"successes"`
+	Trials    int    `json:"trials"`
+}
+
+type samplesDoc struct {
+	PlannedRuns int          `json:"planned_runs"`
+	TotalRuns   int          `json:"total_runs"`
+	ActiveRuns  int          `json:"active_runs"`
+	Edges       []sampleEdge `json:"edges"`
+}
+
+type benchDoc struct {
+	Campaigns []struct {
+		Campaign     string `json:"campaign"`
+		Runs         int    `json:"runs"`
+		RunsPlanned  int    `json:"runs_planned"`
+		RunsExecuted int    `json:"runs_executed"`
+		RunsSaved    int    `json:"runs_saved"`
+	} `json:"campaigns"`
+}
+
+func readSamples(path string) (*samplesDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc samplesDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Edges) == 0 {
+		return nil, fmt.Errorf("%s: no edges", path)
+	}
+	return &doc, nil
+}
+
+func edgeKey(e sampleEdge) string {
+	return fmt.Sprintf("%s[%d->%d] %s->%s", e.Module, e.In, e.Out, e.From, e.To)
+}
+
+func run() error {
+	exactPath := flag.String("exact", "", "samples JSON from the exact campaign")
+	adaptivePath := flag.String("adaptive", "", "samples JSON from the adaptive campaign")
+	benchPath := flag.String("bench", "", "adaptive BENCH_campaigns.json to audit (optional)")
+	z := flag.Float64("z", 1.96, "Wilson interval critical value")
+	flag.Parse()
+
+	if *exactPath == "" || *adaptivePath == "" {
+		return fmt.Errorf("both -exact and -adaptive are required")
+	}
+	if *z <= 0 {
+		return fmt.Errorf("-z must be positive (got %v)", *z)
+	}
+
+	exact, err := readSamples(*exactPath)
+	if err != nil {
+		return err
+	}
+	adaptive, err := readSamples(*adaptivePath)
+	if err != nil {
+		return err
+	}
+
+	if exact.TotalRuns != exact.PlannedRuns {
+		return fmt.Errorf("exact campaign executed %d of %d planned runs; is %s really from an -exact run?",
+			exact.TotalRuns, exact.PlannedRuns, *exactPath)
+	}
+	if adaptive.PlannedRuns != exact.PlannedRuns {
+		return fmt.Errorf("planned volumes differ: exact %d, adaptive %d — different seeds or sizes?",
+			exact.PlannedRuns, adaptive.PlannedRuns)
+	}
+	if adaptive.TotalRuns >= adaptive.PlannedRuns {
+		return fmt.Errorf("adaptive campaign saved nothing: executed %d of %d planned runs",
+			adaptive.TotalRuns, adaptive.PlannedRuns)
+	}
+
+	exEdges := make(map[string]sampleEdge, len(exact.Edges))
+	for _, e := range exact.Edges {
+		exEdges[edgeKey(e)] = e
+	}
+
+	var violations []string
+	maxDelta := 0.0
+	for _, a := range adaptive.Edges {
+		key := edgeKey(a)
+		e, ok := exEdges[key]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: measured adaptively but absent from the exact campaign", key))
+			continue
+		}
+		delete(exEdges, key)
+		if a.Trials > e.Trials {
+			violations = append(violations,
+				fmt.Sprintf("%s: adaptive ran %d trials, exact only %d — not a prefix", key, a.Trials, e.Trials))
+			continue
+		}
+		pe := stats.Proportion{Successes: e.Successes, Trials: e.Trials}
+		pa := stats.Proportion{Successes: a.Successes, Trials: a.Trials}
+		if d := abs(pe.Estimate() - pa.Estimate()); d > maxDelta {
+			maxDelta = d
+		}
+		eLo, eHi := pe.WilsonCI(*z)
+		aLo, aHi := pa.WilsonCI(*z)
+		if aLo > eHi || eLo > aHi {
+			violations = append(violations, fmt.Sprintf(
+				"%s: intervals disjoint — exact %d/%d [%.4f, %.4f], adaptive %d/%d [%.4f, %.4f]",
+				key, e.Successes, e.Trials, eLo, eHi, a.Successes, a.Trials, aLo, aHi))
+		}
+	}
+	for key := range exEdges {
+		violations = append(violations, fmt.Sprintf("%s: measured exactly but absent from the adaptive campaign", key))
+	}
+
+	if *benchPath != "" {
+		data, err := os.ReadFile(*benchPath)
+		if err != nil {
+			return err
+		}
+		var bench benchDoc
+		if err := json.Unmarshal(data, &bench); err != nil {
+			return fmt.Errorf("%s: %w", *benchPath, err)
+		}
+		found := false
+		for _, row := range bench.Campaigns {
+			if row.Campaign != "permeability" {
+				continue
+			}
+			found = true
+			if row.RunsPlanned != row.RunsExecuted+row.RunsSaved {
+				violations = append(violations, fmt.Sprintf(
+					"bench: runs_planned %d != runs_executed %d + runs_saved %d",
+					row.RunsPlanned, row.RunsExecuted, row.RunsSaved))
+			}
+			if row.RunsSaved <= 0 {
+				violations = append(violations,
+					fmt.Sprintf("bench: runs_saved %d, want > 0", row.RunsSaved))
+			}
+			if row.Runs != row.RunsExecuted {
+				violations = append(violations, fmt.Sprintf(
+					"bench: runs %d != runs_executed %d", row.Runs, row.RunsExecuted))
+			}
+		}
+		if !found {
+			violations = append(violations, "bench: no permeability row")
+		}
+	}
+
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "adaptcheck:", v)
+		}
+		return fmt.Errorf("%d violation(s)", len(violations))
+	}
+
+	fmt.Printf("adaptcheck: %d edges agree within z=%.2f Wilson intervals (max estimate delta %.4f)\n",
+		len(adaptive.Edges), *z, maxDelta)
+	fmt.Printf("adaptcheck: adaptive executed %d of %d planned runs (%d saved, %.1f%%)\n",
+		adaptive.TotalRuns, adaptive.PlannedRuns, adaptive.PlannedRuns-adaptive.TotalRuns,
+		100*float64(adaptive.PlannedRuns-adaptive.TotalRuns)/float64(adaptive.PlannedRuns))
+	return nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -13,7 +13,7 @@
 // Usage:
 //
 //	inject -campaign input [-per-signal 2000]
-//	inject -campaign internal [-ram 150] [-stack 50]
+//	inject -campaign internal [-ram 150] [-stack 50] [-exact]
 //	inject -campaign models [-per-signal 1000]
 //	inject -campaign recovery [-ram 150] [-stack 50]
 //	inject -campaign tightness [-per-signal 500]
@@ -61,6 +61,8 @@ func run() error {
 	seed := flag.Int64("seed", 1, "campaign seed")
 	workers := flag.Int("workers", 8, "campaign parallelism")
 	shards := flag.Int("shards", 0, "plan shards (0 = default)")
+	exact := flag.Bool("exact", false,
+		"run full fixed-size grids instead of adaptive pruning + early stopping (internal, recovery)")
 	benchOut := flag.String("bench-out", "BENCH_campaigns.json",
 		"campaign timing report path (empty disables)")
 	dispatchMode := flag.Bool("dispatch", false,
@@ -101,6 +103,7 @@ func run() error {
 	opts := experiment.DefaultOptions(*seed)
 	opts.Workers = *workers
 	opts.Shards = *shards
+	opts.Adaptive = !*exact // before SelfDispatch: the worker spec snapshots opts
 	opts.Timings = campaign.NewCollector()
 	if *dispatchMode || *checkpoint != "" {
 		steps := tightnessSteps()

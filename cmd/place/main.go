@@ -6,6 +6,10 @@
 // Usage:
 //
 //	place [-source paper|measure] [-per-input 500]
+//
+// Measured campaigns run adaptively by default: sampling streams stop
+// once their Wilson intervals are tight (docs/adaptive.md). -exact
+// restores the fixed-size grid the paper used.
 package main
 
 import (
@@ -31,10 +35,21 @@ func main() {
 
 func run() error {
 	source := flag.String("source", "paper", "permeability source: paper or measure")
-	perInput := flag.Int("per-input", 500, "injections per module input (measure mode)")
+	perInput := flag.Int("per-input", 500,
+		"injections per module input (measure mode; the paper used 2000)")
 	seed := flag.Int64("seed", 1, "campaign seed (measure mode)")
 	workers := flag.Int("workers", 8, "campaign parallelism (measure mode)")
+	exact := flag.Bool("exact", false,
+		"run the full fixed-size grid instead of the adaptive early-stopping campaign")
 	flag.Parse()
+
+	// Validate before any campaign work so misuse fails fast.
+	if *perInput < 1 {
+		return fmt.Errorf("-per-input must be >= 1 (got %d)", *perInput)
+	}
+	if *workers < 1 {
+		return fmt.Errorf("-workers must be >= 1 (got %d)", *workers)
+	}
 
 	var p *core.Permeability
 	switch *source {
@@ -43,14 +58,19 @@ func run() error {
 	case "measure":
 		opts := experiment.DefaultOptions(*seed)
 		opts.Workers = *workers
+		opts.Adaptive = !*exact
 		fmt.Fprintln(os.Stderr, "measuring permeabilities...")
 		res, err := experiment.EstimatePermeability(context.Background(), opts, *perInput)
 		if err != nil {
 			return err
 		}
+		if opts.Adaptive {
+			fmt.Fprintf(os.Stderr, "  %d of %d planned runs executed (%d saved)\n",
+				res.TotalRuns, res.PlannedRuns, res.PlannedRuns-res.TotalRuns)
+		}
 		p = res.Matrix
 	default:
-		return fmt.Errorf("unknown -source %q", *source)
+		return fmt.Errorf("unknown -source %q (want paper or measure)", *source)
 	}
 
 	pr, err := core.BuildProfile(p)

@@ -8,7 +8,11 @@
 //
 // Usage:
 //
-//	propan [-source paper|measure] [-per-input 2000] [-tree sig] [-backtrack sig] [-impact sig]
+//	propan [-source paper|measure] [-per-input 500] [-tree sig] [-backtrack sig] [-impact sig]
+//
+// Measured campaigns run adaptively by default: sampling streams stop
+// once their Wilson intervals are tight (docs/adaptive.md). -exact
+// restores the fixed-size grid the paper used.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/model"
@@ -34,9 +39,16 @@ func main() {
 
 func run() error {
 	source := flag.String("source", "paper", "permeability source: paper or measure")
-	perInput := flag.Int("per-input", 500, "injections per module input (measure mode)")
+	perInput := flag.Int("per-input", 500,
+		"injections per module input (measure mode; the paper used 2000)")
 	seed := flag.Int64("seed", 1, "campaign seed (measure mode)")
 	workers := flag.Int("workers", 8, "campaign parallelism (measure mode)")
+	exact := flag.Bool("exact", false,
+		"run the full fixed-size grid instead of the adaptive early-stopping campaign")
+	saveSamples := flag.String("save-samples", "",
+		"write per-edge injection counts to this JSON file (measure mode)")
+	benchOut := flag.String("bench-out", "",
+		"campaign timing report path (measure mode; empty disables)")
 	traceSig := flag.String("tree", "", "render the trace tree of this signal")
 	backSig := flag.String("backtrack", "", "render the backtrack tree of this signal")
 	impactSig := flag.String("impact", "", "render the impact tree of this signal")
@@ -44,6 +56,22 @@ func run() error {
 	saveMatrix := flag.String("save-matrix", "", "write the permeability matrix to this JSON file")
 	loadMatrix := flag.String("load-matrix", "", "read the permeability matrix from this JSON file instead of -source")
 	flag.Parse()
+
+	// Validate before any campaign or file work so misuse fails fast.
+	if *perInput < 1 {
+		return fmt.Errorf("-per-input must be >= 1 (got %d)", *perInput)
+	}
+	if *workers < 1 {
+		return fmt.Errorf("-workers must be >= 1 (got %d)", *workers)
+	}
+	switch *source {
+	case "paper", "measure":
+	default:
+		return fmt.Errorf("unknown -source %q (want paper or measure)", *source)
+	}
+	if *saveSamples != "" && *source != "measure" {
+		return fmt.Errorf("-save-samples requires -source measure")
+	}
 
 	var p *core.Permeability
 	if *loadMatrix != "" {
@@ -65,15 +93,37 @@ func run() error {
 	case "measure":
 		opts := experiment.DefaultOptions(*seed)
 		opts.Workers = *workers
-		fmt.Fprintf(os.Stderr, "measuring permeabilities: %d injections per input over %d cases...\n",
-			*perInput, len(opts.Cases))
+		opts.Adaptive = !*exact
+		if *benchOut != "" {
+			opts.Timings = campaign.NewCollector()
+		}
+		mode := "adaptive"
+		if *exact {
+			mode = "exact"
+		}
+		fmt.Fprintf(os.Stderr, "measuring permeabilities (%s): %d injections per input over %d cases...\n",
+			mode, *perInput, len(opts.Cases))
 		res, err := experiment.EstimatePermeability(context.Background(), opts, *perInput)
 		if err != nil {
 			return err
 		}
+		if opts.Adaptive {
+			fmt.Fprintf(os.Stderr, "  %d of %d planned runs executed (%d saved)\n",
+				res.TotalRuns, res.PlannedRuns, res.PlannedRuns-res.TotalRuns)
+		}
+		if *saveSamples != "" {
+			if err := res.WriteSamples(*saveSamples); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "samples written to %s\n", *saveSamples)
+		}
+		if err := experiment.WriteCampaignTimings(*benchOut, *seed, *workers, opts.Timings); err != nil {
+			return err
+		}
+		if *benchOut != "" {
+			fmt.Fprintf(os.Stderr, "campaign timing written to %s\n", *benchOut)
+		}
 		p = res.Matrix
-	default:
-		return fmt.Errorf("unknown -source %q", *source)
 	}
 
 	if *saveMatrix != "" {

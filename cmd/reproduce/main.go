@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	reproduce [-mode both|paper|measured] [-quick] [-artifact all|table1|...|figure6]
+//	reproduce [-mode both|paper|measured] [-quick] [-exact] [-artifact all|table1|...|figure6]
 //
 // With -dispatch (or -checkpoint, which implies it) the measured-mode
 // campaigns run their shards in worker subprocesses — re-execs of this
@@ -60,6 +60,8 @@ func run() error {
 	mode := flag.String("mode", "both", "paper, measured, or both")
 	artifact := flag.String("artifact", "all", "one of all, table1..table5, figure3..figure6, extensions")
 	quick := flag.Bool("quick", false, "reduced campaign sizes for a fast pass")
+	exact := flag.Bool("exact", false,
+		"run full fixed-size grids instead of adaptive pruning + early stopping (measured mode)")
 	seed := flag.Int64("seed", 1, "campaign seed")
 	workers := flag.Int("workers", 8, "campaign parallelism")
 	shards := flag.Int("shards", 0, "plan shards (0 = default)")
@@ -126,7 +128,7 @@ func run() error {
 			timeout:    *shardTimeout,
 			retries:    *retries,
 		}
-		if err := measuredMode(ctx, want, sz, *seed, *workers, *shards, *benchOut, df); err != nil {
+		if err := measuredMode(ctx, want, sz, *seed, *workers, *shards, *exact, *benchOut, df); err != nil {
 			return err
 		}
 	}
@@ -223,10 +225,11 @@ type dispatchFlags struct {
 	retries    int
 }
 
-func measuredMode(ctx context.Context, want func(string) bool, sz sizes, seed int64, workers, shards int, benchOut string, df dispatchFlags) error {
+func measuredMode(ctx context.Context, want func(string) bool, sz sizes, seed int64, workers, shards int, exact bool, benchOut string, df dispatchFlags) error {
 	opts := experiment.DefaultOptions(seed)
 	opts.Workers = workers
 	opts.Shards = shards
+	opts.Adaptive = !exact // before SelfDispatch: the worker spec snapshots opts
 	opts.Timings = campaign.NewCollector()
 	if df.enabled {
 		spec := experiment.WorkerSpec{

@@ -54,6 +54,15 @@ type Describer[Run any] interface {
 	Describe(run Run, index int) string
 }
 
+// Planned is an optional Campaign refinement for campaigns whose plan
+// is a pruned stand-in for a larger exact grid: PlannedRuns reports the
+// exact-grid size, and the engine records it in the campaign's timing
+// row so BENCH reports show runs saved. Campaigns without it are taken
+// at face value (planned = executed).
+type Planned interface {
+	PlannedRuns() int
+}
+
 // Execute runs a campaign end to end: plan, execute every run on the
 // executor, reduce. A nil executor defaults to Serial. When col is
 // non-nil the engine observes the campaign's run count and wall-clock
@@ -169,6 +178,9 @@ func Execute[Run, Result, Out any](ctx context.Context, c Campaign[Run, Result, 
 	execSpan.End()
 	if col != nil {
 		ext := Extras{}
+		if p, ok := any(c).(Planned); ok {
+			ext.RunsPlanned = p.PlannedRuns()
+		}
 		if tel != nil {
 			ext.RunRetries = tel.RunRetries.Value() - preRunRetries
 			ext.ShardRetries = tel.DispatchRetries.Value() - preShRetry

@@ -18,6 +18,13 @@ type Timing struct {
 	Runs       int     `json:"runs"`
 	WallS      float64 `json:"wall_s"`
 	RunsPerSec float64 `json:"runs_per_sec"`
+	// RunsPlanned is the size of the full (exact) injection grid the
+	// campaign stands for; RunsExecuted is what actually ran after
+	// equivalence pruning and early stopping, and RunsSaved is the
+	// difference. For exact campaigns all three agree (saved = 0).
+	RunsPlanned  int `json:"runs_planned"`
+	RunsExecuted int `json:"runs_executed"`
+	RunsSaved    int `json:"runs_saved"`
 	// RunRetries counts run re-attempts by the Retry executor during
 	// this campaign.
 	RunRetries int64 `json:"run_retries,omitempty"`
@@ -36,15 +43,21 @@ type Extras struct {
 	ShardRetries int64
 	ShardP50Ms   float64
 	ShardP99Ms   float64
+	// RunsPlanned, when positive, records the exact-grid size an
+	// adaptive campaign stands for; the row's RunsSaved becomes
+	// RunsPlanned - runs.
+	RunsPlanned int
 }
 
 // NewTiming builds one timing row from a campaign's run count and
 // wall-clock duration.
 func NewTiming(campaign string, runs int, wall time.Duration) Timing {
 	t := Timing{
-		Campaign: campaign,
-		Runs:     runs,
-		WallS:    wall.Seconds(),
+		Campaign:     campaign,
+		Runs:         runs,
+		WallS:        wall.Seconds(),
+		RunsPlanned:  runs,
+		RunsExecuted: runs,
 	}
 	if t.WallS > 0 {
 		t.RunsPerSec = float64(runs) / t.WallS
@@ -77,6 +90,10 @@ func (c *Collector) ObserveExt(campaign string, runs int, wall time.Duration, ex
 	row.ShardRetries = ext.ShardRetries
 	row.ShardP50Ms = ext.ShardP50Ms
 	row.ShardP99Ms = ext.ShardP99Ms
+	if ext.RunsPlanned > 0 {
+		row.RunsPlanned = ext.RunsPlanned
+		row.RunsSaved = ext.RunsPlanned - runs
+	}
 	c.mu.Lock()
 	c.rows = append(c.rows, row)
 	c.mu.Unlock()

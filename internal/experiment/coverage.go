@@ -9,6 +9,7 @@ import (
 	"repro/internal/ea"
 	"repro/internal/failure"
 	"repro/internal/fi"
+	"repro/internal/memmap"
 	"repro/internal/model"
 	"repro/internal/stats"
 	"repro/internal/target"
@@ -303,14 +304,22 @@ type InternalCoverageResult struct {
 	RAM, Stack, Total RegionCoverage
 	// RAMLocations and StackLocations are the sampled location counts.
 	RAMLocations, StackLocations int
+	// PlannedRuns and ExecutedRuns account for adaptive savings: the
+	// exact grid size the campaign stands for versus the injections that
+	// actually ran (equal for exact campaigns).
+	PlannedRuns, ExecutedRuns int
 }
 
 // memJob is one internal-model injection run: periodic flips of one
-// memory target during one test case.
+// memory target during one test case. weight is the def/use equivalence
+// class size the run stands for (0 and 1 both mean just itself): a
+// pruned plan executes one representative of each provably-masked class
+// and the reducer credits the outcome weight times.
 type memJob struct {
 	tgt     fi.MemTarget
 	caseIdx int
 	stack   bool
+	weight  int
 }
 
 // memOutcome is one internal-model run's detections and verdict,
@@ -327,21 +336,36 @@ type internalCoverageCampaign struct {
 	ramLocations, stackLocations int
 	golds                        []*golden
 	ramTargets, stackTargets     []fi.MemTarget
+
+	// Adaptive-mode state: the pruned per-region run lists (memoized by
+	// prepare, derived deterministically from the options).
+	prepared               bool
+	ramPruned, stackPruned []memJob
 }
 
 func (c *internalCoverageCampaign) Name() string { return "internal-coverage" }
 
-func (c *internalCoverageCampaign) Plan() ([]memJob, error) {
-	// Enumerate targets on a scratch rig (cell IDs are stable across
-	// rigs: allocation order is fixed by construction).
+// enumerateTargets samples the campaign's memory targets once, on a
+// scratch rig (cell IDs are stable across rigs: allocation order is
+// fixed by construction).
+func (c *internalCoverageCampaign) enumerateTargets() error {
+	if c.ramTargets != nil {
+		return nil
+	}
 	scratch, err := target.AcquireRig(c.opts.Cases[0].Config(1))
 	if err != nil {
-		return nil, err
+		return err
 	}
 	c.ramTargets = fi.SampleTargets(fi.EnumerateRAMTargets(scratch.Sys, scratch.Mem), c.ramLocations, c.opts.Seed*7+1)
 	c.stackTargets = fi.SampleTargets(fi.EnumerateStackTargets(scratch.Mem), c.stackLocations, c.opts.Seed*7+2)
 	target.ReleaseRig(scratch)
+	return nil
+}
 
+func (c *internalCoverageCampaign) Plan() ([]memJob, error) {
+	if err := c.enumerateTargets(); err != nil {
+		return nil, err
+	}
 	var plan []memJob
 	for _, tgt := range c.ramTargets {
 		for ci := range c.opts.Cases {
@@ -354,6 +378,63 @@ func (c *internalCoverageCampaign) Plan() ([]memJob, error) {
 		}
 	}
 	return plan, nil
+}
+
+// prepare builds the adaptive campaign's pruned per-region run lists:
+// profile each test case's fault-free def/use trace, collapse every
+// (case, region) set of provably-masked targets into one weighted
+// representative, and keep all other targets as weight-1 runs. Pure
+// function of the options, memoized — parent and workers derive
+// identical lists.
+func (c *internalCoverageCampaign) prepare() error {
+	if c.prepared {
+		return nil
+	}
+	if err := c.enumerateTargets(); err != nil {
+		return err
+	}
+	profs := make([]*memmap.Liveness, len(c.opts.Cases))
+	for ci := range c.opts.Cases {
+		l, err := livenessProfile(c.opts, c.golds[ci], false)
+		if err != nil {
+			return err
+		}
+		profs[ci] = l
+	}
+	c.ramPruned = prunedMemJobs(c.ramTargets, false, profs)
+	c.stackPruned = prunedMemJobs(c.stackTargets, true, profs)
+	c.prepared = true
+	return nil
+}
+
+// round builds the executable campaign of one adaptive round; streams
+// are the two region run lists (RAM, stack).
+func (c *internalCoverageCampaign) round(name string, st AdaptiveRound) (*roundCampaign[memJob, memOutcome], error) {
+	if err := c.prepare(); err != nil {
+		return nil, err
+	}
+	streams := [][]memJob{c.ramPruned, c.stackPruned}
+	if len(st.Cursors) != len(streams) || len(st.Done) != len(streams) {
+		return nil, fmt.Errorf("experiment: round %s has %d cursors for %d streams", name, len(st.Cursors), len(streams))
+	}
+	var jobs []memJob
+	for si, stream := range streams {
+		if st.Done[si] {
+			continue
+		}
+		end := st.Cursors[si] + st.Batch
+		if end > len(stream) {
+			end = len(stream)
+		}
+		jobs = append(jobs, stream[st.Cursors[si]:end]...)
+	}
+	return &roundCampaign[memJob, memOutcome]{
+		name: name,
+		jobs: jobs,
+		exec: c.Execute,
+		key:  c.ShardKey,
+		desc: c.Describe,
+	}, nil
 }
 
 func (c *internalCoverageCampaign) Execute(_ context.Context, j memJob, _ int) (memOutcome, error) {
@@ -378,9 +459,11 @@ func (c *internalCoverageCampaign) Reduce(plan []memJob, results []memOutcome) (
 		if j.stack {
 			region = &res.Stack
 		}
-		region.accumulate(out.DetectedAt, out.Failed, c.opts.PeriodicMs)
-		res.Total.accumulate(out.DetectedAt, out.Failed, c.opts.PeriodicMs)
+		region.accumulateN(out.DetectedAt, out.Failed, c.opts.PeriodicMs, j.weight)
+		res.Total.accumulateN(out.DetectedAt, out.Failed, c.opts.PeriodicMs, j.weight)
 	}
+	res.PlannedRuns = res.Total.Runs
+	res.ExecutedRuns = len(plan)
 	return res, nil
 }
 
@@ -403,7 +486,15 @@ func (c *internalCoverageCampaign) Describe(j memJob, index int) string {
 // split into c_tot, c_fail and c_nofail. ramLocations and stackLocations
 // are the sampled location counts (the paper used 150 and 50; with 25
 // cases that is the paper's 5000 runs).
+// With opts.Adaptive set, each test case's fault-free run is first
+// profiled for def/use liveness; targets whose corruption is provably
+// unobservable collapse into one weighted representative per (case,
+// region) class, and the two region streams stop sampling early once
+// every set's c_tot interval is tight (docs/adaptive.md).
 func InternalCoverage(ctx context.Context, opts Options, ramLocations, stackLocations int) (*InternalCoverageResult, error) {
+	if opts.Adaptive {
+		return internalCoverageAdaptive(ctx, opts, ramLocations, stackLocations)
+	}
 	c, err := newInternalCoverageCampaign(ctx, opts, ramLocations, stackLocations)
 	if err != nil {
 		return nil, err
@@ -439,10 +530,17 @@ func newRegionCoverage(name string) RegionCoverage {
 	return rc
 }
 
-func (rc *RegionCoverage) accumulate(detectedAt map[string]int64, failed bool, injectedAt int64) {
-	rc.Runs++
+// accumulateN folds one run into the region n times — the weighted
+// accumulation behind equivalence-class pruning, where one executed
+// representative stands for n provably-identical runs. n below 1 counts
+// as 1 (plain accumulation).
+func (rc *RegionCoverage) accumulateN(detectedAt map[string]int64, failed bool, injectedAt int64, n int) {
+	if n < 1 {
+		n = 1
+	}
+	rc.Runs += n
 	if failed {
-		rc.Failures++
+		rc.Failures += n
 	}
 	for set, members := range setMembers() {
 		first := int64(-1)
@@ -452,11 +550,11 @@ func (rc *RegionCoverage) accumulate(detectedAt map[string]int64, failed bool, i
 			}
 		}
 		sc := rc.PerSet[set]
-		sc.Tot.Add(first >= 0)
+		sc.Tot.AddN(first >= 0, n)
 		if failed {
-			sc.Fail.Add(first >= 0)
+			sc.Fail.AddN(first >= 0, n)
 		} else {
-			sc.NoFail.Add(first >= 0)
+			sc.NoFail.AddN(first >= 0, n)
 		}
 		rc.PerSet[set] = sc
 		if first >= 0 {
@@ -464,7 +562,9 @@ func (rc *RegionCoverage) accumulate(detectedAt map[string]int64, failed bool, i
 			if lat < 0 {
 				lat = 0
 			}
-			rc.SetLatenciesMs[set] = append(rc.SetLatenciesMs[set], float64(lat))
+			for i := 0; i < n; i++ {
+				rc.SetLatenciesMs[set] = append(rc.SetLatenciesMs[set], float64(lat))
+			}
 		}
 	}
 }

@@ -82,6 +82,19 @@ type Options struct {
 	// PeriodicMs is the injection period of the internal error model.
 	PeriodicMs int64
 
+	// Adaptive enables the adaptive-campaign layer: def/use equivalence
+	// pruning of the internal-model grid and sequential early stopping
+	// of permeability streams (docs/adaptive.md). Off, campaigns run the
+	// paper-faithful exact grid.
+	Adaptive bool
+	// StopHalfWidth is the Wilson 95% half-width at which an adaptive
+	// stream stops sampling (0 selects the 0.05 default; negative
+	// disables early stopping, leaving only equivalence pruning).
+	StopHalfWidth float64
+	// StopMinTrials is the floor below which the stopping rule never
+	// fires (0 selects the 100 default; negative means no floor).
+	StopMinTrials int
+
 	// execOverride, when non-nil, replaces the selected executor. Tests
 	// use it to compose fault-injecting wrappers (campaign/chaos) around
 	// the engine; being unexported it never crosses the wire to workers.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/erm"
 	"repro/internal/failure"
 	"repro/internal/fi"
+	"repro/internal/memmap"
 	"repro/internal/model"
 	"repro/internal/stats"
 	"repro/internal/target"
@@ -244,12 +245,14 @@ type RecoveryStudyResult struct {
 }
 
 // recJob is one recovery-study run: one memory target, one case, one
-// arm (0 baseline, 1 wrapped, 2 hardened).
+// arm (0 baseline, 1 wrapped, 2 hardened). weight is the def/use
+// equivalence class size the run stands for (0 and 1 mean itself).
 type recJob struct {
 	tgt     fi.MemTarget
 	caseIdx int
 	stack   bool
 	arm     int
+	weight  int
 }
 
 // recOutcome is one recovery run's verdict, wire-encodable for the
@@ -280,6 +283,9 @@ func (c *recoveryCampaign) Plan() ([]recJob, error) {
 	c.stackTargets = fi.SampleTargets(fi.EnumerateStackTargets(scratch.Mem), c.stackLocations, c.opts.Seed*7+2)
 	target.ReleaseRig(scratch)
 
+	if c.opts.Adaptive {
+		return c.prunedPlan()
+	}
 	var plan []recJob
 	add := func(tgts []fi.MemTarget, stack bool) {
 		for _, tgt := range tgts {
@@ -293,6 +299,69 @@ func (c *recoveryCampaign) Plan() ([]recJob, error) {
 	add(c.ramTargets, false)
 	add(c.stackTargets, true)
 	return plan, nil
+}
+
+// prunedPlan is the adaptive plan: every (case, arm, region) set of
+// provably-masked targets collapses into one weighted representative.
+// Each arm gets its own fault-free liveness profile — the wrapped and
+// hardened configurations may trace memory differently — so masking is
+// judged against the exact configuration the run would execute.
+// Deterministic: parent and workers derive the identical plan, so the
+// dispatch plan-hash handshake holds.
+func (c *recoveryCampaign) prunedPlan() ([]recJob, error) {
+	profs := make([][]*memmap.Liveness, 3)
+	for arm := 0; arm < 3; arm++ {
+		profs[arm] = make([]*memmap.Liveness, len(c.opts.Cases))
+		for ci := range c.opts.Cases {
+			l, err := recoveryProfile(c.opts, c.golds[ci], c.specs, arm)
+			if err != nil {
+				return nil, err
+			}
+			profs[arm][ci] = l
+		}
+	}
+	var plan []recJob
+	add := func(tgts []fi.MemTarget, stack bool) {
+		// Class sizes first, then one representative at its natural plan
+		// position (the first masked target of each class).
+		masked := make([][]int, 3)
+		emitted := make([][]bool, 3)
+		for arm := range masked {
+			masked[arm] = make([]int, len(c.opts.Cases))
+			emitted[arm] = make([]bool, len(c.opts.Cases))
+			for _, tgt := range tgts {
+				for ci := range c.opts.Cases {
+					if maskedTarget(profs[arm][ci], tgt) {
+						masked[arm][ci]++
+					}
+				}
+			}
+		}
+		for _, tgt := range tgts {
+			for ci := range c.opts.Cases {
+				for arm := 0; arm < 3; arm++ {
+					if maskedTarget(profs[arm][ci], tgt) {
+						if emitted[arm][ci] {
+							continue
+						}
+						emitted[arm][ci] = true
+						plan = append(plan, recJob{tgt: tgt, caseIdx: ci, stack: stack, arm: arm, weight: masked[arm][ci]})
+					} else {
+						plan = append(plan, recJob{tgt: tgt, caseIdx: ci, stack: stack, arm: arm})
+					}
+				}
+			}
+		}
+	}
+	add(c.ramTargets, false)
+	add(c.stackTargets, true)
+	return plan, nil
+}
+
+// PlannedRuns reports the exact grid size the campaign stands for, so
+// the engine's timing row shows the pruning savings.
+func (c *recoveryCampaign) PlannedRuns() int {
+	return (len(c.ramTargets) + len(c.stackTargets)) * len(c.opts.Cases) * 3
 }
 
 func (c *recoveryCampaign) Execute(_ context.Context, j recJob, _ int) (recOutcome, error) {
@@ -321,6 +390,10 @@ func (c *recoveryCampaign) Reduce(plan []recJob, results []recOutcome) (*Recover
 		if j.stack {
 			regions[1] = &res.Stack
 		}
+		w := j.weight
+		if w < 1 {
+			w = 1
+		}
 		for _, region := range regions {
 			arm := &region.Baseline
 			switch j.arm {
@@ -329,11 +402,11 @@ func (c *recoveryCampaign) Reduce(plan []recJob, results []recOutcome) (*Recover
 			case 2:
 				arm = &region.Hardened
 			}
-			arm.Runs++
+			arm.Runs += w
 			if out.Failed {
-				arm.Failures++
+				arm.Failures += w
 			}
-			arm.Recoveries += out.Recoveries
+			arm.Recoveries += w * out.Recoveries
 		}
 	}
 	return res, nil

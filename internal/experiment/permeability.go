@@ -2,8 +2,11 @@ package experiment
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
+	"sort"
 
 	"repro/internal/campaign"
 	"repro/internal/core"
@@ -25,15 +28,23 @@ type PermeabilityResult struct {
 	Samples map[model.Edge]stats.Proportion
 	// ActiveRuns and TotalRuns account for the campaign volume.
 	ActiveRuns, TotalRuns int
+	// PlannedRuns is the exact-grid size the campaign stands for; it
+	// exceeds TotalRuns when adaptive early stopping ended streams
+	// before the grid was exhausted.
+	PlannedRuns int
 }
 
 // permJob is one permeability injection run: a bit-flip at one module
-// input, evaluated against one test case's golden run.
+// input, evaluated against one test case's golden run. seq is the run's
+// position in the exact (full-grid) plan and keys all run randomness,
+// so an adaptive round executing a subset of the grid reproduces the
+// exact campaign's trials bit for bit.
 type permJob struct {
 	mod     *model.ModuleDecl
 	port    model.PortRef
 	sig     model.SignalID
 	caseIdx int
+	seq     int
 }
 
 // permOutcome is one run's evaluation: whether the injection was active
@@ -56,31 +67,107 @@ type permeabilityCampaign struct {
 
 func (c *permeabilityCampaign) Name() string { return "permeability" }
 
-func (c *permeabilityCampaign) Plan() ([]permJob, error) {
+// perCase is how many injections each (module input, test case) pair
+// receives in the exact grid.
+func (c *permeabilityCampaign) perCase() int {
 	perCase := c.perInput / len(c.opts.Cases)
 	if perCase < 1 {
 		perCase = 1
 	}
-	var plan []permJob
+	return perCase
+}
+
+// permStream is one (module, input) sampling stream: the unit at which
+// adaptive early stopping decides. base is the stream's first index in
+// the exact plan.
+type permStream struct {
+	mod  *model.ModuleDecl
+	port model.PortRef
+	sig  model.SignalID
+	base int
+}
+
+// streams lists the campaign's sampling streams in exact-plan order.
+func (c *permeabilityCampaign) streams() []permStream {
+	block := c.perCase() * len(c.opts.Cases)
+	var out []permStream
 	for _, mod := range c.sys.Modules() {
 		for _, in := range mod.Inputs {
-			for ci := range c.opts.Cases {
-				for k := 0; k < perCase; k++ {
-					plan = append(plan, permJob{
-						mod:     mod,
-						port:    model.PortRef{Module: mod.ID, Dir: model.DirIn, Index: in.Index},
-						sig:     in.Signal,
-						caseIdx: ci,
-					})
-				}
+			out = append(out, permStream{
+				mod:  mod,
+				port: model.PortRef{Module: mod.ID, Dir: model.DirIn, Index: in.Index},
+				sig:  in.Signal,
+				base: len(out) * block,
+			})
+		}
+	}
+	return out
+}
+
+func (c *permeabilityCampaign) Plan() ([]permJob, error) {
+	perCase := c.perCase()
+	var plan []permJob
+	for _, s := range c.streams() {
+		for ci := range c.opts.Cases {
+			for k := 0; k < perCase; k++ {
+				plan = append(plan, permJob{mod: s.mod, port: s.port, sig: s.sig, caseIdx: ci, seq: len(plan)})
 			}
 		}
 	}
 	return plan, nil
 }
 
-func (c *permeabilityCampaign) Execute(_ context.Context, j permJob, index int) (permOutcome, error) {
-	return permeabilityRun(c.opts, c.golds[j.caseIdx], j.mod, j.port, j.sig, index)
+// roundJobs emits the next batch of each unfinished stream's trials.
+// Trials advance in case-interleaved order (consecutive trials visit
+// consecutive cases) so a stream stopped early has sampled every case
+// evenly; seq maps each trial back to its exact-plan slot, preserving
+// the run's seed. Pure function of its arguments — the parent driver
+// and shard workers derive identical round plans from the shipped
+// cursor state.
+func (c *permeabilityCampaign) roundJobs(streams []permStream, cursors []int, done []bool, batch int) []permJob {
+	numCases := len(c.opts.Cases)
+	perCase := c.perCase()
+	total := perCase * numCases
+	var jobs []permJob
+	for si, s := range streams {
+		if done[si] {
+			continue
+		}
+		end := cursors[si] + batch
+		if end > total {
+			end = total
+		}
+		for t := cursors[si]; t < end; t++ {
+			ci := t % numCases
+			k := t / numCases
+			jobs = append(jobs, permJob{
+				mod: s.mod, port: s.port, sig: s.sig,
+				caseIdx: ci, seq: s.base + ci*perCase + k,
+			})
+		}
+	}
+	return jobs
+}
+
+// round builds the executable campaign of one adaptive round. Both the
+// parent driver and worker processes construct rounds through this
+// path, so plans and plan hashes agree by construction.
+func (c *permeabilityCampaign) round(name string, st AdaptiveRound) (*roundCampaign[permJob, permOutcome], error) {
+	streams := c.streams()
+	if len(st.Cursors) != len(streams) || len(st.Done) != len(streams) {
+		return nil, fmt.Errorf("experiment: round %s has %d cursors for %d streams", name, len(st.Cursors), len(streams))
+	}
+	return &roundCampaign[permJob, permOutcome]{
+		name: name,
+		jobs: c.roundJobs(streams, st.Cursors, st.Done, st.Batch),
+		exec: c.Execute,
+		key:  c.ShardKey,
+		desc: c.Describe,
+	}, nil
+}
+
+func (c *permeabilityCampaign) Execute(_ context.Context, j permJob, _ int) (permOutcome, error) {
+	return permeabilityRun(c.opts, c.golds[j.caseIdx], j.mod, j.port, j.sig, j.seq)
 }
 
 func (c *permeabilityCampaign) Reduce(plan []permJob, results []permOutcome) (*PermeabilityResult, error) {
@@ -105,6 +192,7 @@ func (c *permeabilityCampaign) Reduce(plan []permJob, results []permOutcome) (*P
 			res.Samples[e] = p
 		}
 	}
+	res.PlannedRuns = res.TotalRuns
 	for e, p := range res.Samples {
 		if err := res.Matrix.SetEdge(e, p.Estimate()); err != nil {
 			return nil, err
@@ -117,8 +205,8 @@ func (c *permeabilityCampaign) ShardKey(j permJob, _ int) uint64 {
 	return shardKeyFor(c.opts, c.opts.Cases[j.caseIdx])
 }
 
-func (c *permeabilityCampaign) Describe(j permJob, index int) string {
-	return describeRun(c.opts, "perm", index, j.caseIdx) + " signal=" + string(j.sig)
+func (c *permeabilityCampaign) Describe(j permJob, _ int) string {
+	return describeRun(c.opts, "perm", j.seq, j.caseIdx) + " signal=" + string(j.sig)
 }
 
 // EstimatePermeability runs the Section 5.3 campaign on the
@@ -131,7 +219,16 @@ func (c *permeabilityCampaign) Describe(j permJob, index int) string {
 //
 // perInput is the total number of injections per module input across all
 // test cases (the paper used 2000 per target signal).
+//
+// With opts.Adaptive set, each (module, input) stream is sampled in
+// rounds and stops as soon as every outgoing edge's Wilson interval is
+// tighter than the stopping rule demands; executed trials are an
+// exact-plan subset, so adaptive estimates are prefix averages of the
+// exact campaign's trials.
 func EstimatePermeability(ctx context.Context, opts Options, perInput int) (*PermeabilityResult, error) {
+	if opts.Adaptive {
+		return estimatePermeabilityAdaptive(ctx, opts, perInput)
+	}
 	c, err := newPermeabilityCampaign(ctx, opts, perInput)
 	if err != nil {
 		return nil, err
@@ -153,6 +250,57 @@ func newPermeabilityCampaign(ctx context.Context, opts Options, perInput int) (*
 		return nil, err
 	}
 	return &permeabilityCampaign{opts: opts, perInput: perInput, golds: golds, sys: target.SharedSystem()}, nil
+}
+
+// sampleRow is one edge of the samples document WriteSamples emits.
+type sampleRow struct {
+	Module    model.ModuleID `json:"module"`
+	In        int            `json:"in"`
+	Out       int            `json:"out"`
+	From      model.SignalID `json:"from"`
+	To        model.SignalID `json:"to"`
+	Successes int            `json:"successes"`
+	Trials    int            `json:"trials"`
+}
+
+type samplesDoc struct {
+	PlannedRuns int         `json:"planned_runs"`
+	TotalRuns   int         `json:"total_runs"`
+	ActiveRuns  int         `json:"active_runs"`
+	Edges       []sampleRow `json:"edges"`
+}
+
+// WriteSamples writes the campaign's per-edge counts as JSON, edges in
+// deterministic order — the raw material cmd/adaptcheck uses to verify
+// that exact and adaptive campaigns agree within their Wilson
+// intervals.
+func (r *PermeabilityResult) WriteSamples(path string) error {
+	doc := samplesDoc{
+		PlannedRuns: r.PlannedRuns,
+		TotalRuns:   r.TotalRuns,
+		ActiveRuns:  r.ActiveRuns,
+	}
+	for e, p := range r.Samples {
+		doc.Edges = append(doc.Edges, sampleRow{
+			Module: e.Module, In: e.In, Out: e.Out, From: e.From, To: e.To,
+			Successes: p.Successes, Trials: p.Trials,
+		})
+	}
+	sort.Slice(doc.Edges, func(i, j int) bool {
+		a, b := doc.Edges[i], doc.Edges[j]
+		if a.Module != b.Module {
+			return a.Module < b.Module
+		}
+		if a.In != b.In {
+			return a.In < b.In
+		}
+		return a.Out < b.Out
+	})
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // permeabilityRun executes one injection run and evaluates direct output

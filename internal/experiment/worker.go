@@ -40,6 +40,13 @@ type WorkerSpec struct {
 	RecoveryStack  int              `json:"recovery_stack,omitempty"`   // recovery
 	Specs          []erm.Spec       `json:"specs,omitempty"`            // recovery (nil = defaults)
 	IntegPerSignal int              `json:"integ_per_signal,omitempty"` // integration
+
+	// Round carries the cursor state of the adaptive round this worker
+	// pool serves (round campaigns are named "<base>@<round>"); nil for
+	// exact campaigns. The parent refreshes it per round via
+	// Options.withRound — worker pools are created per round, so fresh
+	// processes always see their own round's state.
+	Round *AdaptiveRound `json:"adaptive_round,omitempty"`
 }
 
 // Encode renders the spec for the worker environment.
@@ -63,6 +70,34 @@ func (s WorkerSpec) buildWorker(ctx context.Context, name string) (dispatch.Work
 	opts.Dispatch = nil
 	if opts.Workers < 1 {
 		opts.Workers = 1
+	}
+	if base, round, ok := parseRoundName(name); ok {
+		if s.Round == nil || s.Round.Campaign != base || s.Round.Round != round {
+			return nil, fmt.Errorf("experiment: worker has no round state for campaign %q", name)
+		}
+		switch base {
+		case "permeability":
+			c, err := newPermeabilityCampaign(ctx, opts, s.PerInput)
+			if err != nil {
+				return nil, err
+			}
+			rc, err := c.round(name, *s.Round)
+			if err != nil {
+				return nil, err
+			}
+			return dispatch.Adapt[permJob, permOutcome, []permOutcome](rc)
+		case "internal-coverage":
+			c, err := newInternalCoverageCampaign(ctx, opts, s.RAMLocations, s.StackLocations)
+			if err != nil {
+				return nil, err
+			}
+			rc, err := c.round(name, *s.Round)
+			if err != nil {
+				return nil, err
+			}
+			return dispatch.Adapt[memJob, memOutcome, []memOutcome](rc)
+		}
+		return nil, fmt.Errorf("experiment: no adaptive campaign named %q", base)
 	}
 	switch name {
 	case "permeability":

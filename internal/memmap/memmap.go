@@ -66,6 +66,13 @@ func (c CellInfo) Address() string {
 // the raw bit pattern. Transient stack-corruption injection attaches here.
 type ReadHook func(info CellInfo, raw model.Word) model.Word
 
+// WriteHook observes a hooked write of a cell after the raw bit pattern
+// is stored. Write hooks are observers only — they cannot alter the
+// stored value — and fire for module writes (Var.Set and friends), not
+// for experiment-side mutation (Poke, FlipBit, Reset), so a liveness
+// profiler sees exactly the program's own def/use behaviour.
+type WriteHook func(info CellInfo, raw model.Word)
+
 type cell struct {
 	info CellInfo
 	raw  model.Word
@@ -74,9 +81,10 @@ type cell struct {
 // Map is a simulated memory map. The zero value is ready to use. A Map is
 // not safe for concurrent use; every experiment run owns its own Map.
 type Map struct {
-	cells []cell
-	names map[string]struct{} // "owner.name" uniqueness
-	reads []ReadHook
+	cells  []cell
+	names  map[string]struct{} // "owner.name" uniqueness
+	reads  []ReadHook
+	writes []WriteHook
 }
 
 // Alloc allocates a cell and returns a Var handle bound to it. It panics
@@ -123,8 +131,14 @@ func (m *Map) Reset() {
 // OnRead installs a read hook; hooks chain in installation order.
 func (m *Map) OnRead(h ReadHook) { m.reads = append(m.reads, h) }
 
-// ClearHooks removes all read hooks.
-func (m *Map) ClearHooks() { m.reads = nil }
+// OnWrite installs a write hook; hooks run in installation order.
+func (m *Map) OnWrite(h WriteHook) { m.writes = append(m.writes, h) }
+
+// ClearHooks removes all read and write hooks.
+func (m *Map) ClearHooks() {
+	m.reads = nil
+	m.writes = nil
+}
 
 // Cells returns the metadata of every allocated cell, in allocation order.
 func (m *Map) Cells() []CellInfo {
@@ -197,6 +211,11 @@ func (m *Map) read(id CellID) model.Word {
 func (m *Map) write(id CellID, v model.Word) {
 	c := &m.cells[id]
 	c.raw = c.info.Type.ToRaw(v)
+	if len(m.writes) > 0 {
+		for _, h := range m.writes {
+			h(c.info, c.raw)
+		}
+	}
 }
 
 // Var is a module-owned variable backed by a memory cell. Get goes

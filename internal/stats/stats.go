@@ -24,6 +24,21 @@ func (p *Proportion) Add(success bool) {
 	}
 }
 
+// AddN accumulates n identical trials. Equivalence-class pruning uses
+// this to credit one representative run with the outcome of the whole
+// class: n trials with the representative's result are statistically
+// exchangeable with the class members because class membership proves
+// the outcomes equal. Non-positive n is a no-op.
+func (p *Proportion) AddN(success bool, n int) {
+	if n <= 0 {
+		return
+	}
+	p.Trials += n
+	if success {
+		p.Successes += n
+	}
+}
+
 // Estimate returns the point estimate (0 for an empty sample).
 func (p Proportion) Estimate() float64 {
 	if p.Trials == 0 {
@@ -54,6 +69,32 @@ func (p Proportion) WilsonCI(z float64) (lo, hi float64) {
 		hi = 1
 	}
 	return lo, hi
+}
+
+// StopRule is a sequential early-stopping criterion for Bernoulli
+// streams: stop sampling once the Wilson score interval at quantile Z
+// is tighter than ±HalfWidth, but never before MinTrials trials. The
+// floor guards against the interval collapsing on an early run of
+// identical outcomes (at 0/n or n/n the Wilson interval narrows like
+// z²/n, so a rare-event stream could otherwise stop long before the
+// first success had a chance to appear).
+type StopRule struct {
+	// Z is the interval quantile (1.96 for 95%).
+	Z float64
+	// HalfWidth is the target half-width; a rule with HalfWidth <= 0
+	// never converges (sampling runs the full grid).
+	HalfWidth float64
+	// MinTrials is the floor below which the rule never fires.
+	MinTrials int
+}
+
+// Converged reports whether sampling of the stream may stop.
+func (r StopRule) Converged(p Proportion) bool {
+	if r.HalfWidth <= 0 || p.Trials < r.MinTrials {
+		return false
+	}
+	lo, hi := p.WilsonCI(r.Z)
+	return hi-lo <= 2*r.HalfWidth
 }
 
 // String renders "123/456 = 0.270".

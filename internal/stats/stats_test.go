@@ -72,6 +72,110 @@ func TestQuickWilsonProperties(t *testing.T) {
 	}
 }
 
+func TestWilsonCIEdgeCases(t *testing.T) {
+	// 0/0: no information, maximal uncertainty.
+	lo, hi := Proportion{}.WilsonCI(1.96)
+	if lo != 0 || hi != 1 {
+		t.Errorf("0/0 CI = [%v, %v], want [0, 1]", lo, hi)
+	}
+	// 0/n: lower bound pinned at 0, upper bound strictly inside (0, 1)
+	// and shrinking with n.
+	prev := 1.0
+	for _, n := range []int{1, 10, 100, 1000} {
+		lo, hi = Proportion{Successes: 0, Trials: n}.WilsonCI(1.96)
+		if lo != 0 {
+			t.Errorf("0/%d lo = %v, want 0", n, lo)
+		}
+		if hi <= 0 || hi >= prev {
+			t.Errorf("0/%d hi = %v, want in (0, %v)", n, hi, prev)
+		}
+		prev = hi
+	}
+	// n/n mirrors 0/n: upper bound pinned at 1, lower bound rising.
+	prev = 0
+	for _, n := range []int{1, 10, 100, 1000} {
+		lo, hi = Proportion{Successes: n, Trials: n}.WilsonCI(1.96)
+		if hi < 1-1e-12 || hi > 1 {
+			t.Errorf("%d/%d hi = %v, want 1", n, n, hi)
+		}
+		if lo <= prev && n > 1 {
+			t.Errorf("%d/%d lo = %v, want > %v", n, n, lo, prev)
+		}
+		prev = lo
+	}
+}
+
+func TestAddN(t *testing.T) {
+	var p Proportion
+	p.AddN(true, 3)
+	p.AddN(false, 2)
+	p.AddN(true, 0)  // no-op
+	p.AddN(true, -5) // no-op
+	if p.Successes != 3 || p.Trials != 5 {
+		t.Errorf("AddN accumulated %d/%d, want 3/5", p.Successes, p.Trials)
+	}
+}
+
+func TestStopRuleFloor(t *testing.T) {
+	r := StopRule{Z: 1.96, HalfWidth: 0.05, MinTrials: 100}
+	// Below the floor the rule never fires, even at 0/n where the
+	// Wilson interval is already razor thin.
+	for n := 0; n < 100; n++ {
+		if r.Converged(Proportion{Successes: 0, Trials: n}) {
+			t.Fatalf("rule fired at %d trials, below the %d floor", n, r.MinTrials)
+		}
+	}
+	if !r.Converged(Proportion{Successes: 0, Trials: 100}) {
+		t.Error("rule must fire at the floor when the interval is tight (0/100)")
+	}
+	// A maximally uncertain estimate at the floor must not stop:
+	// 50/100 has a Wilson half-width near 0.097 > 0.05.
+	if r.Converged(Proportion{Successes: 50, Trials: 100}) {
+		t.Error("rule fired on a wide interval (50/100 at ±0.05)")
+	}
+	// Disabled rule never converges.
+	off := StopRule{Z: 1.96, HalfWidth: 0, MinTrials: 0}
+	if off.Converged(Proportion{Successes: 0, Trials: 1 << 20}) {
+		t.Error("disabled rule (HalfWidth 0) converged")
+	}
+}
+
+// Property: re-weighted pruned estimates equal exact estimates when
+// every equivalence class has size 1 — AddN(x, 1) per representative is
+// then literally Add(x), so pruning with trivial classes is the exact
+// campaign.
+func TestQuickSingletonClassReweighting(t *testing.T) {
+	f := func(outcomes []bool) bool {
+		var exact, pruned Proportion
+		for _, o := range outcomes {
+			exact.Add(o)
+			pruned.AddN(o, 1)
+		}
+		return exact == pruned
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AddN(x, n) is n repetitions of Add(x), and the stopping
+// rule is monotone in the floor — raising MinTrials never lets a
+// stopped stream keep running longer than the tighter rule allows.
+func TestQuickAddNEquivalence(t *testing.T) {
+	f := func(succ bool, n8 uint8) bool {
+		n := int(n8)
+		var a, b Proportion
+		a.AddN(succ, n)
+		for i := 0; i < n; i++ {
+			b.Add(succ)
+		}
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestMeanAndStdDev(t *testing.T) {
 	if got := Mean(nil); got != 0 {
 		t.Errorf("Mean(nil) = %v", got)
