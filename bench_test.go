@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/analytic"
 	"repro/internal/core"
 	"repro/internal/ea"
 	"repro/internal/experiment"
@@ -433,5 +434,85 @@ func BenchmarkExtensionEAIntegration(b *testing.B) {
 			b.ReportMetric(pt.WriteTriggered.Estimate(), "c(inline)")
 			b.ReportMetric(pt.TightInline.Estimate(), "c(inline-tight)")
 		}
+	}
+}
+
+// BenchmarkAnalyticRanking pins the analytic solver's headline number:
+// a full placement ranking — compile, solve every source row, profile,
+// select — from a cold engine, in well under a millisecond.
+func BenchmarkAnalyticRanking(b *testing.B) {
+	p := paper.Table1()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pr, err := analytic.New().Profile(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sel := core.SelectPA(pr, core.DefaultThresholds())
+		if got := len(sel.Selected()); got != 4 {
+			b.Fatalf("PA selection has %d signals, want 4", got)
+		}
+	}
+}
+
+// BenchmarkAnalyticWhatIfSweep pins the full module × factor
+// containment sweep (every module, five factors, single-threaded) that
+// replaces one fault-injection campaign per cell.
+func BenchmarkAnalyticWhatIfSweep(b *testing.B) {
+	p := paper.Table1()
+	mods := p.System().ModuleIDs()
+	factors := []float64{0, 0.25, 0.5, 0.75, 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := analytic.Sweep(analytic.New(), p, mods, factors, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.BaseTotal, "base-criticality")
+		}
+	}
+}
+
+// BenchmarkAnalyticIncremental pins compositional re-analysis: after
+// scaling one module of a 160-signal grid, a warm engine re-solves
+// only the rows whose downstream cone contains it.
+func BenchmarkAnalyticIncremental(b *testing.B) {
+	_, gp := analytic.Grid(16, 10)
+	warm := analytic.New()
+	if _, err := warm.Profile(gp); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh factor every iteration keeps each profile a genuine
+		// re-analysis rather than a memoized replay.
+		scaled, err := gp.ScaleModule("M_0_0", 0.5+float64(i)*1e-9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := warm.Profile(scaled); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonteCarloImpact pins the Monte Carlo estimator's sampling
+// throughput after the scratch-hoisting and worker-pool rework, at the
+// volume the cyclic validation uses.
+func BenchmarkMonteCarloImpact(b *testing.B) {
+	p := paper.Table1()
+	const samples = 100_000
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MonteCarloImpactWorkers(p, target.SigPACNT, target.SigTOC2, samples, 1, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(samples*b.N)/b.Elapsed().Seconds(), "samples/s")
+		})
 	}
 }

@@ -15,9 +15,25 @@
 // permeability row must account runs_planned = runs_executed +
 // runs_saved with runs_saved > 0.
 //
+// With -mode analytic the tool instead validates the analytic
+// propagation engine (internal/analytic) in-process:
+//
+//   - the three placement rankings (exposure, impact, criticality) of
+//     the analytic profile are byte-identical to the tree-based
+//     reference on the paper's arrestment matrix;
+//   - on the embedded cyclic fixture, fixpoint impacts agree with
+//     Monte Carlo estimation within analytic.CyclicTolerance and are
+//     never below it (the fixpoint is a guaranteed overestimate);
+//   - with -bench, the solver timing rows written by place -bench-out
+//     satisfy the performance contract: full ranking + sweep under
+//     50 ms per operation, at least 100× faster than the measured
+//     permeability campaign, and incremental re-analysis at least 10×
+//     faster than a cold solve.
+//
 // Usage:
 //
 //	adaptcheck -exact exact.json -adaptive adaptive.json [-bench BENCH_adaptive.json] [-z 1.96]
+//	adaptcheck -mode analytic [-bench BENCH_analytic.json]
 package main
 
 import (
@@ -26,6 +42,9 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/paper"
 	"repro/internal/stats"
 )
 
@@ -54,14 +73,17 @@ type samplesDoc struct {
 	Edges       []sampleEdge `json:"edges"`
 }
 
+type benchRow struct {
+	Campaign     string  `json:"campaign"`
+	Runs         int     `json:"runs"`
+	WallS        float64 `json:"wall_s"`
+	RunsPlanned  int     `json:"runs_planned"`
+	RunsExecuted int     `json:"runs_executed"`
+	RunsSaved    int     `json:"runs_saved"`
+}
+
 type benchDoc struct {
-	Campaigns []struct {
-		Campaign     string `json:"campaign"`
-		Runs         int    `json:"runs"`
-		RunsPlanned  int    `json:"runs_planned"`
-		RunsExecuted int    `json:"runs_executed"`
-		RunsSaved    int    `json:"runs_saved"`
-	} `json:"campaigns"`
+	Campaigns []benchRow `json:"campaigns"`
 }
 
 func readSamples(path string) (*samplesDoc, error) {
@@ -84,11 +106,22 @@ func edgeKey(e sampleEdge) string {
 }
 
 func run() error {
+	mode := flag.String("mode", "samples",
+		"what to check: samples (adaptive vs exact campaign) or analytic (solver equivalence and speed)")
 	exactPath := flag.String("exact", "", "samples JSON from the exact campaign")
 	adaptivePath := flag.String("adaptive", "", "samples JSON from the adaptive campaign")
 	benchPath := flag.String("bench", "", "adaptive BENCH_campaigns.json to audit (optional)")
 	z := flag.Float64("z", 1.96, "Wilson interval critical value")
 	flag.Parse()
+
+	switch *mode {
+	case "samples":
+		// Fall through to the campaign comparison below.
+	case "analytic":
+		return runAnalytic(*benchPath)
+	default:
+		return fmt.Errorf("unknown -mode %q (want samples or analytic)", *mode)
+	}
 
 	if *exactPath == "" || *adaptivePath == "" {
 		return fmt.Errorf("both -exact and -adaptive are required")
@@ -210,4 +243,165 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+// runAnalytic validates the analytic solver against the tree-based
+// reference and the Monte Carlo estimator, plus (with -bench) the
+// timing rows of place -bench-out.
+func runAnalytic(benchPath string) error {
+	var violations []string
+
+	// 1. Placement-ranking equivalence on the paper's matrix: the
+	// analytic profile must rank every metric byte-identically to the
+	// tree-based reference, and the values themselves must agree.
+	p := paper.Table1()
+	ref, err := core.BuildProfile(p)
+	if err != nil {
+		return err
+	}
+	got, err := analytic.New().Profile(p)
+	if err != nil {
+		return err
+	}
+	for _, m := range []core.Metric{core.ByExposure, core.ByImpact, core.ByCriticality} {
+		r, g := ref.Ranked(m), got.Ranked(m)
+		if len(r) != len(g) {
+			violations = append(violations, fmt.Sprintf("%s ranking: %d vs %d signals", m, len(r), len(g)))
+			continue
+		}
+		for i := range r {
+			if r[i].Signal != g[i].Signal {
+				violations = append(violations, fmt.Sprintf(
+					"%s ranking diverges at #%d: tree %s, analytic %s", m, i+1, r[i].Signal, g[i].Signal))
+				break
+			}
+		}
+	}
+	for _, sp := range ref.Signals() {
+		asp, err := got.Signal(sp.Signal)
+		if err != nil {
+			return err
+		}
+		if sp.Exposure != asp.Exposure {
+			violations = append(violations, fmt.Sprintf(
+				"%s: exposure %v != %v (must be bit-equal)", sp.Signal, asp.Exposure, sp.Exposure))
+		}
+		if d := abs(sp.Criticality - asp.Criticality); d > 1e-9 {
+			violations = append(violations, fmt.Sprintf(
+				"%s: criticality differs by %.3g (tree %v, analytic %v)", sp.Signal, d, sp.Criticality, asp.Criticality))
+		}
+	}
+
+	// 2. Cyclic fixture: fixpoint impacts vs Monte Carlo, within the
+	// documented tolerance and never below (FKG overestimate).
+	csys, cp := analytic.CyclicFixture()
+	eng := analytic.New()
+	const mcSamples = 200_000
+	maxDelta := 0.0
+	for _, s := range csys.SignalIDs() {
+		if s == "in" {
+			continue
+		}
+		fix, err := eng.Impact(cp, "in", s)
+		if err != nil {
+			return err
+		}
+		mc, err := core.MonteCarloImpact(cp, "in", s, mcSamples, 1)
+		if err != nil {
+			return err
+		}
+		d := fix - mc
+		if d < -0.004 { // 3σ of the MC estimator at 200k samples
+			violations = append(violations, fmt.Sprintf(
+				"cyclic in->%s: fixpoint %.4f below Monte Carlo %.4f", s, fix, mc))
+		}
+		if abs(d) > analytic.CyclicTolerance {
+			violations = append(violations, fmt.Sprintf(
+				"cyclic in->%s: |fixpoint %.4f - Monte Carlo %.4f| exceeds tolerance %.2f",
+				s, fix, mc, analytic.CyclicTolerance))
+		}
+		if abs(d) > maxDelta {
+			maxDelta = abs(d)
+		}
+	}
+
+	// 3. Performance contract over the rows place -bench-out wrote.
+	if benchPath != "" {
+		if more, err := auditAnalyticBench(benchPath); err != nil {
+			return err
+		} else {
+			violations = append(violations, more...)
+		}
+	}
+
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "adaptcheck:", v)
+		}
+		return fmt.Errorf("%d violation(s)", len(violations))
+	}
+	fmt.Println("adaptcheck: analytic rankings byte-identical to tree-based reference on the arrestment matrix")
+	fmt.Printf("adaptcheck: cyclic fixpoint within %.3f of Monte Carlo (tolerance %.2f) on %s\n",
+		maxDelta, analytic.CyclicTolerance, csys.Name())
+	if benchPath != "" {
+		fmt.Printf("adaptcheck: solver timing rows in %s meet the performance contract\n", benchPath)
+	}
+	return nil
+}
+
+// auditAnalyticBench checks the solver timing rows: ranking + sweep
+// under 50 ms/op and ≥100× faster than the permeability campaign, and
+// incremental re-analysis ≥10× faster than a cold solve.
+func auditAnalyticBench(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bench benchDoc
+	if err := json.Unmarshal(data, &bench); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	rows := make(map[string]benchRow, len(bench.Campaigns))
+	for _, row := range bench.Campaigns {
+		rows[row.Campaign] = row
+	}
+	perOp := func(name string) (float64, bool) {
+		row, ok := rows[name]
+		if !ok || row.Runs <= 0 {
+			return 0, false
+		}
+		return row.WallS / float64(row.Runs), true
+	}
+
+	var violations []string
+	rank, okRank := perOp("analytic-rank")
+	sweep, okSweep := perOp("analytic-sweep")
+	if !okRank || !okSweep {
+		violations = append(violations, fmt.Sprintf(
+			"%s: missing analytic-rank / analytic-sweep rows (run place -bench-out)", path))
+	} else {
+		if rank+sweep > 0.05 {
+			violations = append(violations, fmt.Sprintf(
+				"ranking + sweep takes %.1f ms/op, want < 50 ms", (rank+sweep)*1e3))
+		}
+		if camp, ok := rows["permeability"]; !ok {
+			violations = append(violations, fmt.Sprintf(
+				"%s: no permeability campaign row — benchmark with place -source measure", path))
+		} else if (rank+sweep)*100 > camp.WallS {
+			violations = append(violations, fmt.Sprintf(
+				"ranking + sweep (%.1f ms) is not 100× faster than the %.1f ms permeability campaign",
+				(rank+sweep)*1e3, camp.WallS*1e3))
+		}
+	}
+	cold, okCold := perOp("analytic-cold")
+	incr, okIncr := perOp("analytic-incremental")
+	if !okCold || !okIncr {
+		violations = append(violations, fmt.Sprintf(
+			"%s: missing analytic-cold / analytic-incremental rows", path))
+	} else if incr*10 > cold {
+		violations = append(violations, fmt.Sprintf(
+			"incremental re-analysis (%.2f ms/op) is not 10× faster than a cold solve (%.2f ms/op)",
+			incr*1e3, cold*1e3))
+	}
+	return violations, nil
 }

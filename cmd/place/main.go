@@ -5,7 +5,14 @@
 //
 // Usage:
 //
-//	place [-source paper|measure] [-per-input 500]
+//	place [-source paper|measure] [-per-input 500] [-sweep] [-bench-out F]
+//
+// The placement metrics come from the analytic propagation solver
+// (internal/analytic) by default; -analytic=false restores the original
+// tree-based path enumeration, whose output is byte-identical — CI
+// compares the two. -sweep appends a module × factor what-if containment
+// grid, and -bench-out writes solver timing rows (plus any campaign rows
+// from measure mode) in the BENCH_campaigns.json schema.
 //
 // Measured campaigns run adaptively by default: sampling streams stop
 // once their Wilson intervals are tight (docs/adaptive.md). -exact
@@ -17,10 +24,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
 
+	"repro/internal/analytic"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/ea"
 	"repro/internal/experiment"
+	"repro/internal/model"
 	"repro/internal/paper"
 	"repro/internal/report"
 	"repro/internal/target"
@@ -38,9 +52,19 @@ func run() error {
 	perInput := flag.Int("per-input", 500,
 		"injections per module input (measure mode; the paper used 2000)")
 	seed := flag.Int64("seed", 1, "campaign seed (measure mode)")
-	workers := flag.Int("workers", 8, "campaign parallelism (measure mode)")
+	workers := flag.Int("workers", 8, "parallelism (campaigns and -sweep)")
 	exact := flag.Bool("exact", false,
 		"run the full fixed-size grid instead of the adaptive early-stopping campaign")
+	useAnalytic := flag.Bool("analytic", true,
+		"compute placement metrics with the analytic solver; false restores tree-based path enumeration")
+	sweep := flag.Bool("sweep", false,
+		"append a module × factor what-if containment sweep (requires -analytic)")
+	sweepModules := flag.String("sweep-modules", "",
+		"comma-separated modules to sweep (default: all modules)")
+	sweepFactors := flag.String("sweep-factors", "0,0.25,0.5,0.75,1",
+		"comma-separated permeability scale factors for -sweep")
+	benchOut := flag.String("bench-out", "",
+		"write solver (and campaign) timing rows as JSON to this path")
 	flag.Parse()
 
 	// Validate before any campaign work so misuse fails fast.
@@ -49,6 +73,18 @@ func run() error {
 	}
 	if *workers < 1 {
 		return fmt.Errorf("-workers must be >= 1 (got %d)", *workers)
+	}
+	if *sweep && !*useAnalytic {
+		return fmt.Errorf("-sweep requires the analytic solver (drop -analytic=false)")
+	}
+	factors, err := parseFactors(*sweepFactors)
+	if err != nil {
+		return err
+	}
+
+	var col *campaign.Collector
+	if *benchOut != "" {
+		col = campaign.NewCollector()
 	}
 
 	var p *core.Permeability
@@ -59,6 +95,7 @@ func run() error {
 		opts := experiment.DefaultOptions(*seed)
 		opts.Workers = *workers
 		opts.Adaptive = !*exact
+		opts.Timings = col
 		fmt.Fprintln(os.Stderr, "measuring permeabilities...")
 		res, err := experiment.EstimatePermeability(context.Background(), opts, *perInput)
 		if err != nil {
@@ -73,9 +110,33 @@ func run() error {
 		return fmt.Errorf("unknown -source %q (want paper or measure)", *source)
 	}
 
-	pr, err := core.BuildProfile(p)
+	modules, err := parseModules(p.System(), *sweepModules)
 	if err != nil {
 		return err
+	}
+
+	engine := analytic.Shared()
+	var pr *core.Profile
+	if *useAnalytic {
+		diag, err := engine.Diagnose(p)
+		if err != nil {
+			return err
+		}
+		mode := "series (acyclic)"
+		if !diag.Acyclic {
+			mode = "fixpoint (cyclic)"
+		}
+		fmt.Fprintf(os.Stderr, "analytic solver: %s, %d active edges, residual %.3g\n",
+			mode, diag.ActiveEdges, diag.Residual)
+		pr, err = engine.Profile(p)
+		if err != nil {
+			return err
+		}
+	} else {
+		pr, err = core.BuildProfile(p)
+		if err != nil {
+			return err
+		}
 	}
 	th := core.DefaultThresholds()
 
@@ -109,5 +170,156 @@ func run() error {
 		})
 	}
 	fmt.Println(report.Table3(rows))
+
+	if *sweep {
+		res, err := analytic.Sweep(engine, p, modules, factors, *workers)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.SweepGrid(modules, factors, res))
+	}
+
+	if col != nil {
+		if err := benchSolver(col, p, modules, factors); err != nil {
+			return err
+		}
+		if err := experiment.WriteCampaignTimings(*benchOut, *seed, *workers, col); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote timing rows to %s\n", *benchOut)
+	}
+	return nil
+}
+
+// parseFactors parses the -sweep-factors list, rejecting malformed or
+// negative entries up front.
+func parseFactors(csv string) ([]float64, error) {
+	var factors []float64
+	for _, field := range strings.Split(csv, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(field, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-sweep-factors: %q is not a number", field)
+		}
+		if f < 0 {
+			return nil, fmt.Errorf("-sweep-factors: factor %v is negative", f)
+		}
+		factors = append(factors, f)
+	}
+	if len(factors) == 0 {
+		return nil, fmt.Errorf("-sweep-factors: no factors given")
+	}
+	return factors, nil
+}
+
+// parseModules parses the -sweep-modules list against the system,
+// defaulting to every module.
+func parseModules(sys *model.System, csv string) ([]model.ModuleID, error) {
+	if strings.TrimSpace(csv) == "" {
+		return sys.ModuleIDs(), nil
+	}
+	var mods []model.ModuleID
+	for _, field := range strings.Split(csv, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		m := model.ModuleID(field)
+		if _, ok := sys.Module(m); !ok {
+			return nil, fmt.Errorf("-sweep-modules: unknown module %q", field)
+		}
+		mods = append(mods, m)
+	}
+	if len(mods) == 0 {
+		return nil, fmt.Errorf("-sweep-modules: no modules given")
+	}
+	return mods, nil
+}
+
+// benchSolver times the analytic hot paths and observes one collector
+// row per operation, with per-op allocation stats, in the same schema
+// as the campaign rows.
+func benchSolver(col *campaign.Collector, p *core.Permeability, modules []model.ModuleID, factors []float64) error {
+	// Full ranking from a cold engine: compile + solve every row +
+	// profile + rank on all three metrics.
+	if err := benchLoop(col, "analytic-rank", func(i int) error {
+		e := analytic.New()
+		pr, err := e.Profile(p)
+		if err != nil {
+			return err
+		}
+		pr.Ranked(core.ByExposure)
+		pr.Ranked(core.ByImpact)
+		pr.Ranked(core.ByCriticality)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Whole module × factor sweep from a cold engine, single-threaded —
+	// the paper-scale "placement analysis in one go" number.
+	if err := benchLoop(col, "analytic-sweep", func(i int) error {
+		_, err := analytic.Sweep(analytic.New(), p, modules, factors, 1)
+		return err
+	}); err != nil {
+		return err
+	}
+
+	// Incremental re-analysis on a synthetic grid large enough that the
+	// downstream cone matters: cold solve vs. re-profiling after scaling
+	// one near-source module. The factor changes every iteration so each
+	// warm profile is a genuine re-analysis, not a memoized replay.
+	_, gp := analytic.Grid(16, 10)
+	if err := benchLoop(col, "analytic-cold", func(i int) error {
+		_, err := analytic.New().Profile(gp)
+		return err
+	}); err != nil {
+		return err
+	}
+	warm := analytic.New()
+	if _, err := warm.Profile(gp); err != nil {
+		return err
+	}
+	if err := benchLoop(col, "analytic-incremental", func(i int) error {
+		scaled, err := gp.ScaleModule("M_0_0", 0.5+float64(i)*1e-9)
+		if err != nil {
+			return err
+		}
+		_, err = warm.Profile(scaled)
+		return err
+	}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// benchLoop runs op until it has accumulated ~50 ms of wall time (at
+// least 10 and at most 20000 iterations) and observes one timing row
+// with per-op wall time and allocation deltas.
+func benchLoop(col *campaign.Collector, name string, op func(i int) error) error {
+	const (
+		minIters = 10
+		maxIters = 20000
+		budget   = 50 * time.Millisecond
+	)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	runs := 0
+	for runs < maxIters && (runs < minIters || time.Since(start) < budget) {
+		if err := op(runs); err != nil {
+			return fmt.Errorf("bench %s: %w", name, err)
+		}
+		runs++
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	col.ObserveExt(name, runs, wall, campaign.Extras{
+		AllocsPerOp:     float64(after.Mallocs-before.Mallocs) / float64(runs),
+		AllocBytesPerOp: float64(after.TotalAlloc-before.TotalAlloc) / float64(runs),
+	})
 	return nil
 }

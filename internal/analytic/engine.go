@@ -1,0 +1,209 @@
+package analytic
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Cache bounds: contexts are cheap to rebuild (one O(E+n²/64) compile),
+// rows are the solver work worth keeping. Both maps are cleared
+// wholesale when full — sweeps revisit keys immediately, so an LRU
+// would buy nothing over this.
+const (
+	maxContexts = 256
+	maxRows     = 1 << 16
+)
+
+// Engine memoizes solver results across permeability matrices of the
+// same systems. It is safe for concurrent use; the what-if sweep runs
+// one engine from many goroutines.
+//
+// Memoization is compositional: a row (one source, all destinations)
+// is keyed by the content hashes of the modules in the source's
+// downstream cone, so two matrices that differ only in modules outside
+// that cone share the row. core.ScaleModule therefore invalidates only
+// the rows that can see the scaled module.
+type Engine struct {
+	params Params
+
+	mu      sync.Mutex
+	systems map[*model.System]*sysCache
+	hits    uint64
+	misses  uint64
+}
+
+type sysCache struct {
+	top  *topology
+	ctxs map[uint64]*context
+	rows map[rowKey][]float64
+}
+
+type rowKey struct {
+	src  int32
+	cone uint64
+}
+
+// New returns an engine with DefaultParams.
+func New() *Engine { return NewWithParams(Params{}) }
+
+// NewWithParams returns an engine with explicit solver bounds.
+func NewWithParams(p Params) *Engine {
+	return &Engine{params: p.withDefaults(), systems: make(map[*model.System]*sysCache)}
+}
+
+var shared = New()
+
+// Shared returns the process-wide engine, the solver cache hot paths
+// (report rendering, cmd/place) route through.
+func Shared() *Engine { return shared }
+
+// Stats reports row-cache hits and misses since the engine was created.
+type Stats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Stats returns the row-cache counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{Hits: e.hits, Misses: e.misses}
+}
+
+// contextFor compiles (or recalls) the matrix's solve context. The
+// fingerprint pass reads every permeability, so a mutated-in-place
+// matrix is re-compiled automatically.
+func (e *Engine) contextFor(p *core.Permeability) (*sysCache, *context, error) {
+	sys := p.System()
+	if sys == nil {
+		return nil, nil, fmt.Errorf("analytic: permeability matrix has no system")
+	}
+	e.mu.Lock()
+	sc, ok := e.systems[sys]
+	e.mu.Unlock()
+	if !ok {
+		top := compileTopology(sys)
+		e.mu.Lock()
+		if prev, raced := e.systems[sys]; raced {
+			sc = prev
+		} else {
+			sc = &sysCache{top: top, ctxs: make(map[uint64]*context), rows: make(map[rowKey][]float64)}
+			e.systems[sys] = sc
+		}
+		e.mu.Unlock()
+	}
+
+	ctx := compileContext(sc.top, p)
+	e.mu.Lock()
+	if prev, ok := sc.ctxs[ctx.fp]; ok {
+		ctx = prev
+	} else {
+		if len(sc.ctxs) >= maxContexts {
+			sc.ctxs = make(map[uint64]*context)
+		}
+		sc.ctxs[ctx.fp] = ctx
+	}
+	e.mu.Unlock()
+	return sc, ctx, nil
+}
+
+// rowFor returns the memoized impact row for one source, solving it on
+// a miss. The returned slice is owned by the cache — callers must not
+// mutate it.
+func (e *Engine) rowFor(sc *sysCache, ctx *context, src int32) []float64 {
+	k := rowKey{src: src, cone: ctx.coneKey[src]}
+	e.mu.Lock()
+	if row, ok := sc.rows[k]; ok {
+		e.hits++
+		e.mu.Unlock()
+		return row
+	}
+	e.misses++
+	e.mu.Unlock()
+
+	row, residual := ctx.solveRow(src, e.params)
+
+	e.mu.Lock()
+	if residual > ctx.residual {
+		ctx.residual = residual
+	}
+	if prev, ok := sc.rows[k]; ok {
+		row = prev // a racing solve won; results are deterministic anyway
+	} else {
+		if len(sc.rows) >= maxRows {
+			sc.rows = make(map[rowKey][]float64)
+		}
+		sc.rows[k] = row
+	}
+	e.mu.Unlock()
+	return row
+}
+
+// Impacts returns I(from → t) for every signal t of the system, indexed
+// by the system's dense signal order (model.System.SignalIndex).
+func (e *Engine) Impacts(p *core.Permeability, from model.SignalID) ([]float64, error) {
+	sc, ctx, err := e.contextFor(p)
+	if err != nil {
+		return nil, err
+	}
+	src, ok := p.System().SignalIndex(from)
+	if !ok {
+		return nil, fmt.Errorf("analytic: unknown signal %q", from)
+	}
+	row := e.rowFor(sc, ctx, int32(src))
+	return append([]float64(nil), row...), nil
+}
+
+// Impact returns I(from → to), Eq. 2 — the drop-in analytic equivalent
+// of core.Impact.
+func (e *Engine) Impact(p *core.Permeability, from, to model.SignalID) (float64, error) {
+	sc, ctx, err := e.contextFor(p)
+	if err != nil {
+		return 0, err
+	}
+	sys := p.System()
+	src, ok := sys.SignalIndex(from)
+	if !ok {
+		return 0, fmt.Errorf("analytic: unknown signal %q", from)
+	}
+	dst, ok := sys.SignalIndex(to)
+	if !ok {
+		return 0, fmt.Errorf("analytic: unknown signal %q", to)
+	}
+	row := e.rowFor(sc, ctx, int32(src))
+	return row[dst], nil
+}
+
+// Diag describes how the engine solved a matrix.
+type Diag struct {
+	// Acyclic reports whether the positive-permeability subgraph is
+	// acyclic — i.e. whether the exact series solver applies.
+	Acyclic bool
+	// ActiveEdges counts positive, non-self-loop edges.
+	ActiveEdges int
+	// Residual is the largest unconverged solver bound observed across
+	// the rows solved under this matrix (0 when all rows converged
+	// within Params).
+	Residual float64
+	// Fingerprint identifies the compiled matrix content.
+	Fingerprint uint64
+}
+
+// Diagnose compiles (or recalls) the matrix's context and reports it.
+func (e *Engine) Diagnose(p *core.Permeability) (Diag, error) {
+	_, ctx, err := e.contextFor(p)
+	if err != nil {
+		return Diag{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Diag{
+		Acyclic:     ctx.acyclic,
+		ActiveEdges: len(ctx.act),
+		Residual:    ctx.residual,
+		Fingerprint: ctx.fp,
+	}, nil
+}

@@ -1,0 +1,152 @@
+package analytic
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/paper"
+)
+
+// TestIncrementalInvalidation is the FastFlip property: scaling one
+// near-source module of the grid re-solves only the rows whose
+// downstream cone contains it; every other row is a cache hit.
+func TestIncrementalInvalidation(t *testing.T) {
+	sys, p := Grid(6, 4)
+	n := sys.NumSignals()
+	e := New()
+	if _, err := e.Profile(p); err != nil {
+		t.Fatal(err)
+	}
+	cold := e.Stats()
+	if cold.Misses != uint64(n) || cold.Hits != 0 {
+		t.Fatalf("cold profile: %d misses %d hits, want %d misses 0 hits", cold.Misses, cold.Hits, n)
+	}
+
+	// M_0_0 reads s_0_0 and s_0_1. Only those two rank-0 sources can
+	// reach its inputs (rank-0 signals have no in-edges), so exactly two
+	// rows must re-solve.
+	scaled, err := p.ScaleModule("M_0_0", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Profile(scaled); err != nil {
+		t.Fatal(err)
+	}
+	warm := e.Stats()
+	if misses := warm.Misses - cold.Misses; misses != 2 {
+		t.Errorf("incremental re-analysis solved %d rows, want 2", misses)
+	}
+	if hits := warm.Hits - cold.Hits; hits != uint64(n-2) {
+		t.Errorf("incremental re-analysis hit %d rows, want %d", hits, n-2)
+	}
+
+	// Cached rows must be bit-equal to a cold engine's solve of the
+	// scaled matrix (scaling by a positive factor preserves the active
+	// subgraph, hence the sweep order, hence every float op).
+	fresh := New()
+	for _, s := range sys.SignalIDs() {
+		a, err := e.Impacts(scaled, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := fresh.Impacts(scaled, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("row %s[%d]: cached %v != fresh %v", s, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestRepeatedProfileIsAllHits: re-profiling an unchanged matrix must
+// not re-solve anything.
+func TestRepeatedProfileIsAllHits(t *testing.T) {
+	p := paper.Table1()
+	e := New()
+	if _, err := e.Profile(p); err != nil {
+		t.Fatal(err)
+	}
+	before := e.Stats()
+	if _, err := e.Profile(p); err != nil {
+		t.Fatal(err)
+	}
+	after := e.Stats()
+	if after.Misses != before.Misses {
+		t.Errorf("re-profile solved %d new rows, want 0", after.Misses-before.Misses)
+	}
+}
+
+// TestMutatedMatrixIsRecompiled: the engine fingerprints matrix content
+// on every call, so in-place mutation (not just ScaleModule copies) is
+// picked up.
+func TestMutatedMatrixIsRecompiled(t *testing.T) {
+	p := paper.Table1()
+	e := New()
+	before, err := e.Impact(p, "PACNT", "TOC2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.MustSet("PRES_A", 1, 1, 0.1) // was 0.875
+	after, err := e.Impact(p, "PACNT", "TOC2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Fatalf("weakening PRES_A did not lower impact: %v -> %v", before, after)
+	}
+}
+
+func TestDiagnoseArrestmentAcyclic(t *testing.T) {
+	d, err := New().Diagnose(paper.Table1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Acyclic {
+		t.Error("arrestment positive-permeability graph diagnosed cyclic; the series solver should apply")
+	}
+	if d.ActiveEdges == 0 {
+		t.Error("no active edges")
+	}
+}
+
+// TestSweepDeterministicAcrossWorkers pins the sweep result independent
+// of the worker count and consistent with serial per-cell profiling.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	p := paper.Table1()
+	mods := p.System().ModuleIDs()
+	factors := []float64{0, 0.25, 0.5, 0.75, 1}
+	ref, err := Sweep(New(), p, mods, factors, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Cells) != len(mods)*len(factors) {
+		t.Fatalf("sweep returned %d cells, want %d", len(ref.Cells), len(mods)*len(factors))
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := Sweep(New(), p, mods, factors, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.BaseTotal != ref.BaseTotal {
+			t.Fatalf("workers=%d: base total %v != %v", workers, got.BaseTotal, ref.BaseTotal)
+		}
+		for i := range ref.Cells {
+			if got.Cells[i] != ref.Cells[i] {
+				t.Errorf("workers=%d cell %d: %+v != %+v", workers, i, got.Cells[i], ref.Cells[i])
+			}
+		}
+	}
+	// Factor 1 must be a no-op cell; factor 0 on a module everything
+	// flows through must reduce total criticality.
+	for _, c := range ref.Cells {
+		if c.Factor == 1 && c.Delta != 0 {
+			t.Errorf("factor-1 cell for %s has delta %v, want 0", c.Module, c.Delta)
+		}
+		if c.Module == model.ModuleID("PRES_A") && c.Factor == 0 && c.Delta >= 0 {
+			t.Errorf("zeroing PRES_A should reduce total criticality, delta %v", c.Delta)
+		}
+	}
+}

@@ -1,0 +1,512 @@
+package analytic
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Params bounds the two iterative solvers. The zero value is replaced
+// by DefaultParams.
+type Params struct {
+	// Tol is the series-truncation tolerance of the acyclic solver: an
+	// absolute bound on the impact error left by the dropped tail (the
+	// bound is proven in docs/analytic.md).
+	Tol float64
+	// MaxTerms caps the number of series sweeps per source row. If the
+	// tail bound has not dropped below Tol by then, the row is still
+	// returned and the residual is reported via Diagnose.
+	MaxTerms int
+	// FixTol is the per-sweep delta tolerance of the cyclic fixpoint
+	// solver.
+	FixTol float64
+	// MaxSweeps caps Gauss–Seidel sweeps per strongly connected
+	// component.
+	MaxSweeps int
+}
+
+// DefaultParams returns the tolerances used by Shared(). The series
+// needs ~ln(S_1/(Tol·(1−m)))/ln(1/m) terms for max path weight m, so
+// MaxTerms only binds when some path weight is extremely close to 1
+// (m = 0.999 needs ~31k terms; m = 1 exactly short-circuits to 1).
+func DefaultParams() Params {
+	return Params{Tol: 1e-12, MaxTerms: 100_000, FixTol: 1e-12, MaxSweeps: 10_000}
+}
+
+func (p Params) withDefaults() Params {
+	d := DefaultParams()
+	if p.Tol <= 0 {
+		p.Tol = d.Tol
+	}
+	if p.MaxTerms <= 0 {
+		p.MaxTerms = d.MaxTerms
+	}
+	if p.FixTol <= 0 {
+		p.FixTol = d.FixTol
+	}
+	if p.MaxSweeps <= 0 {
+		p.MaxSweeps = d.MaxSweeps
+	}
+	return p
+}
+
+// topology is the permeability-independent compilation of a system:
+// dense edge endpoints and the per-module edge grouping the content
+// hashes are computed over. Built once per *model.System.
+type topology struct {
+	sys   *model.System
+	n     int          // dense signal count
+	edges []model.Edge // system edge order (module decl order, then ports)
+	eFrom []int32      // dense endpoint indices per edge
+	eTo   []int32
+	// Per-module views, indexed by module ordinal (declaration order).
+	modIDs   []model.ModuleID
+	modEdges [][]int32 // edge ids of each module
+	modIns   [][]int32 // unique dense input-signal indices of each module
+	// System outputs in declaration order, with their criticalities.
+	outIdx  []int32
+	outCrit []float64
+}
+
+func compileTopology(sys *model.System) *topology {
+	t := &topology{sys: sys, n: sys.NumSignals(), edges: sys.Edges()}
+	t.eFrom = make([]int32, len(t.edges))
+	t.eTo = make([]int32, len(t.edges))
+	modOrdinal := make(map[model.ModuleID]int)
+	for _, m := range sys.Modules() {
+		modOrdinal[m.ID] = len(t.modIDs)
+		t.modIDs = append(t.modIDs, m.ID)
+		ins := make([]int32, 0, len(m.Inputs))
+		seen := make(map[int32]bool, len(m.Inputs))
+		for _, pb := range m.Inputs {
+			i, _ := sys.SignalIndex(pb.Signal)
+			if !seen[int32(i)] {
+				seen[int32(i)] = true
+				ins = append(ins, int32(i))
+			}
+		}
+		t.modIns = append(t.modIns, ins)
+		t.modEdges = append(t.modEdges, nil)
+	}
+	for i, e := range t.edges {
+		fi, _ := sys.SignalIndex(e.From)
+		ti, _ := sys.SignalIndex(e.To)
+		t.eFrom[i] = int32(fi)
+		t.eTo[i] = int32(ti)
+		ord := modOrdinal[e.Module]
+		t.modEdges[ord] = append(t.modEdges[ord], int32(i))
+	}
+	for _, o := range sys.SystemOutputs() {
+		oi, _ := sys.SignalIndex(o)
+		sig, _ := sys.Signal(o)
+		t.outIdx = append(t.outIdx, int32(oi))
+		t.outCrit = append(t.outCrit, sig.Criticality)
+	}
+	return t
+}
+
+// context is one permeability matrix compiled against a topology: the
+// active (positive, non-self-loop) subgraph, its condensation order,
+// reachability bitsets and the per-source cone keys that memoize rows.
+type context struct {
+	top  *topology
+	perm []float64 // per system edge
+	fp   uint64    // fingerprint over all module hashes
+
+	modHash []uint64 // FNV-1a over each module's sub-matrix
+
+	// Active subgraph, in condensation-topological sweep order.
+	act     []int32 // active edge ids, ordered by the topo position of From
+	actFrom []int32
+	actTo   []int32
+	actPerm []float64
+	inAdj   [][]int32 // per signal: positions into act of its active in-edges
+
+	comps   [][]int32 // SCCs of the active subgraph, topological order
+	compOf  []int32
+	acyclic bool
+
+	words   int      // bitset row width
+	reach   []uint64 // n rows of `words` words: signals reachable from s (incl. s)
+	coneKey []uint64 // per source: hash of the modules in its cone
+
+	// residual is the largest unconverged solver bound observed while
+	// solving rows under this context (0 when everything converged).
+	residual float64
+}
+
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+func compileContext(top *topology, p *core.Permeability) *context {
+	c := &context{top: top, perm: make([]float64, len(top.edges))}
+	for i, e := range top.edges {
+		c.perm[i] = p.Get(e)
+	}
+
+	// Per-module content hashes over the full sub-matrix (zero and
+	// self-loop entries included: any change to a module's entries must
+	// change its hash).
+	c.modHash = make([]uint64, len(top.modIDs))
+	fp := uint64(fnvOffset)
+	for m := range top.modIDs {
+		h := fnvMix(fnvOffset, uint64(m)+1)
+		for _, ei := range top.modEdges[m] {
+			h = fnvMix(h, math.Float64bits(c.perm[ei]))
+		}
+		c.modHash[m] = h
+		fp = fnvMix(fp, h)
+	}
+	c.fp = fp
+
+	// Active subgraph: positive permeability, no self-loops. Dropping
+	// the rest preserves Eq. 2 exactly (zero-weight paths contribute a
+	// factor of 1; self-loops never lie on a simple path).
+	n := top.n
+	var active []int32
+	outAdj := make([][]int32, n)
+	for i := range top.edges {
+		if c.perm[i] <= 0 || top.eFrom[i] == top.eTo[i] {
+			continue
+		}
+		active = append(active, int32(i))
+		outAdj[top.eFrom[i]] = append(outAdj[top.eFrom[i]], int32(i))
+	}
+
+	c.condense(outAdj)
+
+	// Order active edges by the topo position of their source signal so
+	// one linear pass over them is a topological sweep. The sort is a
+	// stable counting sort over positions, keeping system edge order
+	// within a position for determinism.
+	pos := make([]int32, n)
+	order := make([]int32, 0, n)
+	for _, comp := range c.comps {
+		for _, v := range comp {
+			pos[v] = int32(len(order))
+			order = append(order, v)
+		}
+	}
+	c.act = make([]int32, 0, len(active))
+	for _, v := range order {
+		c.act = append(c.act, outAdj[v]...)
+	}
+	c.actFrom = make([]int32, len(c.act))
+	c.actTo = make([]int32, len(c.act))
+	c.actPerm = make([]float64, len(c.act))
+	c.inAdj = make([][]int32, n)
+	for i, ei := range c.act {
+		c.actFrom[i] = top.eFrom[ei]
+		c.actTo[i] = top.eTo[ei]
+		c.actPerm[i] = c.perm[ei]
+		c.inAdj[c.actTo[i]] = append(c.inAdj[c.actTo[i]], int32(i))
+	}
+
+	c.buildReach(outAdj)
+	c.buildConeKeys()
+	return c
+}
+
+// condense runs Tarjan's algorithm over the active subgraph and stores
+// the strongly connected components in topological order. The context
+// is acyclic iff every component is a singleton (self-loops are already
+// dropped).
+func (c *context) condense(outAdj [][]int32) {
+	n := c.top.n
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var stack []int32
+	var next int32
+	var comps [][]int32 // reverse topological order as emitted
+
+	var strongconnect func(v int32)
+	strongconnect = func(v int32) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, ei := range outAdj[v] {
+			w := c.top.eTo[ei]
+			if index[w] == unvisited {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []int32
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+	for v := int32(0); v < int32(n); v++ {
+		if index[v] == unvisited {
+			strongconnect(v)
+		}
+	}
+
+	// Reverse into topological order and record memberships.
+	c.comps = make([][]int32, len(comps))
+	for i := range comps {
+		c.comps[i] = comps[len(comps)-1-i]
+	}
+	c.compOf = make([]int32, n)
+	c.acyclic = true
+	for ci, comp := range c.comps {
+		if len(comp) > 1 {
+			c.acyclic = false
+		}
+		for _, v := range comp {
+			c.compOf[v] = int32(ci)
+		}
+	}
+}
+
+// buildReach fills the per-signal reachability bitsets (each signal
+// reaches itself) by walking the condensation sinks-first.
+func (c *context) buildReach(outAdj [][]int32) {
+	n := c.top.n
+	c.words = (n + 63) / 64
+	c.reach = make([]uint64, n*c.words)
+	compRow := make([]uint64, len(c.comps)*c.words)
+	for ci := len(c.comps) - 1; ci >= 0; ci-- {
+		row := compRow[ci*c.words : (ci+1)*c.words]
+		for _, v := range c.comps[ci] {
+			row[v>>6] |= 1 << (uint(v) & 63)
+			for _, ei := range outAdj[v] {
+				tc := c.compOf[c.top.eTo[ei]]
+				if tc == int32(ci) {
+					continue
+				}
+				succ := compRow[int(tc)*c.words : (int(tc)+1)*c.words]
+				for w := range row {
+					row[w] |= succ[w]
+				}
+			}
+		}
+		for _, v := range c.comps[ci] {
+			copy(c.reach[int(v)*c.words:(int(v)+1)*c.words], row)
+		}
+	}
+}
+
+// buildConeKeys hashes, for every source signal, the content hashes of
+// the modules whose inputs the source can reach — exactly the modules
+// whose sub-matrix can influence the source's row. Rows are memoized
+// under this key, so changing a module invalidates only the rows whose
+// cone contains it.
+func (c *context) buildConeKeys() {
+	n := c.top.n
+	c.coneKey = make([]uint64, n)
+	for s := 0; s < n; s++ {
+		row := c.reach[s*c.words : (s+1)*c.words]
+		h := uint64(fnvOffset)
+		for m := range c.top.modIDs {
+			inCone := false
+			for _, in := range c.top.modIns[m] {
+				if row[in>>6]&(1<<(uint(in)&63)) != 0 {
+					inCone = true
+					break
+				}
+			}
+			if inCone {
+				h = fnvMix(h, uint64(m)+1)
+				h = fnvMix(h, c.modHash[m])
+			}
+		}
+		c.coneKey[s] = h
+	}
+}
+
+func (c *context) reaches(src, dst int32) bool {
+	return c.reach[int(src)*c.words+int(dst>>6)]&(1<<(uint(dst)&63)) != 0
+}
+
+// solveRow computes Eq. 2 impacts from one source to every signal. The
+// returned residual is 0 when the solver converged within Params and
+// otherwise bounds the remaining error.
+func (c *context) solveRow(src int32, par Params) ([]float64, float64) {
+	if c.acyclic {
+		return c.solveRowSeries(src, par)
+	}
+	return c.solveRowFixpoint(src, par)
+}
+
+// solveRowSeries evaluates Eq. 2 exactly on an acyclic active graph.
+//
+// For a destination t, Eq. 2 is I = 1 − Π_p (1 − w_p) over the simple
+// paths p from src to t. Taking logs, log Π (1 − w_p) = −Σ_{k≥1} S_k/k
+// with S_k = Σ_p w_p^k, and each S_k is computable without enumerating
+// paths: it is the path sum of the graph whose edge weights are
+// perm^k, one linear sweep over topologically ordered edges. The tail
+// dropped after term k is bounded by S_k·m/((k+1)(1−m)) where
+// m = max_p w_p (itself a max-product sweep); the loop stops when that
+// bound falls below Params.Tol. m == 1 means some path passes errors
+// with certainty and Eq. 2 saturates at exactly 1.
+func (c *context) solveRowSeries(src int32, par Params) ([]float64, float64) {
+	n := c.top.n
+	impact := make([]float64, n)
+	impact[src] = 1 // a signal's impact on itself is 1
+
+	// Max-product path weight per destination.
+	maxw := make([]float64, n)
+	maxw[src] = 1
+	for i, f := range c.actFrom {
+		if maxw[f] > 0 {
+			if cand := maxw[f] * c.actPerm[i]; cand > maxw[c.actTo[i]] {
+				maxw[c.actTo[i]] = cand
+			}
+		}
+	}
+	maxw[src] = 0 // src's own row entry is fixed; never a series target
+
+	logsum := make([]float64, n)
+	s := make([]float64, n)
+	pow := append([]float64(nil), c.actPerm...)
+	residual := 0.0
+	for k := 1; ; k++ {
+		for i := range s {
+			s[i] = 0
+		}
+		s[src] = 1
+		for i, f := range c.actFrom {
+			if s[f] != 0 {
+				s[c.actTo[i]] += s[f] * pow[i]
+			}
+		}
+		s[src] = 0
+		tail := 0.0
+		for t := 0; t < n; t++ {
+			if m := maxw[t]; m > 0 && m < 1 && s[t] != 0 {
+				logsum[t] += s[t] / float64(k)
+				if tb := s[t] * m / (float64(k+1) * (1 - m)); tb > tail {
+					tail = tb
+				}
+			}
+		}
+		if tail <= par.Tol {
+			break
+		}
+		if k >= par.MaxTerms {
+			residual = tail
+			break
+		}
+		for i := range pow {
+			pow[i] *= c.actPerm[i]
+		}
+	}
+
+	for t := 0; t < n; t++ {
+		if int32(t) == src {
+			continue
+		}
+		switch m := maxw[t]; {
+		case m >= 1:
+			impact[t] = 1 // a certain path: Eq. 2's product has a zero factor
+		case m == 0:
+			impact[t] = 0 // unreachable over positive-permeability edges
+		default:
+			v := -math.Expm1(-logsum[t])
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			impact[t] = v
+		}
+	}
+	return impact, residual
+}
+
+// solveRowFixpoint handles active graphs with genuine cycles: it solves
+// the monotone node equations P(t) = 1 − Π_{e into t} (1 − P(from_e)·perm_e)
+// componentwise in condensation order, iterating each non-trivial SCC
+// with Gauss–Seidel sweeps until the largest per-sweep delta falls
+// below Params.FixTol. Starting from zero, the updates are monotone
+// non-decreasing and bounded by 1, so they converge to the least
+// fixpoint; geometric convergence at the loop gain is shown in
+// docs/analytic.md. On reconvergent or cyclic structure this
+// node-marginal model can overestimate Eq. 2's path view (positively
+// associated path events, Harris/FKG) — the documented validation
+// tolerance against Monte Carlo covers the gap.
+func (c *context) solveRowFixpoint(src int32, par Params) ([]float64, float64) {
+	n := c.top.n
+	p := make([]float64, n)
+	p[src] = 1
+	residual := 0.0
+	update := func(v int32) float64 {
+		prod := 1.0
+		for _, ai := range c.inAdj[v] {
+			prod *= 1 - p[c.actFrom[ai]]*c.actPerm[ai]
+		}
+		return 1 - prod
+	}
+	for _, comp := range c.comps {
+		if len(comp) == 1 {
+			if v := comp[0]; v != src {
+				p[v] = update(v)
+			}
+			continue
+		}
+		for sweep := 0; ; sweep++ {
+			delta := 0.0
+			for _, v := range comp {
+				if v == src {
+					continue
+				}
+				nv := update(v)
+				if d := nv - p[v]; d > delta {
+					delta = d
+				}
+				p[v] = nv
+			}
+			if delta <= par.FixTol {
+				break
+			}
+			if sweep >= par.MaxSweeps {
+				if delta > residual {
+					residual = delta
+				}
+				break
+			}
+		}
+	}
+	// Mask signals the source cannot reach (their equations are exactly
+	// zero anyway; this also clamps stray rounding).
+	for t := int32(0); t < int32(n); t++ {
+		if t != src && !c.reaches(src, t) {
+			p[t] = 0
+		}
+	}
+	return p, residual
+}

@@ -35,6 +35,12 @@ type Timing struct {
 	// (milliseconds) from the shard-duration histogram's movement.
 	ShardP50Ms float64 `json:"shard_p50_ms,omitempty"`
 	ShardP99Ms float64 `json:"shard_p99_ms,omitempty"`
+	// AllocsPerOp / AllocBytesPerOp record per-operation allocation
+	// counts for solver rows (cmd/place's analytic benchmarks), where
+	// "op" is one run of the measured operation (Runs counts the
+	// repetitions). Zero for injection campaigns.
+	AllocsPerOp     float64 `json:"allocs_per_op,omitempty"`
+	AllocBytesPerOp float64 `json:"alloc_bytes_per_op,omitempty"`
 }
 
 // Extras carries the telemetry-derived additions to a timing row.
@@ -47,6 +53,9 @@ type Extras struct {
 	// adaptive campaign stands for; the row's RunsSaved becomes
 	// RunsPlanned - runs.
 	RunsPlanned int
+	// Per-op allocation stats for solver benchmark rows.
+	AllocsPerOp     float64
+	AllocBytesPerOp float64
 }
 
 // NewTiming builds one timing row from a campaign's run count and
@@ -90,6 +99,8 @@ func (c *Collector) ObserveExt(campaign string, runs int, wall time.Duration, ex
 	row.ShardRetries = ext.ShardRetries
 	row.ShardP50Ms = ext.ShardP50Ms
 	row.ShardP99Ms = ext.ShardP99Ms
+	row.AllocsPerOp = ext.AllocsPerOp
+	row.AllocBytesPerOp = ext.AllocBytesPerOp
 	if ext.RunsPlanned > 0 {
 		row.RunsPlanned = ext.RunsPlanned
 		row.RunsSaved = ext.RunsPlanned - runs

@@ -156,3 +156,32 @@ func TestQuickEq2DominatesMonteCarlo(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestMonteCarloWorkerInvariant pins the deterministic merge: sample
+// blocks are seeded by block index, so the estimate cannot depend on
+// the worker count.
+func TestMonteCarloWorkerInvariant(t *testing.T) {
+	sys := loopSystem(t)
+	p := NewPermeability(sys)
+	p.MustSet("M", 1, 1, 0.4)
+	p.MustSet("M", 1, 2, 0.7)
+	p.MustSet("M", 2, 1, 0.9)
+	p.MustSet("M", 2, 2, 0.3)
+	// Enough samples to span several blocks.
+	ref, err := MonteCarloImpactWorkers(p, "in", "out", 3*mcBlock+17, 11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 16} {
+		got, err := MonteCarloImpactWorkers(p, "in", "out", 3*mcBlock+17, 11, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref {
+			t.Errorf("workers=%d: estimate %v != serial %v", workers, got, ref)
+		}
+	}
+	if _, err := MonteCarloImpactWorkers(p, "in", "out", 100, 1, 0); err == nil {
+		t.Error("zero workers accepted")
+	}
+}

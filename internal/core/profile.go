@@ -85,6 +85,23 @@ func BuildProfile(p *Permeability) (*Profile, error) {
 	return pr, nil
 }
 
+// NewProfile assembles a Profile from externally computed signal
+// measures — the seam internal/analytic uses to return its solver
+// results in the exact shape the placement rules and report tables
+// consume. Signals keep the given order; BuildProfile remains the
+// tree-based reference constructor.
+func NewProfile(p *Permeability, signals []SignalProfile) *Profile {
+	pr := &Profile{
+		perm:    p,
+		signals: append([]SignalProfile(nil), signals...),
+		byID:    make(map[model.SignalID]int, len(signals)),
+	}
+	for i, sp := range pr.signals {
+		pr.byID[sp.Signal] = i
+	}
+	return pr
+}
+
 // Permeability returns the matrix the profile was built from.
 func (pr *Profile) Permeability() *Permeability { return pr.perm }
 

@@ -78,68 +78,133 @@ func (p Path) String() string {
 	return fmt.Sprintf("%s (w=%.3f)", strings.Join(parts, " -> "), p.Weight)
 }
 
+// DefaultMaxTreeNodes bounds propagation-tree growth. The number of
+// simple paths — and hence tree nodes — can grow exponentially with
+// graph depth (reconvergent fan-out doubles the path count per layer),
+// so the builders stop with a clear error instead of exhausting memory.
+// Systems that trip the cap should use internal/analytic's solver,
+// which computes Eq. 2 without enumerating paths.
+const DefaultMaxTreeNodes = 1 << 20
+
 // BuildTraceTree expands the propagation paths from a signal downstream.
 // A path never revisits a signal (cycles are cut), which is what makes
-// the i→i self-loop of the target harmless in Table 5.
+// the i→i self-loop of the target harmless in Table 5. Growth is capped
+// at DefaultMaxTreeNodes; use BuildTraceTreeN to choose the cap.
 func BuildTraceTree(sys *model.System, from model.SignalID) (*Tree, error) {
+	return BuildTraceTreeN(sys, from, DefaultMaxTreeNodes)
+}
+
+// BuildTraceTreeN is BuildTraceTree with an explicit node cap.
+func BuildTraceTreeN(sys *model.System, from model.SignalID, maxNodes int) (*Tree, error) {
 	if _, ok := sys.Signal(from); !ok {
 		return nil, fmt.Errorf("core: unknown signal %q", from)
 	}
 	root := &Node{Signal: from, Weight: 1}
-	expandDown(sys, nil, root, map[model.SignalID]bool{from: true})
+	x := &expansion{sys: sys, budget: maxNodes - 1, max: maxNodes}
+	if err := x.down(root, map[model.SignalID]bool{from: true}); err != nil {
+		return nil, fmt.Errorf("core: trace tree rooted at %q: %w", from, err)
+	}
 	return &Tree{Kind: KindTraceTree, Root: root}, nil
 }
 
 // BuildImpactTree is BuildTraceTree with path weights accumulated from
-// the permeability matrix.
+// the permeability matrix. Growth is capped at DefaultMaxTreeNodes; use
+// BuildImpactTreeN to choose the cap.
 func BuildImpactTree(p *Permeability, from model.SignalID) (*Tree, error) {
+	return BuildImpactTreeN(p, from, DefaultMaxTreeNodes)
+}
+
+// BuildImpactTreeN is BuildImpactTree with an explicit node cap.
+func BuildImpactTreeN(p *Permeability, from model.SignalID, maxNodes int) (*Tree, error) {
 	if _, ok := p.sys.Signal(from); !ok {
 		return nil, fmt.Errorf("core: unknown signal %q", from)
 	}
 	root := &Node{Signal: from, Weight: 1}
-	expandDown(p.sys, p, root, map[model.SignalID]bool{from: true})
+	x := &expansion{sys: p.sys, perm: p, budget: maxNodes - 1, max: maxNodes}
+	if err := x.down(root, map[model.SignalID]bool{from: true}); err != nil {
+		return nil, fmt.Errorf("core: impact tree rooted at %q: %w", from, err)
+	}
 	return &Tree{Kind: KindImpactTree, Root: root}, nil
 }
 
-func expandDown(sys *model.System, p *Permeability, n *Node, onPath map[model.SignalID]bool) {
-	for _, e := range sys.OutEdges(n.Signal) {
-		if onPath[e.To] {
-			continue // cycle cut
-		}
-		w := n.Weight
-		if p != nil {
-			w *= p.Get(e)
-		}
-		child := &Node{Signal: e.To, Edge: e, Weight: w}
-		n.Children = append(n.Children, child)
-		onPath[e.To] = true
-		expandDown(sys, p, child, onPath)
-		delete(onPath, e.To)
-	}
+// BuildBacktrackTree expands the paths errors can take to reach a signal,
+// upstream toward system inputs. Cycles are cut as in trace trees, and
+// growth is capped at DefaultMaxTreeNodes (see BuildBacktrackTreeN).
+func BuildBacktrackTree(sys *model.System, to model.SignalID) (*Tree, error) {
+	return BuildBacktrackTreeN(sys, to, DefaultMaxTreeNodes)
 }
 
-// BuildBacktrackTree expands the paths errors can take to reach a signal,
-// upstream toward system inputs. Cycles are cut as in trace trees.
-func BuildBacktrackTree(sys *model.System, to model.SignalID) (*Tree, error) {
+// BuildBacktrackTreeN is BuildBacktrackTree with an explicit node cap.
+func BuildBacktrackTreeN(sys *model.System, to model.SignalID, maxNodes int) (*Tree, error) {
 	if _, ok := sys.Signal(to); !ok {
 		return nil, fmt.Errorf("core: unknown signal %q", to)
 	}
 	root := &Node{Signal: to, Weight: 1}
-	expandUp(sys, root, map[model.SignalID]bool{to: true})
+	x := &expansion{sys: sys, budget: maxNodes - 1, max: maxNodes}
+	if err := x.up(root, map[model.SignalID]bool{to: true}); err != nil {
+		return nil, fmt.Errorf("core: backtrack tree rooted at %q: %w", to, err)
+	}
 	return &Tree{Kind: KindBacktrackTree, Root: root}, nil
 }
 
-func expandUp(sys *model.System, n *Node, onPath map[model.SignalID]bool) {
-	for _, e := range sys.InEdges(n.Signal) {
+// expansion carries the shared node budget through the recursive build.
+type expansion struct {
+	sys    *model.System
+	perm   *Permeability
+	budget int // nodes still allowed beyond the root
+	max    int // original cap, for the error message
+}
+
+func (x *expansion) spend() error {
+	if x.budget <= 0 {
+		return fmt.Errorf("exceeds %d nodes (pathological path fan-out; raise the cap or use internal/analytic)", x.max)
+	}
+	x.budget--
+	return nil
+}
+
+func (x *expansion) down(n *Node, onPath map[model.SignalID]bool) error {
+	for _, e := range x.sys.OutEdges(n.Signal) {
+		if onPath[e.To] {
+			continue // cycle cut
+		}
+		if err := x.spend(); err != nil {
+			return err
+		}
+		w := n.Weight
+		if x.perm != nil {
+			w *= x.perm.Get(e)
+		}
+		child := &Node{Signal: e.To, Edge: e, Weight: w}
+		n.Children = append(n.Children, child)
+		onPath[e.To] = true
+		err := x.down(child, onPath)
+		delete(onPath, e.To)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (x *expansion) up(n *Node, onPath map[model.SignalID]bool) error {
+	for _, e := range x.sys.InEdges(n.Signal) {
 		if onPath[e.From] {
 			continue
+		}
+		if err := x.spend(); err != nil {
+			return err
 		}
 		child := &Node{Signal: e.From, Edge: e, Weight: 0}
 		n.Children = append(n.Children, child)
 		onPath[e.From] = true
-		expandUp(sys, child, onPath)
+		err := x.up(child, onPath)
 		delete(onPath, e.From)
+		if err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // Paths returns every root-to-leaf path of the tree.
@@ -150,11 +215,47 @@ func (t *Tree) Paths() []Path {
 }
 
 // PathsTo returns every root-to-node path ending at the given signal —
-// for impact trees, the paths whose weights enter Eq. 2.
+// for impact trees, the paths whose weights enter Eq. 2. The result is
+// bounded by the node cap the tree was built under (every returned path
+// ends at a distinct node); use PathsToN to enforce a tighter cap.
 func (t *Tree) PathsTo(dest model.SignalID) []Path {
 	var out []Path
 	collectPaths(t.Root, nil, nil, &out, &dest)
 	return out
+}
+
+// PathsToN is PathsTo with an explicit path-count cap: it stops with a
+// clear error as soon as more than maxPaths paths end at dest, instead
+// of materialising them all.
+func (t *Tree) PathsToN(dest model.SignalID, maxPaths int) ([]Path, error) {
+	var out []Path
+	if !collectCapped(t.Root, nil, nil, &out, dest, maxPaths) {
+		return nil, fmt.Errorf("core: paths to %q exceed the cap of %d (pathological path fan-out; use internal/analytic)", dest, maxPaths)
+	}
+	return out, nil
+}
+
+func collectCapped(n *Node, sigs []model.SignalID, edges []model.Edge, out *[]Path, dest model.SignalID, maxPaths int) bool {
+	sigs = append(sigs, n.Signal)
+	if n.Edge != (model.Edge{}) {
+		edges = append(edges, n.Edge)
+	}
+	if n.Signal == dest && len(edges) > 0 {
+		if len(*out) >= maxPaths {
+			return false
+		}
+		*out = append(*out, Path{
+			Signals: append([]model.SignalID(nil), sigs...),
+			Edges:   append([]model.Edge(nil), edges...),
+			Weight:  n.Weight,
+		})
+	}
+	for _, c := range n.Children {
+		if !collectCapped(c, sigs, edges, out, dest, maxPaths) {
+			return false
+		}
+	}
+	return true
 }
 
 func collectPaths(n *Node, sigs []model.SignalID, edges []model.Edge, out *[]Path, dest *model.SignalID) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -183,4 +184,80 @@ func TestPathString(t *testing.T) {
 	if got := p.String(); got != "a -> b (w=0.250)" {
 		t.Errorf("String() = %q", got)
 	}
+}
+
+func TestTreeNodeCapErrors(t *testing.T) {
+	sys, p := fanoutSystem(t, 10)
+	// A generous cap succeeds...
+	if _, err := BuildImpactTreeN(p, "l0_0", 1<<20); err != nil {
+		t.Fatalf("uncapped build failed: %v", err)
+	}
+	// ...a tight cap fails fast with an explanatory error.
+	if _, err := BuildImpactTreeN(p, "l0_0", 50); err == nil {
+		t.Error("tight impact-tree cap not enforced")
+	} else if !strings.Contains(err.Error(), "internal/analytic") {
+		t.Errorf("cap error does not point at the solver: %v", err)
+	}
+	if _, err := BuildTraceTreeN(sys, "l0_0", 50); err == nil {
+		t.Error("tight trace-tree cap not enforced")
+	}
+	if _, err := BuildBacktrackTreeN(sys, "l9_0", 50); err == nil {
+		t.Error("tight backtrack-tree cap not enforced")
+	}
+}
+
+func TestPathsToNCap(t *testing.T) {
+	_, p := fanoutSystem(t, 8)
+	tree, err := BuildImpactTree(p, "l0_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := tree.PathsTo("l7_0")
+	if len(all) < 32 {
+		t.Fatalf("fixture too small: %d paths", len(all))
+	}
+	capped, err := tree.PathsToN("l7_0", len(all))
+	if err != nil || len(capped) != len(all) {
+		t.Fatalf("PathsToN at exact cap: %d paths, %v", len(capped), err)
+	}
+	if _, err := tree.PathsToN("l7_0", len(all)-1); err == nil {
+		t.Error("path cap not enforced")
+	}
+}
+
+// fanoutSystem builds `layers` ranks of two signals with full cross
+// wiring — 2^(layers-1) root-to-leaf paths, the reconvergent shape the
+// caps exist for.
+func fanoutSystem(t *testing.T, layers int) (*model.System, *Permeability) {
+	t.Helper()
+	b := model.NewBuilder("fanout")
+	id := func(l, i int) model.SignalID {
+		return model.SignalID(fmt.Sprintf("l%d_%d", l, i))
+	}
+	for l := 0; l < layers; l++ {
+		for i := 0; i < 2; i++ {
+			switch l {
+			case 0:
+				b.AddSignal(id(l, i), model.Uint(8), model.AsSystemInput())
+			case layers - 1:
+				b.AddSignal(id(l, i), model.Uint(8), model.AsSystemOutput(1))
+			default:
+				b.AddSignal(id(l, i), model.Uint(8))
+			}
+		}
+	}
+	for l := 1; l < layers; l++ {
+		for i := 0; i < 2; i++ {
+			b.AddModule(model.ModuleID(fmt.Sprintf("F%d_%d", l, i)),
+				model.In(id(l-1, 0), id(l-1, 1)), model.Out(id(l, i)))
+		}
+	}
+	sys := b.MustBuild()
+	p := NewPermeability(sys)
+	for _, e := range sys.Edges() {
+		if err := p.SetEdge(e, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sys, p
 }

@@ -176,3 +176,50 @@ func TestWhatIfDrivesConformanceLoop(t *testing.T) {
 		t.Errorf("containment did not reduce findings: %d -> %d", len(findings), len(findings2))
 	}
 }
+
+func TestScaleModuleEdgeFactors(t *testing.T) {
+	sys := chainSystem(t)
+	p := NewPermeability(sys)
+	p.MustSet("A", 1, 1, 0.8)
+	p.MustSet("A", 1, 2, 0.4)
+	p.MustSet("B", 1, 1, 0.6)
+
+	// Factor 0 zeroes the module's pairs exactly and leaves the rest.
+	zeroed, err := p.ScaleModule("A", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := zeroed.Value("A", 1, 1); got != 0 {
+		t.Errorf("A(1,1) = %v, want exactly 0", got)
+	}
+	if got, _ := zeroed.Value("A", 1, 2); got != 0 {
+		t.Errorf("A(1,2) = %v, want exactly 0", got)
+	}
+	if got, _ := zeroed.Value("B", 1, 1); got != 0.6 {
+		t.Errorf("B(1,1) = %v, want 0.6", got)
+	}
+
+	// Factor exactly 1 is a bit-identical no-op.
+	same, err := p.ScaleModule("A", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range sys.Edges() {
+		if same.Get(e) != p.Get(e) {
+			t.Errorf("factor-1 scale changed %v: %v -> %v", e, p.Get(e), same.Get(e))
+		}
+	}
+
+	// A product landing exactly on 1 stays 1 without the clamp firing.
+	exact, err := p.ScaleModule("A", 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := exact.Value("A", 1, 2); got != 1 {
+		t.Errorf("A(1,2) scaled by 2.5 = %v, want exactly 1", got)
+	}
+	// 0.8 * 2.5 = 2 clamps to 1.
+	if got, _ := exact.Value("A", 1, 1); got != 1 {
+		t.Errorf("A(1,1) scaled by 2.5 = %v, want clamp to 1", got)
+	}
+}
