@@ -19,6 +19,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/paper"
 	"repro/internal/report"
+	"repro/internal/sut"
 	"repro/internal/tank"
 	"repro/internal/target"
 )
@@ -26,10 +27,10 @@ import (
 // benchOpts returns the reduced campaign configuration for benchmarks.
 func benchOpts() experiment.Options {
 	opts := experiment.DefaultOptions(1)
-	opts.Cases = []target.TestCase{
-		{ID: 1, MassKg: 8000, EngageVelocityMps: 50},
-		{ID: 2, MassKg: 12000, EngageVelocityMps: 65},
-		{ID: 3, MassKg: 16000, EngageVelocityMps: 80},
+	opts.Cases = []sut.Case{
+		{ID: 1, P1: 8000, P2: 50},
+		{ID: 2, P1: 12000, P2: 65},
+		{ID: 3, P1: 16000, P2: 80},
 	}
 	opts.Workers = 8
 	return opts
@@ -399,12 +400,15 @@ func BenchmarkAblationImpactVsMonteCarlo(b *testing.B) {
 // applicability (the paper's future work): the full pipeline on the
 // second target, a two-output tank level controller.
 func BenchmarkGeneralityTankTarget(b *testing.B) {
-	opts := tank.DefaultCampaignOptions(1)
-	opts.Cases = tank.DefaultTestCases()[:2]
-	opts.PerInput = 16
-	opts.RunMs = 20_000
+	opts, err := experiment.DefaultOptionsFor("tank", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts.Cases = opts.Cases[:2]
+	opts.MaxRunMs = 20_000
+	opts.Workers = 1
 	for i := 0; i < b.N; i++ {
-		res, err := tank.EstimatePermeability(opts)
+		res, err := experiment.EstimatePermeability(context.Background(), opts, 16)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -414,7 +418,7 @@ func BenchmarkGeneralityTankTarget(b *testing.B) {
 		}
 		if i == 0 && len(ranks) > 0 {
 			b.ReportMetric(ranks[0].Criticality, "top-criticality")
-			b.ReportMetric(float64(res.Runs), "runs")
+			b.ReportMetric(float64(res.TotalRuns), "runs")
 		}
 	}
 }

@@ -15,6 +15,14 @@
 // permeability row must account runs_planned = runs_executed +
 // runs_saved with runs_saved > 0.
 //
+// With -mode liveness the tool audits the adaptive layer's def/use
+// pruning on non-arrestment targets in-process: for each requested
+// registered target (default: every non-arrestment entry) it executes a
+// sample of the very injections the liveness profile classifies masked
+// and requires each witness run to be indistinguishable from the golden
+// run — same completion time and no difference on any recorded signal.
+// Any divergence is a pruning unsoundness and fails the audit.
+//
 // With -mode analytic the tool instead validates the analytic
 // propagation engine (internal/analytic) in-process:
 //
@@ -33,19 +41,24 @@
 // Usage:
 //
 //	adaptcheck -exact exact.json -adaptive adaptive.json [-bench BENCH_adaptive.json] [-z 1.96]
+//	adaptcheck -mode liveness [-target tank,multiout] [-per-class 8]
 //	adaptcheck -mode analytic [-bench BENCH_analytic.json]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/analytic"
 	"repro/internal/core"
+	"repro/internal/experiment"
 	"repro/internal/paper"
 	"repro/internal/stats"
+	"repro/internal/sut"
 )
 
 func main() {
@@ -107,20 +120,26 @@ func edgeKey(e sampleEdge) string {
 
 func run() error {
 	mode := flag.String("mode", "samples",
-		"what to check: samples (adaptive vs exact campaign) or analytic (solver equivalence and speed)")
+		"what to check: samples (adaptive vs exact campaign), liveness (pruning soundness per target) or analytic (solver equivalence and speed)")
 	exactPath := flag.String("exact", "", "samples JSON from the exact campaign")
 	adaptivePath := flag.String("adaptive", "", "samples JSON from the adaptive campaign")
 	benchPath := flag.String("bench", "", "adaptive BENCH_campaigns.json to audit (optional)")
 	z := flag.Float64("z", 1.96, "Wilson interval critical value")
+	targets := flag.String("target", "",
+		"liveness mode: comma-separated registered targets (empty = every non-arrestment entry)")
+	perClass := flag.Int("per-class", 8, "liveness mode: masked targets proven per region per case")
+	seed := flag.Int64("seed", 1, "liveness mode: campaign seed")
 	flag.Parse()
 
 	switch *mode {
 	case "samples":
 		// Fall through to the campaign comparison below.
+	case "liveness":
+		return runLiveness(*targets, *perClass, *seed)
 	case "analytic":
 		return runAnalytic(*benchPath)
 	default:
-		return fmt.Errorf("unknown -mode %q (want samples or analytic)", *mode)
+		return fmt.Errorf("unknown -mode %q (want samples, liveness or analytic)", *mode)
 	}
 
 	if *exactPath == "" || *adaptivePath == "" {
@@ -404,4 +423,56 @@ func auditAnalyticBench(path string) ([]string, error) {
 			incr*1e3, cold*1e3))
 	}
 	return violations, nil
+}
+
+// runLiveness audits the adaptive def/use pruning on the requested
+// targets: every sampled masked classification must be proved by a
+// witness run that matches the golden trace exactly.
+func runLiveness(targetList string, perClass int, seed int64) error {
+	var names []string
+	for _, n := range strings.Split(targetList, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if names == nil {
+		for _, n := range sut.Names() {
+			if n != sut.DefaultTarget {
+				names = append(names, n)
+			}
+		}
+	}
+	for _, n := range names {
+		if _, err := sut.Lookup(n); err != nil {
+			return err
+		}
+	}
+
+	failed := false
+	for _, n := range names {
+		opts, err := experiment.DefaultOptionsFor(n, seed)
+		if err != nil {
+			return err
+		}
+		opts.Workers = 1
+		res, err := experiment.AuditLiveness(context.Background(), opts, perClass)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("adaptcheck: %s: %d/%d RAM and %d/%d stack targets masked over %d case(s), %d witness run(s)\n",
+			res.Target, res.RAMMasked, res.RAMTargets*res.Cases, res.StackMasked, res.StackTargets*res.Cases,
+			res.Cases, res.Proofs)
+		if len(res.Violations) > 0 {
+			failed = true
+			for _, v := range res.Violations {
+				fmt.Fprintf(os.Stderr, "adaptcheck: %s: %s\n", res.Target, v)
+			}
+			continue
+		}
+		fmt.Printf("adaptcheck: %s: every witness matched its golden trace — pruning is sound\n", res.Target)
+	}
+	if failed {
+		return fmt.Errorf("liveness audit found pruning violations")
+	}
+	return nil
 }

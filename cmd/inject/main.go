@@ -9,15 +9,26 @@
 //     extension, DESIGN.md index A1)
 //   - recovery: failure rates with and without containment (wrappers
 //     vs module-internal hardening, guideline R2)
+//   - matrix: placement robustness — every requested target crossed
+//     with every error model (transient, stuck, burst, delay,
+//     omission), reporting detection coverage per placement set
 //
 // Usage:
 //
-//	inject -campaign input [-per-signal 2000]
+//	inject -campaign input [-per-signal 2000] [-target tank]
 //	inject -campaign internal [-ram 150] [-stack 50] [-exact]
 //	inject -campaign models [-per-signal 1000]
 //	inject -campaign recovery [-ram 150] [-stack 50]
 //	inject -campaign tightness [-per-signal 500]
 //	inject -campaign integration [-per-signal 500]
+//	inject -campaign matrix [-target tank,multiout] [-errors stuck,burst] [-per-cell 200]
+//
+// Every campaign accepts -target naming a registered system under test
+// (default: the paper's arrestment system; matrix accepts a
+// comma-separated list, empty meaning all registered) and -model
+// promoting internal/model JSON system descriptions into runnable
+// targets for this invocation. Unknown target or error-model names fail
+// before any campaign work, listing what is registered.
 //
 // With -dispatch (or -checkpoint, which implies it) the campaign's
 // shards run in worker subprocesses — re-execs of this binary in a
@@ -28,16 +39,21 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
+	"repro/internal/analytic"
 	"repro/internal/campaign"
+	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/model"
 	"repro/internal/report"
+	"repro/internal/sut"
 	"repro/internal/target"
 )
 
@@ -52,10 +68,68 @@ func main() {
 // worker spec ships the same list, so parent and worker plans agree.
 func tightnessSteps() []model.Word { return []model.Word{2, 4, 8, 16, 32, 64} }
 
+// splitList parses a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
+}
+
+// registerModels loads each JSON system description and registers it as
+// a generic target, returning the raw documents for the worker spec.
+func registerModels(paths []string) ([]json.RawMessage, error) {
+	var raw []json.RawMessage
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		t, err := sut.RegisterModelJSON(data)
+		if err != nil {
+			return nil, fmt.Errorf("-model %s: %w", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "registered target %q from %s\n", t.Name(), path)
+		raw = append(raw, json.RawMessage(data))
+	}
+	return raw, nil
+}
+
+// validateMatrixFlags resolves the matrix target list and error-model
+// menu before any campaign work, failing with the registered names.
+func validateMatrixFlags(targets, errModels []string) error {
+	for _, name := range targets {
+		if _, err := sut.Lookup(name); err != nil {
+			return err
+		}
+	}
+	known := make(map[string]bool)
+	for _, m := range experiment.MatrixErrorModels() {
+		known[m] = true
+	}
+	for _, m := range errModels {
+		if !known[m] {
+			return fmt.Errorf("unknown error model %q (available: %s)",
+				m, strings.Join(experiment.MatrixErrorModels(), ", "))
+		}
+	}
+	return nil
+}
+
 func run() error {
 	camp := flag.String("campaign", "input",
-		"campaign: input, internal, models, recovery, tightness or integration")
+		"campaign: input, internal, models, recovery, tightness, integration or matrix")
+	targetName := flag.String("target", "",
+		"registered system under test (empty = arrestment; matrix: comma-separated list, empty = all)")
+	modelPaths := flag.String("model", "",
+		"comma-separated internal/model JSON files to register as targets")
+	errModels := flag.String("errors", "",
+		"matrix campaign error models, comma-separated (empty = all: transient, stuck, burst, delay, omission)")
 	perSignal := flag.Int("per-signal", 2000, "injections per system input (input campaign)")
+	perCell := flag.Int("per-cell", 200, "injections per target x error-model cell (matrix campaign)")
 	ram := flag.Int("ram", 150, "RAM locations (internal campaign)")
 	stack := flag.Int("stack", 50, "stack locations (internal campaign)")
 	seed := flag.Int64("seed", 1, "campaign seed")
@@ -92,6 +166,36 @@ func run() error {
 	if err := experiment.ValidateDispatchFlags(*workers, *shards, *shardTimeout, *retries, *checkpoint, *dispatchMode); err != nil {
 		return err
 	}
+
+	// Register -model targets, then validate every name-shaped flag
+	// before any campaign work: unknown targets and error models fail
+	// here, listing what is available.
+	modelJSON, err := registerModels(splitList(*modelPaths))
+	if err != nil {
+		return err
+	}
+	matrixTargets := splitList(*targetName)
+	matrixModels := splitList(*errModels)
+	if err := validateMatrixFlags(matrixTargets, matrixModels); err != nil {
+		return err
+	}
+	if *camp != "matrix" {
+		if len(matrixTargets) > 1 {
+			return fmt.Errorf("-target lists %d targets; only -campaign matrix crosses targets", len(matrixTargets))
+		}
+		if len(matrixModels) > 0 {
+			return fmt.Errorf("-errors only applies to -campaign matrix")
+		}
+	}
+	singleTarget := ""
+	if len(matrixTargets) == 1 {
+		singleTarget = matrixTargets[0]
+	}
+	tgt, err := sut.Lookup(singleTarget)
+	if err != nil {
+		return err
+	}
+
 	stopTelemetry, err := experiment.StartTelemetry(experiment.TelemetryFlags{
 		ObsAddr: *obsAddr, EventsOut: *eventsOut, Progress: *progress,
 	}, os.Stderr)
@@ -100,7 +204,10 @@ func run() error {
 	}
 	defer stopTelemetry()
 
-	opts := experiment.DefaultOptions(*seed)
+	opts, err := experiment.DefaultOptionsFor(tgt.Name(), *seed)
+	if err != nil {
+		return err
+	}
 	opts.Workers = *workers
 	opts.Shards = *shards
 	opts.Adaptive = !*exact // before SelfDispatch: the worker spec snapshots opts
@@ -111,6 +218,8 @@ func run() error {
 			PerSignal: *perSignal, RAMLocations: *ram, StackLocations: *stack,
 			PerModel: *perSignal, RecoveryRAM: *ram, RecoveryStack: *stack,
 			PerStep: *perSignal, Steps: steps, IntegPerSignal: *perSignal,
+			MatrixTargets: matrixTargets, MatrixModels: matrixModels, MatrixPerCell: *perCell,
+			ModelJSON: modelJSON,
 		}
 		if err := experiment.SelfDispatch(&opts, spec, "-worker-shard",
 			*checkpoint, *shardTimeout, *retries, os.Stderr); err != nil {
@@ -126,10 +235,10 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(report.Table4(res, target.EHSet()))
+		fmt.Println(report.Table4(res, tgt.EHSet()))
 		for _, row := range res.Rows {
 			if row.Signal == target.SigPACNT {
-				fmt.Println(report.Subsumption(row, target.EHSet()))
+				fmt.Println(report.Subsumption(row, tgt.EHSet()))
 				if sub := report.SubsumedBy(row, target.EA4); len(sub) > 0 {
 					fmt.Printf("fully subsumed by EA4: %v\n\n", sub)
 				}
@@ -175,6 +284,25 @@ func run() error {
 			return err
 		}
 		fmt.Println(report.Figure3(res))
+	case "matrix":
+		names := matrixTargets
+		if names == nil {
+			names = sut.Names()
+		}
+		mods := matrixModels
+		if mods == nil {
+			mods = experiment.MatrixErrorModels()
+		}
+		fmt.Fprintf(os.Stderr, "placement matrix: %d targets x %d error models, %d injections per cell...\n",
+			len(names), len(mods), *perCell)
+		res, err := experiment.PlacementMatrix(ctx, opts, names, mods, *perCell)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.MatrixTable(res))
+		if err := matrixCriticalityChecks(ctx, opts, names); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("unknown -campaign %q", *camp)
 	}
@@ -184,6 +312,62 @@ func run() error {
 	}
 	if *benchOut != "" {
 		fmt.Fprintf(os.Stderr, "campaign timing written to %s\n", *benchOut)
+	}
+	return nil
+}
+
+// matrixCriticalityChecks closes the matrix report: for every
+// multi-output target in the matrix, measure a small permeability
+// sample, rank its signals by criticality (Eqs. 3-4, with the declared
+// output weights live) and verify the measured-tree ranking against the
+// analytic propagation engine.
+func matrixCriticalityChecks(ctx context.Context, base experiment.Options, names []string) error {
+	const perInput = 60
+	for _, name := range names {
+		t, err := sut.Lookup(name)
+		if err != nil {
+			return err
+		}
+		outs := t.System().SystemOutputs()
+		if len(outs) < 2 {
+			continue
+		}
+		opts, err := experiment.DefaultOptionsFor(name, base.Seed)
+		if err != nil {
+			return err
+		}
+		opts.Workers = base.Workers
+		opts.Shards = base.Shards
+		fmt.Fprintf(os.Stderr, "criticality check on %s: %d injections per input...\n", name, perInput)
+		res, err := experiment.EstimatePermeability(ctx, opts, perInput)
+		if err != nil {
+			return err
+		}
+		pr, err := core.BuildProfile(res.Matrix)
+		if err != nil {
+			return err
+		}
+		ar, err := analytic.New().Profile(res.Matrix)
+		if err != nil {
+			return err
+		}
+		tree, ana := pr.Ranked(core.ByCriticality), ar.Ranked(core.ByCriticality)
+		if len(tree) != len(ana) {
+			return fmt.Errorf("criticality check on %s: tree ranks %d signals, analytic %d", name, len(tree), len(ana))
+		}
+		fmt.Printf("multi-output criticality on %s (%d outputs), measured vs analytic:\n", name, len(outs))
+		for i := range tree {
+			if tree[i].Signal != ana[i].Signal {
+				return fmt.Errorf("criticality check on %s: rankings diverge at #%d (tree %s, analytic %s)",
+					name, i+1, tree[i].Signal, ana[i].Signal)
+			}
+			if tree[i].Kind != model.KindIntermediate {
+				continue
+			}
+			fmt.Printf("  %-10s criticality %.3f\n", tree[i].Signal, tree[i].Criticality)
+		}
+		fmt.Println("  analytic ranking matches the measured-tree ranking")
+		fmt.Println()
 	}
 	return nil
 }

@@ -36,6 +36,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/paper"
 	"repro/internal/report"
+	"repro/internal/sut"
 	"repro/internal/target"
 )
 
@@ -58,6 +59,8 @@ func quickSizes() sizes { return sizes{perInput: 100, perSignal: 100, ram: 30, s
 
 func run() error {
 	mode := flag.String("mode", "both", "paper, measured, or both")
+	targetName := flag.String("target", "",
+		"registered system under test (reproduce regenerates the paper's artifacts, so only the arrestment target is valid; see inject -target for campaigns on other targets)")
 	artifact := flag.String("artifact", "all", "one of all, table1..table5, figure3..figure6, extensions")
 	quick := flag.Bool("quick", false, "reduced campaign sizes for a fast pass")
 	exact := flag.Bool("exact", false,
@@ -93,6 +96,12 @@ func run() error {
 	}
 	if err := experiment.ValidateDispatchFlags(*workers, *shards, *shardTimeout, *retries, *checkpoint, *dispatchMode); err != nil {
 		return err
+	}
+	if tgt, err := sut.Lookup(*targetName); err != nil {
+		return err
+	} else if tgt.Name() != sut.DefaultTarget {
+		return fmt.Errorf("-target %s: reproduce regenerates the paper's artifacts on the %s target only; use inject -target %s for campaigns on other targets",
+			tgt.Name(), sut.DefaultTarget, tgt.Name())
 	}
 	stopTelemetry, err := experiment.StartTelemetry(experiment.TelemetryFlags{
 		ObsAddr: *obsAddr, EventsOut: *eventsOut, Progress: *progress,

@@ -5,27 +5,37 @@
 // 0.25). Because there are two outputs, impact and criticality diverge
 // at runtime, which the single-output arrestment target cannot show.
 //
+// The campaign is the same generic engine every target shares — the
+// tank is just Options.Target = "tank" (docs/targets.md).
+//
 // Run with: go run ./examples/tanklevel
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/core"
+	"repro/internal/experiment"
 	"repro/internal/tank"
 )
 
 func main() {
 	// Step 1: measure the permeability matrix by fault injection.
-	opts := tank.DefaultCampaignOptions(1)
-	fmt.Printf("estimating tank permeabilities (%d injections per input, %d cases)...\n",
-		opts.PerInput, len(opts.Cases))
-	res, err := tank.EstimatePermeability(opts)
+	opts, err := experiment.DefaultOptionsFor("tank", 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  %d injection runs\n\n", res.Runs)
+	opts.Workers = 1
+	const perInput = 96
+	fmt.Printf("estimating tank permeabilities (%d injections per input, %d cases)...\n",
+		perInput, len(opts.Cases))
+	res, err := experiment.EstimatePermeability(context.Background(), opts, perInput)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d injection runs\n\n", res.TotalRuns)
 
 	sys := tank.NewSystem()
 	fmt.Println("measured permeabilities:")

@@ -14,7 +14,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/stats"
-	"repro/internal/target"
+	"repro/internal/sut"
 )
 
 // The adaptive-campaign layer (docs/adaptive.md) cuts injection volume
@@ -215,42 +215,40 @@ func (b *benchBracket) observe(col *campaign.Collector, name string, executed, p
 // profiled rig runs exactly like an injection run of the same case
 // minus the injector, so (by the induction argument in memmap.Liveness)
 // the trace decides observability for every memory target at once.
-func livenessProfile(opts Options, g *golden, hardened bool) (*memmap.Liveness, error) {
-	return configuredProfile(opts, g, nil, hardened)
+func livenessProfile(opts Options, t sut.Target, g *golden, hardened bool) (*memmap.Liveness, error) {
+	return configuredProfile(opts, t, g, nil, hardened)
 }
 
 // recoveryProfile profiles one recovery-study arm: the wrapped arm
 // deploys the containment wrappers and the hardened arm the hardened
 // DIST_S, since either may change the fault-free memory trace.
-func recoveryProfile(opts Options, g *golden, specs []erm.Spec, arm int) (*memmap.Liveness, error) {
+func recoveryProfile(opts Options, t sut.Target, g *golden, specs []erm.Spec, arm int) (*memmap.Liveness, error) {
 	var ws []erm.Spec
 	if arm == 1 {
 		ws = specs
 	}
-	return configuredProfile(opts, g, ws, arm == 2)
+	return configuredProfile(opts, t, g, ws, arm == 2)
 }
 
-func configuredProfile(opts Options, g *golden, wrapSpecs []erm.Spec, hardened bool) (*memmap.Liveness, error) {
-	cfg := g.tc.Config(caseSeed(opts, g.tc))
-	cfg.HardenedDistS = hardened
-	rig, err := target.AcquireRig(cfg)
+func configuredProfile(opts Options, t sut.Target, g *golden, wrapSpecs []erm.Spec, hardened bool) (*memmap.Liveness, error) {
+	rig, err := t.Acquire(g.tc, t.CaseSeed(opts.Seed, g.tc), sut.Variant{Hardened: hardened})
 	if err != nil {
 		return nil, err
 	}
-	defer target.ReleaseRig(rig)
+	defer t.Release(rig)
 	if len(wrapSpecs) > 0 {
-		if _, err := target.NewERMBank(rig, wrapSpecs); err != nil {
+		if _, err := sut.NewERMBank(rig, wrapSpecs); err != nil {
 			return nil, err
 		}
 	}
-	l, err := memmap.NewLiveness(rig.Mem, opts.PeriodicMs, opts.PeriodicMs)
+	l, err := memmap.NewLiveness(rig.Mem(), opts.PeriodicMs, opts.PeriodicMs)
 	if err != nil {
 		return nil, err
 	}
-	rig.Sched.OnPreSlot(l.Hook)
-	rig.Mem.OnRead(l.ReadHook())
-	rig.Mem.OnWrite(l.WriteHook())
-	if _, err := rig.RunUntilArrested(g.horizonMs + opts.GraceMs); err != nil {
+	rig.Sched().OnPreSlot(l.Hook)
+	rig.Mem().OnRead(l.ReadHook())
+	rig.Mem().OnWrite(l.WriteHook())
+	if _, err := rig.RunUntilDone(g.horizonMs + opts.GraceMs); err != nil {
 		return nil, err
 	}
 	return l, nil
@@ -434,9 +432,9 @@ func internalCoverageAdaptive(ctx context.Context, opts Options, ramLocations, s
 	rule := opts.stopRule()
 
 	res := &InternalCoverageResult{
-		RAM:            newRegionCoverage("RAM"),
-		Stack:          newRegionCoverage("Stack"),
-		Total:          newRegionCoverage("Total"),
+		RAM:            newRegionCoverage(base.t, "RAM"),
+		Stack:          newRegionCoverage(base.t, "Stack"),
+		Total:          newRegionCoverage(base.t, "Total"),
 		RAMLocations:   len(base.ramTargets),
 		StackLocations: len(base.stackTargets),
 	}
@@ -480,8 +478,8 @@ func internalCoverageAdaptive(ctx context.Context, opts Options, ramLocations, s
 			}
 			for t := 0; t < n; t++ {
 				j, out := rc.jobs[ji+t], results[ji+t]
-				regions[si].accumulateN(out.DetectedAt, out.Failed, opts.PeriodicMs, j.weight)
-				res.Total.accumulateN(out.DetectedAt, out.Failed, opts.PeriodicMs, j.weight)
+				regions[si].accumulateN(base.t, out.DetectedAt, out.Failed, opts.PeriodicMs, j.weight)
+				res.Total.accumulateN(base.t, out.DetectedAt, out.Failed, opts.PeriodicMs, j.weight)
 			}
 			ji += n
 			cursors[si] += n

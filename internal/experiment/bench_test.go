@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/model"
+	"repro/internal/sut"
 	"repro/internal/target"
 )
 
@@ -12,7 +13,7 @@ import (
 // isolates the per-run cost rather than campaign orchestration.
 func benchInjectionOpts() Options {
 	opts := DefaultOptions(1)
-	opts.Cases = []target.TestCase{{ID: 1, MassKg: 12000, EngageVelocityMps: 65}}
+	opts.Cases = []sut.Case{{ID: 1, P1: 12000, P2: 65}}
 	opts.Workers = 1
 	return opts
 }
@@ -22,7 +23,11 @@ func benchInjectionOpts() Options {
 // makes allocation regressions on the inner loop visible in CI.
 func BenchmarkInjectionRun(b *testing.B) {
 	opts := benchInjectionOpts()
-	golds, err := goldens(context.Background(), opts)
+	t, err := resolvedTarget(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	golds, err := goldens(context.Background(), opts, t)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -35,7 +40,7 @@ func BenchmarkInjectionRun(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := permeabilityRun(opts, golds[0], mod, port, target.SigPACNT, i); err != nil {
+		if _, err := permeabilityRun(opts, t, golds[0], mod, port, target.SigPACNT, i); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -45,9 +50,13 @@ func BenchmarkInjectionRun(b *testing.B) {
 // the full 14-signal trace attached.
 func BenchmarkGoldenRun(b *testing.B) {
 	opts := benchInjectionOpts()
+	t, err := resolvedTarget(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := runGolden(opts, opts.Cases[0]); err != nil {
+		if _, err := runGolden(opts, t, opts.Cases[0]); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,46 +8,58 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/obs"
-	"repro/internal/target"
+	"repro/internal/sut"
 	"repro/internal/trace"
 )
 
 // goldenKey identifies one golden run. It covers everything runGolden's
-// output depends on: the case identity and physics (ID feeds caseSeed,
-// mass/velocity feed the plant), the campaign seed, and the run horizon
-// options. Workers deliberately does not appear — parallelism must not
-// change results.
+// output depends on: the target, the case identity and physics (ID
+// feeds the case seed, P1/P2 feed the scenario), the campaign seed, and
+// the run horizon options. Workers deliberately does not appear —
+// parallelism must not change results.
 type goldenKey struct {
-	seed              int64
-	caseID            int
-	massKg            float64
-	engageVelocityMps float64
-	maxRunMs          int64
-	tailMs            int64
+	target   string
+	seed     int64
+	caseID   int
+	p1       float64
+	p2       float64
+	maxRunMs int64
+	tailMs   int64
 }
 
-func keyFor(opts Options, tc target.TestCase) goldenKey {
+func keyFor(opts Options, tc sut.Case) goldenKey {
+	name := opts.Target
+	if name == "" {
+		name = sut.DefaultTarget
+	}
 	return goldenKey{
-		seed:              opts.Seed,
-		caseID:            tc.ID,
-		massKg:            tc.MassKg,
-		engageVelocityMps: tc.EngageVelocityMps,
-		maxRunMs:          opts.MaxRunMs,
-		tailMs:            opts.TailMs,
+		target:   name,
+		seed:     opts.Seed,
+		caseID:   tc.ID,
+		p1:       tc.P1,
+		p2:       tc.P2,
+		maxRunMs: opts.MaxRunMs,
+		tailMs:   opts.TailMs,
 	}
 }
 
 // shardKeyFor hashes the golden key into a work-distribution key. Every
 // campaign shards its plan by this value, so a run's shard depends on
-// seed + case + physics + horizons — the exact identity that keys the
-// golden cache, and never Workers. All runs that share a golden land in
-// one shard: a shard dispatched to a separate process computes only the
-// reference runs it actually replays against.
-func shardKeyFor(opts Options, tc target.TestCase) uint64 {
+// target + seed + case + physics + horizons — the exact identity that
+// keys the golden cache, and never Workers. All runs that share a
+// golden land in one shard: a shard dispatched to a separate process
+// computes only the reference runs it actually replays against.
+// The default target keeps the pre-seam byte layout (no name prefix),
+// so its shard assignment — and with it every scheduling-sensitive
+// artifact like checkpoint journals — is unchanged.
+func shardKeyFor(opts Options, tc sut.Case) uint64 {
 	k := keyFor(opts, tc)
 	h := fnv.New64a()
+	if k.target != sut.DefaultTarget {
+		fmt.Fprintf(h, "%s|", k.target)
+	}
 	fmt.Fprintf(h, "%d|%d|%v|%v|%d|%d",
-		k.seed, k.caseID, k.massKg, k.engageVelocityMps, k.maxRunMs, k.tailMs)
+		k.seed, k.caseID, k.p1, k.p2, k.maxRunMs, k.tailMs)
 	return h.Sum64()
 }
 

@@ -7,12 +7,11 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/ea"
-	"repro/internal/failure"
 	"repro/internal/fi"
 	"repro/internal/memmap"
 	"repro/internal/model"
 	"repro/internal/stats"
-	"repro/internal/target"
+	"repro/internal/sut"
 )
 
 // EA set names used across coverage results.
@@ -22,12 +21,12 @@ const (
 	SetExtended = "extended"
 )
 
-// setMembers resolves a set name to assertion names.
-func setMembers() map[string][]string {
+// setMembers resolves a set name to the target's assertion names.
+func setMembers(t sut.Target) map[string][]string {
 	return map[string][]string{
-		SetEH:       target.EHSet(),
-		SetPA:       target.PASet(),
-		SetExtended: target.ExtendedSet(),
+		SetEH:       t.EHSet(),
+		SetPA:       t.PASet(),
+		SetExtended: t.ExtendedSet(),
 	}
 }
 
@@ -80,6 +79,7 @@ type covOutcome struct {
 type inputCoverageCampaign struct {
 	campaign.JSONWire[covOutcome]
 	opts      Options
+	t         sut.Target
 	perSignal int
 	signals   []model.SignalID
 	golds     []*golden
@@ -109,7 +109,7 @@ func (c *inputCoverageCampaign) Plan() ([]covJob, error) {
 }
 
 func (c *inputCoverageCampaign) Execute(_ context.Context, j covJob, index int) (covOutcome, error) {
-	active, injectedAt, detected, err := coverageRun(c.opts, c.golds[j.caseIdx], j.port, j.sig, index)
+	active, injectedAt, detected, err := coverageRun(c.opts, c.t, c.golds[j.caseIdx], j.port, j.sig, index)
 	if err != nil {
 		return covOutcome{}, err
 	}
@@ -119,13 +119,13 @@ func (c *inputCoverageCampaign) Execute(_ context.Context, j covJob, index int) 
 func (c *inputCoverageCampaign) Reduce(plan []covJob, results []covOutcome) (*InputCoverageResult, error) {
 	rows := make(map[model.SignalID]*CoverageRow, len(c.signals))
 	for _, sig := range c.signals {
-		rows[sig] = newCoverageRow(sig)
+		rows[sig] = newCoverageRow(c.t, sig)
 	}
-	all := newCoverageRow("All")
+	all := newCoverageRow(c.t, "All")
 	for i, j := range plan {
 		out := results[i]
-		rows[j.sig].accumulate(out.Active, out.InjectedAt, out.DetectedAt)
-		all.accumulate(out.Active, out.InjectedAt, out.DetectedAt)
+		rows[j.sig].accumulate(c.t, out.Active, out.InjectedAt, out.DetectedAt)
+		all.accumulate(c.t, out.Active, out.InjectedAt, out.DetectedAt)
 	}
 	res := &InputCoverageResult{All: *all}
 	for _, sig := range c.signals {
@@ -139,7 +139,7 @@ func (c *inputCoverageCampaign) ShardKey(j covJob, _ int) uint64 {
 }
 
 func (c *inputCoverageCampaign) Describe(j covJob, index int) string {
-	return describeRun(c.opts, "cov", index, j.caseIdx) + " signal=" + string(j.sig)
+	return describeRun(c.t, c.opts, "cov", index, j.caseIdx) + " signal=" + string(j.sig)
 }
 
 // InputCoverage runs the Section 6.2 campaign: errors enter "via the
@@ -164,20 +164,24 @@ func newInputCoverageCampaign(ctx context.Context, opts Options, perSignal int, 
 	if perSignal < 1 {
 		return nil, fmt.Errorf("experiment: perSignal %d must be >= 1", perSignal)
 	}
-	if signals == nil {
-		signals = target.SystemInputs()
+	t, err := resolvedTarget(opts)
+	if err != nil {
+		return nil, err
 	}
-	golds, err := goldens(ctx, opts)
+	if signals == nil {
+		signals = t.System().SystemInputs()
+	}
+	golds, err := goldens(ctx, opts, t)
 	if err != nil {
 		return nil, err
 	}
 	return &inputCoverageCampaign{
-		opts: opts, perSignal: perSignal, signals: signals,
-		golds: golds, sys: target.SharedSystem(),
+		opts: opts, t: t, perSignal: perSignal, signals: signals,
+		golds: golds, sys: t.System(),
 	}, nil
 }
 
-func newCoverageRow(sig model.SignalID) *CoverageRow {
+func newCoverageRow(t sut.Target, sig model.SignalID) *CoverageRow {
 	r := &CoverageRow{
 		Signal:         sig,
 		PerEA:          make(map[string]stats.Proportion),
@@ -185,11 +189,11 @@ func newCoverageRow(sig model.SignalID) *CoverageRow {
 		PairDetections: make(map[string]map[string]int),
 		SetLatenciesMs: make(map[string][]float64),
 	}
-	for _, s := range target.AllEASpecs() {
+	for _, s := range t.AllEASpecs() {
 		r.PerEA[s.Name] = stats.Proportion{}
 		r.PairDetections[s.Name] = make(map[string]int)
 	}
-	for name := range setMembers() {
+	for name := range setMembers(t) {
 		r.PerSet[name] = stats.Proportion{}
 	}
 	return r
@@ -198,7 +202,7 @@ func newCoverageRow(sig model.SignalID) *CoverageRow {
 // accumulate folds one run into the row. detectedAt maps each fired
 // assertion to its first detection time; injectedAt is when the
 // corruption was observed.
-func (r *CoverageRow) accumulate(active bool, injectedAt int64, detectedAt map[string]int64) {
+func (r *CoverageRow) accumulate(t sut.Target, active bool, injectedAt int64, detectedAt map[string]int64) {
 	r.Injected++
 	if !active {
 		return
@@ -214,7 +218,7 @@ func (r *CoverageRow) accumulate(active bool, injectedAt int64, detectedAt map[s
 			r.PairDetections[a][b]++
 		}
 	}
-	for set, members := range setMembers() {
+	for set, members := range setMembers(t) {
 		first := int64(-1)
 		for _, ea := range members {
 			if at, ok := detectedAt[ea]; ok && (first < 0 || at < first) {
@@ -237,28 +241,28 @@ func (r *CoverageRow) accumulate(active bool, injectedAt int64, detectedAt map[s
 // coverageRun executes one input-model injection run with the full EA
 // bank deployed and reports when the corruption was observed and which
 // assertions fired, with their first detection times.
-func coverageRun(opts Options, g *golden, port model.PortRef, sig model.SignalID, index int) (bool, int64, map[string]int64, error) {
-	rng := rand.New(rand.NewSource(runSeed(opts, "cov", index)))
+func coverageRun(opts Options, t sut.Target, g *golden, port model.PortRef, sig model.SignalID, index int) (bool, int64, map[string]int64, error) {
+	rng := rand.New(rand.NewSource(t.RunSeed(opts.Seed, "cov", index)))
 
-	rig, err := target.AcquireRig(g.tc.Config(caseSeed(opts, g.tc)))
+	rig, err := t.Acquire(g.tc, t.CaseSeed(opts.Seed, g.tc), sut.Variant{})
 	if err != nil {
 		return false, 0, nil, err
 	}
-	defer target.ReleaseRig(rig)
-	bank, err := target.NewBank(rig, target.EHSet())
+	defer t.Release(rig)
+	bank, err := sut.NewBank(t, rig, t.EHSet())
 	if err != nil {
 		return false, 0, nil, err
 	}
-	rig.Sched.OnPostSlot(bank.Hook)
+	rig.Sched().OnPostSlot(bank.Hook)
 
 	flip := &fi.ReadFlip{
 		Port:   port,
-		Bit:    pickBit(rng, rig.Sys, sig),
-		FromMs: rng.Int63n(g.arrestMs),
+		Bit:    pickBit(rng, rig.System(), sig),
+		FromMs: rng.Int63n(t.InjectWindow(g.arrestMs)),
 	}
 	inj := fi.NewInjector(flip)
-	rig.Sched.OnPreSlot(inj.Hook)
-	rig.Bus.OnRead(inj.ReadHook())
+	rig.Sched().OnPreSlot(inj.Hook)
+	rig.Bus().OnRead(inj.ReadHook())
 
 	if err := rig.RunFor(g.horizonMs); err != nil {
 		return false, 0, nil, err
@@ -333,6 +337,7 @@ type memOutcome struct {
 type internalCoverageCampaign struct {
 	campaign.JSONWire[memOutcome]
 	opts                         Options
+	t                            sut.Target
 	ramLocations, stackLocations int
 	golds                        []*golden
 	ramTargets, stackTargets     []fi.MemTarget
@@ -352,13 +357,13 @@ func (c *internalCoverageCampaign) enumerateTargets() error {
 	if c.ramTargets != nil {
 		return nil
 	}
-	scratch, err := target.AcquireRig(c.opts.Cases[0].Config(1))
+	scratch, err := c.t.Acquire(c.opts.Cases[0], 1, sut.Variant{})
 	if err != nil {
 		return err
 	}
-	c.ramTargets = fi.SampleTargets(fi.EnumerateRAMTargets(scratch.Sys, scratch.Mem), c.ramLocations, c.opts.Seed*7+1)
-	c.stackTargets = fi.SampleTargets(fi.EnumerateStackTargets(scratch.Mem), c.stackLocations, c.opts.Seed*7+2)
-	target.ReleaseRig(scratch)
+	c.ramTargets = fi.SampleTargets(fi.EnumerateRAMTargets(scratch.System(), scratch.Mem()), c.ramLocations, c.opts.Seed*7+1)
+	c.stackTargets = fi.SampleTargets(fi.EnumerateStackTargets(scratch.Mem()), c.stackLocations, c.opts.Seed*7+2)
+	c.t.Release(scratch)
 	return nil
 }
 
@@ -395,7 +400,7 @@ func (c *internalCoverageCampaign) prepare() error {
 	}
 	profs := make([]*memmap.Liveness, len(c.opts.Cases))
 	for ci := range c.opts.Cases {
-		l, err := livenessProfile(c.opts, c.golds[ci], false)
+		l, err := livenessProfile(c.opts, c.t, c.golds[ci], false)
 		if err != nil {
 			return err
 		}
@@ -438,7 +443,7 @@ func (c *internalCoverageCampaign) round(name string, st AdaptiveRound) (*roundC
 }
 
 func (c *internalCoverageCampaign) Execute(_ context.Context, j memJob, _ int) (memOutcome, error) {
-	detected, failed, err := internalRun(c.opts, c.golds[j.caseIdx], j.tgt)
+	detected, failed, err := internalRun(c.opts, c.t, c.golds[j.caseIdx], j.tgt)
 	if err != nil {
 		return memOutcome{}, err
 	}
@@ -447,9 +452,9 @@ func (c *internalCoverageCampaign) Execute(_ context.Context, j memJob, _ int) (
 
 func (c *internalCoverageCampaign) Reduce(plan []memJob, results []memOutcome) (*InternalCoverageResult, error) {
 	res := &InternalCoverageResult{
-		RAM:            newRegionCoverage("RAM"),
-		Stack:          newRegionCoverage("Stack"),
-		Total:          newRegionCoverage("Total"),
+		RAM:            newRegionCoverage(c.t, "RAM"),
+		Stack:          newRegionCoverage(c.t, "Stack"),
+		Total:          newRegionCoverage(c.t, "Total"),
 		RAMLocations:   len(c.ramTargets),
 		StackLocations: len(c.stackTargets),
 	}
@@ -459,8 +464,8 @@ func (c *internalCoverageCampaign) Reduce(plan []memJob, results []memOutcome) (
 		if j.stack {
 			region = &res.Stack
 		}
-		region.accumulateN(out.DetectedAt, out.Failed, c.opts.PeriodicMs, j.weight)
-		res.Total.accumulateN(out.DetectedAt, out.Failed, c.opts.PeriodicMs, j.weight)
+		region.accumulateN(c.t, out.DetectedAt, out.Failed, c.opts.PeriodicMs, j.weight)
+		res.Total.accumulateN(c.t, out.DetectedAt, out.Failed, c.opts.PeriodicMs, j.weight)
 	}
 	res.PlannedRuns = res.Total.Runs
 	res.ExecutedRuns = len(plan)
@@ -476,7 +481,7 @@ func (c *internalCoverageCampaign) Describe(j memJob, index int) string {
 	if j.stack {
 		region = "stack"
 	}
-	return describeRun(c.opts, "internal", index, j.caseIdx) + " region=" + region
+	return describeRun(c.t, c.opts, "internal", index, j.caseIdx) + " region=" + region
 }
 
 // InternalCoverage runs the Section 7 campaign: single bit-flips
@@ -509,22 +514,26 @@ func newInternalCoverageCampaign(ctx context.Context, opts Options, ramLocations
 	if ramLocations < 1 || stackLocations < 1 {
 		return nil, fmt.Errorf("experiment: location counts must be >= 1")
 	}
-	golds, err := goldens(ctx, opts)
+	t, err := resolvedTarget(opts)
+	if err != nil {
+		return nil, err
+	}
+	golds, err := goldens(ctx, opts, t)
 	if err != nil {
 		return nil, err
 	}
 	return &internalCoverageCampaign{
-		opts: opts, ramLocations: ramLocations, stackLocations: stackLocations, golds: golds,
+		opts: opts, t: t, ramLocations: ramLocations, stackLocations: stackLocations, golds: golds,
 	}, nil
 }
 
-func newRegionCoverage(name string) RegionCoverage {
+func newRegionCoverage(t sut.Target, name string) RegionCoverage {
 	rc := RegionCoverage{
 		Region:         name,
 		PerSet:         make(map[string]SetCoverage),
 		SetLatenciesMs: make(map[string][]float64),
 	}
-	for set := range setMembers() {
+	for set := range setMembers(t) {
 		rc.PerSet[set] = SetCoverage{}
 	}
 	return rc
@@ -534,7 +543,7 @@ func newRegionCoverage(name string) RegionCoverage {
 // accumulation behind equivalence-class pruning, where one executed
 // representative stands for n provably-identical runs. n below 1 counts
 // as 1 (plain accumulation).
-func (rc *RegionCoverage) accumulateN(detectedAt map[string]int64, failed bool, injectedAt int64, n int) {
+func (rc *RegionCoverage) accumulateN(t sut.Target, detectedAt map[string]int64, failed bool, injectedAt int64, n int) {
 	if n < 1 {
 		n = 1
 	}
@@ -542,7 +551,7 @@ func (rc *RegionCoverage) accumulateN(detectedAt map[string]int64, failed bool, 
 	if failed {
 		rc.Failures += n
 	}
-	for set, members := range setMembers() {
+	for set, members := range setMembers(t) {
 		first := int64(-1)
 		for _, ea := range members {
 			if at, ok := detectedAt[ea]; ok && (first < 0 || at < first) {
@@ -572,29 +581,28 @@ func (rc *RegionCoverage) accumulateN(detectedAt map[string]int64, failed bool, 
 // internalRun executes one severe-model run: periodic flips of one
 // memory target, full EA bank, failure classification. It returns each
 // fired assertion's first detection time.
-func internalRun(opts Options, g *golden, tgt fi.MemTarget) (map[string]int64, bool, error) {
-	rig, err := target.AcquireRig(g.tc.Config(caseSeed(opts, g.tc)))
+func internalRun(opts Options, t sut.Target, g *golden, tgt fi.MemTarget) (map[string]int64, bool, error) {
+	rig, err := t.Acquire(g.tc, t.CaseSeed(opts.Seed, g.tc), sut.Variant{})
 	if err != nil {
 		return nil, false, err
 	}
-	defer target.ReleaseRig(rig)
-	bank, err := target.NewBank(rig, target.EHSet())
+	defer t.Release(rig)
+	bank, err := sut.NewBank(t, rig, t.EHSet())
 	if err != nil {
 		return nil, false, err
 	}
-	rig.Sched.OnPostSlot(bank.Hook)
+	rig.Sched().OnPostSlot(bank.Hook)
 
-	pi, err := fi.NewPeriodicInjector(tgt, opts.PeriodicMs, opts.PeriodicMs, rig.Bus, rig.Mem)
+	pi, err := fi.NewPeriodicInjector(tgt, opts.PeriodicMs, opts.PeriodicMs, rig.Bus(), rig.Mem())
 	if err != nil {
 		return nil, false, err
 	}
-	rig.Sched.OnPreSlot(pi.Hook)
-	rig.Mem.OnRead(pi.MemHook())
+	rig.Sched().OnPreSlot(pi.Hook)
+	rig.Mem().OnRead(pi.MemHook())
 
-	arrested, err := rig.RunUntilArrested(g.horizonMs + opts.GraceMs)
+	done, err := rig.RunUntilDone(g.horizonMs + opts.GraceMs)
 	if err != nil {
 		return nil, false, err
 	}
-	rep := failure.Classify(rig.Plant, arrested, failure.DefaultLimits())
-	return detectionTimes(bank), rep.Failed(), nil
+	return detectionTimes(bank), rig.Failed(done), nil
 }

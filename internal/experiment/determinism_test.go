@@ -6,6 +6,7 @@ import (
 	"sort"
 	"testing"
 
+	"repro/internal/sut"
 	"repro/internal/target"
 )
 
@@ -13,10 +14,10 @@ import (
 // spanning the mass/velocity envelope, full horizons.
 func determinismOpts(workers int) Options {
 	opts := DefaultOptions(11)
-	opts.Cases = []target.TestCase{
-		{ID: 1, MassKg: 8000, EngageVelocityMps: 40},
-		{ID: 2, MassKg: 12000, EngageVelocityMps: 65},
-		{ID: 3, MassKg: 20000, EngageVelocityMps: 80},
+	opts.Cases = []sut.Case{
+		{ID: 1, P1: 8000, P2: 40},
+		{ID: 2, P1: 12000, P2: 65},
+		{ID: 3, P1: 20000, P2: 80},
 	}
 	opts.Workers = workers
 	return opts

@@ -11,6 +11,13 @@
 // points here only build plans and fold results. Results are invariant
 // across executors, worker counts and shard counts — all randomness is
 // keyed by plan index, never by scheduling.
+//
+// Campaigns are generic over the system under test: everything
+// target-specific — rig construction, test cases, assertion banks,
+// completion and failure semantics, seed policies — is reached through
+// the sut.Target seam, selected by Options.Target from the process-wide
+// registry (docs/targets.md). The default is the paper's arrestment
+// system; the campaigns run unchanged against any registered entry.
 package experiment
 
 import (
@@ -23,7 +30,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/campaign/dispatch"
 	"repro/internal/model"
-	"repro/internal/target"
+	"repro/internal/sut"
 	"repro/internal/trace"
 )
 
@@ -54,8 +61,12 @@ type DispatchConfig struct {
 
 // Options configures a campaign.
 type Options struct {
-	// Cases is the test-case workload (the paper's 25 arrestments).
-	Cases []target.TestCase
+	// Target names the registered system under test ("" selects
+	// sut.DefaultTarget, the arrestment system).
+	Target string
+	// Cases is the test-case workload (the paper's 25 arrestments for
+	// the default target).
+	Cases []sut.Case
 	// Seed drives all campaign randomness (bit and time choices) and
 	// plant noise. Same seed, same results, regardless of Workers.
 	Seed int64
@@ -101,17 +112,39 @@ type Options struct {
 	execOverride campaign.Executor
 }
 
-// DefaultOptions returns the full-size campaign configuration.
+// DefaultOptions returns the full-size campaign configuration for the
+// default (arrestment) target.
 func DefaultOptions(seed int64) Options {
+	opts, err := DefaultOptionsFor(sut.DefaultTarget, seed)
+	if err != nil {
+		panic(err) // the default target is always registered
+	}
+	return opts
+}
+
+// DefaultOptionsFor returns the full-size campaign configuration of a
+// registered target: its workload grid and horizon defaults.
+func DefaultOptionsFor(name string, seed int64) (Options, error) {
+	t, err := sut.Lookup(name)
+	if err != nil {
+		return Options{}, err
+	}
+	d := t.Defaults()
 	return Options{
-		Cases:      target.DefaultTestCases(),
+		Target:     t.Name(),
+		Cases:      t.DefaultCases(),
 		Seed:       seed,
 		Workers:    8,
-		MaxRunMs:   30_000,
-		TailMs:     500,
-		GraceMs:    5_000,
-		PeriodicMs: 20,
-	}
+		MaxRunMs:   d.MaxRunMs,
+		TailMs:     d.TailMs,
+		GraceMs:    d.GraceMs,
+		PeriodicMs: d.PeriodicMs,
+	}, nil
+}
+
+// resolvedTarget looks the options' target up in the registry.
+func resolvedTarget(opts Options) (sut.Target, error) {
+	return sut.Lookup(opts.Target)
 }
 
 // Validate reports whether the options are usable.
@@ -168,59 +201,44 @@ func (o Options) executor() campaign.Executor {
 
 // golden is the reference data of one test case.
 type golden struct {
-	tc        target.TestCase
+	tc        sut.Case
 	trace     *trace.Trace
 	arrestMs  int64
 	horizonMs int64
 }
 
-// caseSeed derives the plant-noise seed of a test case. Golden and
-// injection runs of the same case share it, so sensor noise replays
-// identically — the precondition for golden-run comparison.
-func caseSeed(opts Options, tc target.TestCase) int64 {
-	return opts.Seed*1009 + int64(tc.ID)
-}
-
-// runSeed derives the randomness seed of one injection run.
-func runSeed(opts Options, campaign string, index int) int64 {
-	h := opts.Seed
-	for _, c := range campaign {
-		h = h*131 + int64(c)
-	}
-	return h*1_000_003 + int64(index)
-}
-
 // describeRun renders one run's identity for engine diagnostics: the
 // campaign-derived seed and the test case a failing run belonged to.
-func describeRun(opts Options, name string, index, caseIdx int) string {
+func describeRun(t sut.Target, opts Options, name string, index, caseIdx int) string {
 	if caseIdx < 0 || caseIdx >= len(opts.Cases) {
-		return fmt.Sprintf("seed=%d", runSeed(opts, name, index))
+		return fmt.Sprintf("seed=%d", t.RunSeed(opts.Seed, name, index))
 	}
 	tc := opts.Cases[caseIdx]
-	return fmt.Sprintf("seed=%d case=%d mass=%.0fkg v=%.0fm/s",
-		runSeed(opts, name, index), tc.ID, tc.MassKg, tc.EngageVelocityMps)
+	return fmt.Sprintf("seed=%d case=%d %s",
+		t.RunSeed(opts.Seed, name, index), tc.ID, t.DescribeCase(tc))
 }
 
 // runGolden executes the fault-free reference run of a test case,
 // recording every signal at the 1 ms slot period. The recorded trace is
 // retained (goldens are cached and compared against for the rest of the
 // process), so the recorder is deliberately not pooled.
-func runGolden(opts Options, tc target.TestCase) (*golden, error) {
-	rig, err := target.AcquireRig(tc.Config(caseSeed(opts, tc)))
+func runGolden(opts Options, t sut.Target, tc sut.Case) (*golden, error) {
+	rig, err := t.Acquire(tc, t.CaseSeed(opts.Seed, tc), sut.Variant{})
 	if err != nil {
 		return nil, err
 	}
-	defer target.ReleaseRig(rig)
-	rec := trace.NewRecorder(rig.Bus, target.AllSignals(), 1, opts.MaxRunMs)
-	rig.Sched.OnPostSlot(rec.Hook)
-	arrested, err := rig.RunUntilArrested(opts.MaxRunMs)
+	defer t.Release(rig)
+	rec := trace.NewRecorder(rig.Bus(), t.AllSignals(), 1, opts.MaxRunMs)
+	rig.Sched().OnPostSlot(rec.Hook)
+	done, err := rig.RunUntilDone(opts.MaxRunMs)
 	if err != nil {
 		return nil, err
 	}
-	if !arrested {
-		return nil, fmt.Errorf("experiment: golden run of %v did not arrest within %d ms", tc, opts.MaxRunMs)
+	if !done {
+		return nil, fmt.Errorf("experiment: golden run of case %d (%s) did not complete within %d ms",
+			tc.ID, t.DescribeCase(tc), opts.MaxRunMs)
 	}
-	arrest := rig.Sched.NowMs()
+	arrest := rig.Sched().NowMs()
 	if err := rig.RunFor(opts.TailMs); err != nil {
 		return nil, err
 	}
@@ -228,7 +246,7 @@ func runGolden(opts Options, tc target.TestCase) (*golden, error) {
 		tc:        tc,
 		trace:     rec.Trace(),
 		arrestMs:  arrest,
-		horizonMs: rig.Sched.NowMs(),
+		horizonMs: rig.Sched().NowMs(),
 	}, nil
 }
 
@@ -237,7 +255,7 @@ func runGolden(opts Options, tc target.TestCase) (*golden, error) {
 // process-wide GoldenCache. Misses are sharded by the same case key as
 // injection runs, so a sharded worker computes exactly the goldens its
 // own shard needs.
-func goldens(ctx context.Context, opts Options) ([]*golden, error) {
+func goldens(ctx context.Context, opts Options, t sut.Target) ([]*golden, error) {
 	out := make([]*golden, len(opts.Cases))
 	var missing []int
 	for i, tc := range opts.Cases {
@@ -256,7 +274,7 @@ func goldens(ctx context.Context, opts Options) ([]*golden, error) {
 	}
 	err := opts.executor().Run(ctx, len(missing), keys, func(j int) error {
 		i := missing[j]
-		g, err := runGolden(opts, opts.Cases[i])
+		g, err := runGolden(opts, t, opts.Cases[i])
 		if err != nil {
 			return fmt.Errorf("golden run of case %d: %w", opts.Cases[i].ID, err)
 		}
@@ -270,6 +288,24 @@ func goldens(ctx context.Context, opts Options) ([]*golden, error) {
 		globalGoldens.store(keyFor(opts, opts.Cases[i]), out[i])
 	}
 	return out, nil
+}
+
+// probePort resolves the target's probe input to the single consuming
+// port the sensor-side studies (tightness, model sensitivity,
+// integration) corrupt, plus the probed signal's declaration.
+func probePort(t sut.Target) (model.PortRef, *model.Signal, error) {
+	sys := t.System()
+	in := t.Probe().Input
+	consumers := sys.ConsumersOf(in)
+	if len(consumers) != 1 {
+		return model.PortRef{}, nil, fmt.Errorf("experiment: probe input %s of target %s has %d consumers",
+			in, t.Name(), len(consumers))
+	}
+	sig, ok := sys.Signal(in)
+	if !ok {
+		return model.PortRef{}, nil, fmt.Errorf("experiment: target %s probe signal %s not in system", t.Name(), in)
+	}
+	return consumers[0], sig, nil
 }
 
 // pickBit draws a uniformly random bit index for a signal.

@@ -6,14 +6,15 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/sut"
 	"repro/internal/target"
 )
 
 func smallOpts() Options {
 	opts := DefaultOptions(1)
-	opts.Cases = []target.TestCase{
-		{ID: 1, MassKg: 8000, EngageVelocityMps: 50},
-		{ID: 2, MassKg: 16000, EngageVelocityMps: 80},
+	opts.Cases = []sut.Case{
+		{ID: 1, P1: 8000, P2: 50},
+		{ID: 2, P1: 16000, P2: 80},
 	}
 	opts.Workers = 8
 	return opts
@@ -47,7 +48,11 @@ func TestOptionsValidate(t *testing.T) {
 
 func TestGoldenRunsProduceAlignedTraces(t *testing.T) {
 	opts := smallOpts()
-	golds, err := goldens(context.Background(), opts)
+	tgt, err := resolvedTarget(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golds, err := goldens(context.Background(), opts, tgt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,12 +7,11 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/erm"
-	"repro/internal/failure"
 	"repro/internal/fi"
 	"repro/internal/memmap"
 	"repro/internal/model"
 	"repro/internal/stats"
-	"repro/internal/target"
+	"repro/internal/sut"
 )
 
 // ModelSensitivityResult compares detection coverage across input error
@@ -59,6 +58,7 @@ type sensOutcome struct {
 type sensitivityCampaign struct {
 	campaign.JSONWire[sensOutcome]
 	opts     Options
+	t        sut.Target
 	perModel int
 	models   []fi.Corruption
 	golds    []*golden
@@ -85,18 +85,18 @@ func (c *sensitivityCampaign) Plan() ([]sensJob, error) {
 }
 
 func (c *sensitivityCampaign) Execute(_ context.Context, j sensJob, index int) (sensOutcome, error) {
-	rng := rand.New(rand.NewSource(runSeed(c.opts, "modsens", index)))
+	rng := rand.New(rand.NewSource(c.t.RunSeed(c.opts.Seed, "modsens", index)))
 	corr := c.models[j.modelIdx]
 	corr.Port = c.port
 	g := c.golds[j.caseIdx]
-	corr.FromMs = rng.Int63n(g.arrestMs)
+	corr.FromMs = rng.Int63n(c.t.InjectWindow(g.arrestMs))
 	switch corr.Kind {
 	case fi.CorruptBurst:
 		corr.Bit = uint8(rng.Intn(int(c.sig.Type.Width) - int(corr.BurstWidth) + 1))
 	default:
 		corr.Bit = uint8(rng.Intn(int(c.sig.Type.Width)))
 	}
-	active, detected, err := corruptionCoverageRun(c.opts, g, corr)
+	active, detected, err := corruptionCoverageRun(c.opts, c.t, g, corr)
 	if err != nil {
 		return sensOutcome{}, err
 	}
@@ -111,8 +111,8 @@ func (c *sensitivityCampaign) Reduce(plan []sensJob, results []sensOutcome) (*Mo
 	}
 	for _, m := range c.models {
 		res.Models = append(res.Models, m.Kind.String())
-		sets := make(map[string]stats.Proportion, len(setMembers()))
-		for set := range setMembers() {
+		sets := make(map[string]stats.Proportion, len(setMembers(c.t)))
+		for set := range setMembers(c.t) {
 			sets[set] = stats.Proportion{}
 		}
 		res.PerModel[m.Kind.String()] = sets
@@ -124,7 +124,7 @@ func (c *sensitivityCampaign) Reduce(plan []sensJob, results []sensOutcome) (*Mo
 		}
 		name := c.models[j.modelIdx].Kind.String()
 		res.ActivePerModel[name]++
-		for set, members := range setMembers() {
+		for set, members := range setMembers(c.t) {
 			hit := false
 			for _, ea := range members {
 				if _, ok := out.DetectedAt[ea]; ok {
@@ -145,13 +145,14 @@ func (c *sensitivityCampaign) ShardKey(j sensJob, _ int) uint64 {
 }
 
 func (c *sensitivityCampaign) Describe(j sensJob, index int) string {
-	return describeRun(c.opts, "modsens", index, j.caseIdx) +
+	return describeRun(c.t, c.opts, "modsens", index, j.caseIdx) +
 		" model=" + c.models[j.modelIdx].Kind.String()
 }
 
-// ErrorModelSensitivity injects perModel errors into the PACNT input
-// (the one input whose errors are detectable at all) under each error
-// model and measures EH/PA coverage.
+// ErrorModelSensitivity injects perModel errors into the target's probe
+// input (for the arrestment system, PACNT — the one input whose errors
+// are detectable at all) under each error model and measures EH/PA
+// coverage.
 func ErrorModelSensitivity(ctx context.Context, opts Options, perModel int) (*ModelSensitivityResult, error) {
 	c, err := newSensitivityCampaign(ctx, opts, perModel)
 	if err != nil {
@@ -167,41 +168,43 @@ func newSensitivityCampaign(ctx context.Context, opts Options, perModel int) (*s
 	if perModel < 1 {
 		return nil, fmt.Errorf("experiment: perModel %d must be >= 1", perModel)
 	}
-	golds, err := goldens(ctx, opts)
+	t, err := resolvedTarget(opts)
 	if err != nil {
 		return nil, err
 	}
-	sys := target.SharedSystem()
-	consumers := sys.ConsumersOf(target.SigPACNT)
-	if len(consumers) != 1 {
-		return nil, fmt.Errorf("experiment: PACNT has %d consumers", len(consumers))
+	golds, err := goldens(ctx, opts, t)
+	if err != nil {
+		return nil, err
 	}
-	sig, _ := sys.Signal(target.SigPACNT)
+	port, sig, err := probePort(t)
+	if err != nil {
+		return nil, err
+	}
 	return &sensitivityCampaign{
-		opts: opts, perModel: perModel, models: sensitivityModels(),
-		golds: golds, port: consumers[0], sig: sig,
+		opts: opts, t: t, perModel: perModel, models: sensitivityModels(),
+		golds: golds, port: port, sig: sig,
 	}, nil
 }
 
 // corruptionCoverageRun is coverageRun generalized over error models.
-func corruptionCoverageRun(opts Options, g *golden, c fi.Corruption) (bool, map[string]int64, error) {
-	rig, err := target.AcquireRig(g.tc.Config(caseSeed(opts, g.tc)))
+func corruptionCoverageRun(opts Options, t sut.Target, g *golden, c fi.Corruption) (bool, map[string]int64, error) {
+	rig, err := t.Acquire(g.tc, t.CaseSeed(opts.Seed, g.tc), sut.Variant{})
 	if err != nil {
 		return false, nil, err
 	}
-	defer target.ReleaseRig(rig)
-	bank, err := target.NewBank(rig, target.EHSet())
+	defer t.Release(rig)
+	bank, err := sut.NewBank(t, rig, t.EHSet())
 	if err != nil {
 		return false, nil, err
 	}
-	rig.Sched.OnPostSlot(bank.Hook)
+	rig.Sched().OnPostSlot(bank.Hook)
 
-	ci, err := fi.NewCorruptionInjector(c, rig.Bus)
+	ci, err := fi.NewCorruptionInjector(c, rig.Bus())
 	if err != nil {
 		return false, nil, err
 	}
-	rig.Sched.OnPreSlot(ci.Hook)
-	rig.Bus.OnRead(ci.ReadHook())
+	rig.Sched().OnPreSlot(ci.Hook)
+	rig.Bus().OnRead(ci.ReadHook())
 
 	if err := rig.RunFor(g.horizonMs); err != nil {
 		return false, nil, err
@@ -266,6 +269,7 @@ type recOutcome struct {
 type recoveryCampaign struct {
 	campaign.JSONWire[recOutcome]
 	opts                         Options
+	t                            sut.Target
 	ramLocations, stackLocations int
 	specs                        []erm.Spec
 	golds                        []*golden
@@ -275,13 +279,13 @@ type recoveryCampaign struct {
 func (c *recoveryCampaign) Name() string { return "recovery" }
 
 func (c *recoveryCampaign) Plan() ([]recJob, error) {
-	scratch, err := target.AcquireRig(c.opts.Cases[0].Config(1))
+	scratch, err := c.t.Acquire(c.opts.Cases[0], 1, sut.Variant{})
 	if err != nil {
 		return nil, err
 	}
-	c.ramTargets = fi.SampleTargets(fi.EnumerateRAMTargets(scratch.Sys, scratch.Mem), c.ramLocations, c.opts.Seed*7+1)
-	c.stackTargets = fi.SampleTargets(fi.EnumerateStackTargets(scratch.Mem), c.stackLocations, c.opts.Seed*7+2)
-	target.ReleaseRig(scratch)
+	c.ramTargets = fi.SampleTargets(fi.EnumerateRAMTargets(scratch.System(), scratch.Mem()), c.ramLocations, c.opts.Seed*7+1)
+	c.stackTargets = fi.SampleTargets(fi.EnumerateStackTargets(scratch.Mem()), c.stackLocations, c.opts.Seed*7+2)
+	c.t.Release(scratch)
 
 	if c.opts.Adaptive {
 		return c.prunedPlan()
@@ -313,7 +317,7 @@ func (c *recoveryCampaign) prunedPlan() ([]recJob, error) {
 	for arm := 0; arm < 3; arm++ {
 		profs[arm] = make([]*memmap.Liveness, len(c.opts.Cases))
 		for ci := range c.opts.Cases {
-			l, err := recoveryProfile(c.opts, c.golds[ci], c.specs, arm)
+			l, err := recoveryProfile(c.opts, c.t, c.golds[ci], c.specs, arm)
 			if err != nil {
 				return nil, err
 			}
@@ -369,7 +373,7 @@ func (c *recoveryCampaign) Execute(_ context.Context, j recJob, _ int) (recOutco
 	if j.arm == 1 {
 		ws = c.specs
 	}
-	failed, rec, err := severeRun(c.opts, c.golds[j.caseIdx], j.tgt, ws, j.arm == 2)
+	failed, rec, err := severeRun(c.opts, c.t, c.golds[j.caseIdx], j.tgt, ws, j.arm == 2)
 	if err != nil {
 		return recOutcome{}, err
 	}
@@ -418,13 +422,13 @@ func (c *recoveryCampaign) ShardKey(j recJob, _ int) uint64 {
 
 func (c *recoveryCampaign) Describe(j recJob, index int) string {
 	arm := [...]string{"baseline", "wrapped", "hardened"}[j.arm]
-	return describeRun(c.opts, "recovery", index, j.caseIdx) + " arm=" + arm
+	return describeRun(c.t, c.opts, "recovery", index, j.caseIdx) + " arm=" + arm
 }
 
 // RecoveryStudy runs the internal error model three times over the same
 // sampled locations — without recovery, with the containment wrappers,
 // and with the hardened DIST_S — and compares failure rates. specs
-// defaults to target.DefaultERMSpecs() when nil.
+// defaults to the target's ERMSpecs() when nil.
 func RecoveryStudy(ctx context.Context, opts Options, ramLocations, stackLocations int, specs []erm.Spec) (*RecoveryStudyResult, error) {
 	c, err := newRecoveryCampaign(ctx, opts, ramLocations, stackLocations, specs)
 	if err != nil {
@@ -440,15 +444,19 @@ func newRecoveryCampaign(ctx context.Context, opts Options, ramLocations, stackL
 	if ramLocations < 1 || stackLocations < 1 {
 		return nil, fmt.Errorf("experiment: location counts must be >= 1")
 	}
-	if specs == nil {
-		specs = target.DefaultERMSpecs()
+	t, err := resolvedTarget(opts)
+	if err != nil {
+		return nil, err
 	}
-	golds, err := goldens(ctx, opts)
+	if specs == nil {
+		specs = t.ERMSpecs()
+	}
+	golds, err := goldens(ctx, opts, t)
 	if err != nil {
 		return nil, err
 	}
 	return &recoveryCampaign{
-		opts: opts, ramLocations: ramLocations, stackLocations: stackLocations,
+		opts: opts, t: t, ramLocations: ramLocations, stackLocations: stackLocations,
 		specs: specs, golds: golds,
 	}, nil
 }
@@ -456,36 +464,33 @@ func newRecoveryCampaign(ctx context.Context, opts Options, ramLocations, stackL
 // severeRun executes one internal-model run, optionally with recovery
 // wrappers and/or the hardened DIST_S deployed, and classifies the
 // outcome.
-func severeRun(opts Options, g *golden, tgt fi.MemTarget, wrapSpecs []erm.Spec, hardened bool) (bool, int, error) {
-	cfg := g.tc.Config(caseSeed(opts, g.tc))
-	cfg.HardenedDistS = hardened
-	rig, err := target.AcquireRig(cfg)
+func severeRun(opts Options, t sut.Target, g *golden, tgt fi.MemTarget, wrapSpecs []erm.Spec, hardened bool) (bool, int, error) {
+	rig, err := t.Acquire(g.tc, t.CaseSeed(opts.Seed, g.tc), sut.Variant{Hardened: hardened})
 	if err != nil {
 		return false, 0, err
 	}
-	defer target.ReleaseRig(rig)
+	defer t.Release(rig)
 	var wrappers *erm.Bank
 	if len(wrapSpecs) > 0 {
-		wrappers, err = target.NewERMBank(rig, wrapSpecs)
+		wrappers, err = sut.NewERMBank(rig, wrapSpecs)
 		if err != nil {
 			return false, 0, err
 		}
 	}
-	pi, err := fi.NewPeriodicInjector(tgt, opts.PeriodicMs, opts.PeriodicMs, rig.Bus, rig.Mem)
+	pi, err := fi.NewPeriodicInjector(tgt, opts.PeriodicMs, opts.PeriodicMs, rig.Bus(), rig.Mem())
 	if err != nil {
 		return false, 0, err
 	}
-	rig.Sched.OnPreSlot(pi.Hook)
-	rig.Mem.OnRead(pi.MemHook())
+	rig.Sched().OnPreSlot(pi.Hook)
+	rig.Mem().OnRead(pi.MemHook())
 
-	arrested, err := rig.RunUntilArrested(g.horizonMs + opts.GraceMs)
+	done, err := rig.RunUntilDone(g.horizonMs + opts.GraceMs)
 	if err != nil {
 		return false, 0, err
 	}
-	rep := failure.Classify(rig.Plant, arrested, failure.DefaultLimits())
 	recoveries := 0
 	if wrappers != nil {
 		recoveries = wrappers.TotalRecoveries()
 	}
-	return rep.Failed(), recoveries, nil
+	return rig.Failed(done), recoveries, nil
 }

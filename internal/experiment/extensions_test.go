@@ -7,6 +7,7 @@ import (
 	"repro/internal/fi"
 	"repro/internal/memmap"
 	"repro/internal/model"
+	"repro/internal/sut"
 	"repro/internal/target"
 )
 
@@ -87,17 +88,21 @@ func TestHardenedDistSReducesDominantFailures(t *testing.T) {
 		t.Skip("medium campaign")
 	}
 	opts := smallOpts()
-	golds, err := goldens(context.Background(), opts)
+	st, err := resolvedTarget(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	scratch, err := target.NewRig(opts.Cases[0].Config(1))
+	golds, err := goldens(context.Background(), opts, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := st.Acquire(opts.Cases[0], 1, sut.Variant{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var cell memmap.CellInfo
 	found := false
-	for _, c := range scratch.Mem.CellsIn(memmap.RegionRAM) {
+	for _, c := range scratch.Mem().CellsIn(memmap.RegionRAM) {
 		if c.Owner == string(target.ModDistS) && c.Name == "prevPACNT" {
 			cell, found = c, true
 		}
@@ -109,11 +114,11 @@ func TestHardenedDistSReducesDominantFailures(t *testing.T) {
 	for b := uint8(0); b < cell.Type.Width; b++ {
 		tgt := fi.MemTarget{Kind: fi.TargetRAMCell, Cell: cell.ID, Bit: b}
 		for gi := range golds {
-			f1, _, err := severeRun(opts, golds[gi], tgt, nil, false)
+			f1, _, err := severeRun(opts, st, golds[gi], tgt, nil, false)
 			if err != nil {
 				t.Fatal(err)
 			}
-			f2, _, err := severeRun(opts, golds[gi], tgt, nil, true)
+			f2, _, err := severeRun(opts, st, golds[gi], tgt, nil, true)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -10,7 +10,7 @@ import (
 	"repro/internal/fi"
 	"repro/internal/model"
 	"repro/internal/stats"
-	"repro/internal/target"
+	"repro/internal/sut"
 )
 
 // IntegrationPoint compares the two EA integration modes for one
@@ -55,6 +55,7 @@ type integOutcome struct {
 type integrationCampaign struct {
 	campaign.JSONWire[integOutcome]
 	opts       Options
+	t          sut.Target
 	perSignal  int
 	golds      []*golden
 	port       model.PortRef
@@ -81,40 +82,40 @@ func (c *integrationCampaign) Plan() ([]integJob, error) {
 
 func (c *integrationCampaign) Execute(_ context.Context, j integJob, _ int) (integOutcome, error) {
 	g := c.golds[j.caseIdx]
-	rig, err := target.AcquireRig(g.tc.Config(caseSeed(c.opts, g.tc)))
+	rig, err := c.t.Acquire(g.tc, c.t.CaseSeed(c.opts.Seed, g.tc), sut.Variant{})
 	if err != nil {
 		return integOutcome{}, err
 	}
-	defer target.ReleaseRig(rig)
-	sampledBank, err := ea.NewBank(rig.Bus, target.ControlPeriodMs, []ea.Spec{c.ea4})
+	defer c.t.Release(rig)
+	sampledBank, err := ea.NewBank(rig.Bus(), c.t.ControlPeriodMs(), []ea.Spec{c.ea4})
 	if err != nil {
 		return integOutcome{}, err
 	}
-	rig.Sched.OnPostSlot(sampledBank.Hook)
-	writeBank, err := ea.NewWriteBank(rig.Bus, []ea.Spec{c.ea4})
+	rig.Sched().OnPostSlot(sampledBank.Hook)
+	writeBank, err := ea.NewWriteBank(rig.Bus(), []ea.Spec{c.ea4})
 	if err != nil {
 		return integOutcome{}, err
 	}
-	rig.Sched.OnPreSlot(writeBank.Hook)
-	rig.Bus.OnWrite(writeBank.WriteHook())
-	tightBank, err := ea.NewWriteBank(rig.Bus, []ea.Spec{c.tight})
+	rig.Sched().OnPreSlot(writeBank.Hook)
+	rig.Bus().OnWrite(writeBank.WriteHook())
+	tightBank, err := ea.NewWriteBank(rig.Bus(), []ea.Spec{c.tight})
 	if err != nil {
 		return integOutcome{}, err
 	}
-	rig.Sched.OnPreSlot(tightBank.Hook)
-	rig.Bus.OnWrite(tightBank.WriteHook())
+	rig.Sched().OnPreSlot(tightBank.Hook)
+	rig.Bus().OnWrite(tightBank.WriteHook())
 
 	active := true
 	if !j.golden {
-		rng := rand.New(rand.NewSource(runSeed(c.opts, "integ", j.caseIdx*1_000_000+j.k)))
+		rng := rand.New(rand.NewSource(c.t.RunSeed(c.opts.Seed, "integ", j.caseIdx*1_000_000+j.k)))
 		flip := &fi.ReadFlip{
 			Port:   c.port,
 			Bit:    uint8(rng.Intn(int(c.sig.Type.Width))),
-			FromMs: rng.Int63n(g.arrestMs),
+			FromMs: rng.Int63n(c.t.InjectWindow(g.arrestMs)),
 		}
 		inj := fi.NewInjector(flip)
-		rig.Sched.OnPreSlot(inj.Hook)
-		rig.Bus.OnRead(inj.ReadHook())
+		rig.Sched().OnPreSlot(inj.Hook)
+		rig.Bus().OnRead(inj.ReadHook())
 		if err := rig.RunFor(g.horizonMs); err != nil {
 			return integOutcome{}, err
 		}
@@ -162,7 +163,7 @@ func (c *integrationCampaign) Describe(j integJob, index int) string {
 	if j.golden {
 		kind = "golden"
 	}
-	return describeRun(c.opts, "integ", index, j.caseIdx) + " " + kind
+	return describeRun(c.t, c.opts, "integ", index, j.caseIdx) + " " + kind
 }
 
 // EAIntegrationStudy measures how much detection the sampling
@@ -185,31 +186,35 @@ func newIntegrationCampaign(ctx context.Context, opts Options, perSignal int) (*
 	if perSignal < 1 {
 		return nil, fmt.Errorf("experiment: perSignal %d must be >= 1", perSignal)
 	}
-	golds, err := goldens(ctx, opts)
+	t, err := resolvedTarget(opts)
 	if err != nil {
 		return nil, err
 	}
-	sys := target.SharedSystem()
-	consumers := sys.ConsumersOf(target.SigPACNT)
-	if len(consumers) != 1 {
-		return nil, fmt.Errorf("experiment: PACNT has %d consumers", len(consumers))
+	golds, err := goldens(ctx, opts, t)
+	if err != nil {
+		return nil, err
 	}
-	sig, _ := sys.Signal(target.SigPACNT)
+	port, sig, err := probePort(t)
+	if err != nil {
+		return nil, err
+	}
 
-	ea4 := func() ea.Spec {
-		for _, s := range target.AllEASpecs() {
-			if s.Name == target.EA4 {
-				return s
-			}
-		}
-		panic("EA4 spec missing")
-	}()
+	// The sampled/inline arms deploy the probe guard as published; the
+	// tight arm halves its step budget to the per-write legitimate
+	// maximum (for the arrestment target: EA4's 16 pulses per period
+	// down to 8, the hardcoded pre-seam value).
+	ea4 := t.Probe().Guard
 	tight := ea4
-	tight.Name = "EA4i"
-	tight.MaxStep = 8
+	tight.Name += "i"
+	if tight.Kind == ea.KindCounter {
+		tight.MaxStep /= 2
+	} else {
+		tight.MaxUp /= 2
+		tight.MaxDown /= 2
+	}
 
 	return &integrationCampaign{
-		opts: opts, perSignal: perSignal, golds: golds,
-		port: consumers[0], sig: sig, ea4: ea4, tight: tight,
+		opts: opts, t: t, perSignal: perSignal, golds: golds,
+		port: port, sig: sig, ea4: ea4, tight: tight,
 	}, nil
 }

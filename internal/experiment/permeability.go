@@ -13,7 +13,7 @@ import (
 	"repro/internal/fi"
 	"repro/internal/model"
 	"repro/internal/stats"
-	"repro/internal/target"
+	"repro/internal/sut"
 	"repro/internal/trace"
 )
 
@@ -60,6 +60,7 @@ type permOutcome struct {
 type permeabilityCampaign struct {
 	campaign.JSONWire[permOutcome]
 	opts     Options
+	t        sut.Target
 	perInput int
 	golds    []*golden
 	sys      *model.System
@@ -167,7 +168,7 @@ func (c *permeabilityCampaign) round(name string, st AdaptiveRound) (*roundCampa
 }
 
 func (c *permeabilityCampaign) Execute(_ context.Context, j permJob, _ int) (permOutcome, error) {
-	return permeabilityRun(c.opts, c.golds[j.caseIdx], j.mod, j.port, j.sig, j.seq)
+	return permeabilityRun(c.opts, c.t, c.golds[j.caseIdx], j.mod, j.port, j.sig, j.seq)
 }
 
 func (c *permeabilityCampaign) Reduce(plan []permJob, results []permOutcome) (*PermeabilityResult, error) {
@@ -206,7 +207,7 @@ func (c *permeabilityCampaign) ShardKey(j permJob, _ int) uint64 {
 }
 
 func (c *permeabilityCampaign) Describe(j permJob, _ int) string {
-	return describeRun(c.opts, "perm", j.seq, j.caseIdx) + " signal=" + string(j.sig)
+	return describeRun(c.t, c.opts, "perm", j.seq, j.caseIdx) + " signal=" + string(j.sig)
 }
 
 // EstimatePermeability runs the Section 5.3 campaign on the
@@ -245,11 +246,15 @@ func newPermeabilityCampaign(ctx context.Context, opts Options, perInput int) (*
 	if perInput < 1 {
 		return nil, fmt.Errorf("experiment: perInput %d must be >= 1", perInput)
 	}
-	golds, err := goldens(ctx, opts)
+	t, err := resolvedTarget(opts)
 	if err != nil {
 		return nil, err
 	}
-	return &permeabilityCampaign{opts: opts, perInput: perInput, golds: golds, sys: target.SharedSystem()}, nil
+	golds, err := goldens(ctx, opts, t)
+	if err != nil {
+		return nil, err
+	}
+	return &permeabilityCampaign{opts: opts, t: t, perInput: perInput, golds: golds, sys: t.System()}, nil
 }
 
 // sampleRow is one edge of the samples document WriteSamples emits.
@@ -305,24 +310,24 @@ func (r *PermeabilityResult) WriteSamples(path string) error {
 
 // permeabilityRun executes one injection run and evaluates direct output
 // deviations against the golden trace.
-func permeabilityRun(opts Options, g *golden, mod *model.ModuleDecl, port model.PortRef, sig model.SignalID, index int) (permOutcome, error) {
+func permeabilityRun(opts Options, t sut.Target, g *golden, mod *model.ModuleDecl, port model.PortRef, sig model.SignalID, index int) (permOutcome, error) {
 	var out permOutcome
-	rng := rand.New(rand.NewSource(runSeed(opts, "perm", index)))
+	rng := rand.New(rand.NewSource(t.RunSeed(opts.Seed, "perm", index)))
 
-	rig, err := target.AcquireRig(g.tc.Config(caseSeed(opts, g.tc)))
+	rig, err := t.Acquire(g.tc, t.CaseSeed(opts.Seed, g.tc), sut.Variant{})
 	if err != nil {
 		return out, err
 	}
-	defer target.ReleaseRig(rig)
+	defer t.Release(rig)
 
 	flip := &fi.ReadFlip{
 		Port:   port,
-		Bit:    pickBit(rng, rig.Sys, sig),
-		FromMs: rng.Int63n(g.arrestMs),
+		Bit:    pickBit(rng, rig.System(), sig),
+		FromMs: rng.Int63n(t.InjectWindow(g.arrestMs)),
 	}
 	inj := fi.NewInjector(flip)
-	rig.Sched.OnPreSlot(inj.Hook)
-	rig.Bus.OnRead(inj.ReadHook())
+	rig.Sched().OnPreSlot(inj.Hook)
+	rig.Bus().OnRead(inj.ReadHook())
 
 	// Record the module's outputs plus its other pure inputs (inputs
 	// that are not also outputs): the cutoff signals of the
@@ -345,9 +350,9 @@ func permeabilityRun(opts Options, g *golden, mod *model.ModuleDecl, port model.
 	}
 	watch = dedupSignals(watch)
 
-	rec := acquireRecorder(rig.Bus, watch, 1, g.horizonMs)
+	rec := acquireRecorder(rig.Bus(), watch, 1, g.horizonMs)
 	defer releaseRecorder(rec)
-	rig.Sched.OnPostSlot(rec.Hook)
+	rig.Sched().OnPostSlot(rec.Hook)
 
 	if err := rig.RunFor(g.horizonMs); err != nil {
 		return out, err

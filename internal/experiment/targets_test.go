@@ -1,0 +1,341 @@
+package experiment
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sut"
+	"repro/internal/tank"
+)
+
+// tankOpts is a reduced tank campaign configuration (the re-homed
+// configuration of the deleted bespoke tank campaign's tests).
+func tankOpts(t *testing.T, seed int64) Options {
+	t.Helper()
+	opts, err := DefaultOptionsFor("tank", seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 2
+	return opts
+}
+
+func TestTankCampaignSmall(t *testing.T) {
+	opts := tankOpts(t, 1)
+	opts.Cases = opts.Cases[:1]
+	opts.MaxRunMs = 20_000
+	res, err := EstimatePermeability(context.Background(), opts, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalRuns != 8*6 { // 8 module input ports
+		t.Errorf("runs = %d, want 48", res.TotalRuns)
+	}
+	for _, e := range tank.NewSystem().Edges() {
+		v := res.Matrix.Get(e)
+		if v < 0 || v > 1 {
+			t.Errorf("edge %v = %v outside [0,1]", e, v)
+		}
+	}
+}
+
+func TestTankCampaignDeterministic(t *testing.T) {
+	opts := tankOpts(t, 7)
+	opts.Cases = opts.Cases[:1]
+	opts.MaxRunMs = 15_000
+	a, err := EstimatePermeability(context.Background(), opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical rerun, and a rerun on a different executor shape: the
+	// matrix must be invariant to both.
+	for _, workers := range []int{opts.Workers, 5} {
+		opts.Workers = workers
+		b, err := EstimatePermeability(context.Background(), opts, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range tank.NewSystem().Edges() {
+			if a.Matrix.Get(e) != b.Matrix.Get(e) {
+				t.Errorf("edge %v differs across identical campaigns (workers=%d)", e, workers)
+			}
+		}
+	}
+}
+
+// TestTankPlacementTransfer reruns the deleted tank campaign's medium
+// checks on the seam: the measured matrix realizes the paper's
+// Section 8 multi-output points (impact divergence, Eq. 4 criticality)
+// and the placement rules transfer unchanged.
+func TestTankPlacementTransfer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium campaign")
+	}
+	opts := tankOpts(t, 1)
+	opts.Cases = opts.Cases[:2]
+	opts.MaxRunMs = 30_000
+	res, err := EstimatePermeability(context.Background(), opts, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("criticality-divergence", func(t *testing.T) {
+		ranks, err := tank.RankCriticality(res.Matrix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byName := map[model.SignalID]tank.CriticalityReport{}
+		for _, r := range ranks {
+			byName[r.Signal] = r
+		}
+		// cmd and inflow reach only the valve; trend and level reach
+		// both outputs — the runtime realization of Section 8.
+		if r := byName[tank.SigCmd]; r.ImpactAlarm != 0 || r.ImpactValve <= 0 {
+			t.Errorf("cmd impacts = %+v, want valve-only", r)
+		}
+		if r := byName[tank.SigInflow]; r.ImpactAlarm != 0 {
+			t.Errorf("inflow impacts alarm: %+v", r)
+		}
+		if r := byName[tank.SigTrend]; r.ImpactAlarm <= 0 || r.ImpactValve <= 0 {
+			t.Errorf("trend impacts = %+v, want both outputs", r)
+		}
+		// Criticality must order consistently with Eq. 4 given the
+		// declared output criticalities (valve 1.0, alarm 0.25).
+		for _, r := range ranks {
+			want := 1 - (1-1.0*r.ImpactValve)*(1-0.25*r.ImpactAlarm)
+			if diff := r.Criticality - want; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("%s criticality %v, want %v", r.Signal, r.Criticality, want)
+			}
+		}
+	})
+
+	t.Run("pa-selection", func(t *testing.T) {
+		pr, err := core.BuildProfile(res.Matrix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel := core.SelectPA(pr, core.DefaultThresholds())
+		picked := map[model.SignalID]bool{}
+		for _, s := range sel.Selected() {
+			picked[s] = true
+		}
+		// The placement rules transfer: guarded signals must be
+		// internal, non-boolean, exposed and consequential.
+		for s := range picked {
+			sig, _ := tank.NewSystem().Signal(s)
+			if sig.Kind != model.KindIntermediate {
+				t.Errorf("PA selected boundary signal %s", s)
+			}
+		}
+		if len(picked) == 0 {
+			t.Error("PA selected nothing on the tank target")
+		}
+	})
+}
+
+// TestCampaignsRunOnAllTargets drives every campaign entry point
+// against all three registered library targets at tiny sizes — the
+// seam's generality contract: nothing in any campaign is
+// arrestment-specific.
+func TestCampaignsRunOnAllTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 7 campaigns x 3 targets")
+	}
+	ctx := context.Background()
+	for _, name := range []string{"arrestment", "tank", "multiout"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			opts, err := DefaultOptionsFor(name, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.Cases = opts.Cases[:1]
+			opts.Workers = 2
+			if opts.MaxRunMs > 15_000 {
+				opts.MaxRunMs = 15_000
+			}
+
+			if res, err := EstimatePermeability(ctx, opts, 2); err != nil {
+				t.Errorf("permeability: %v", err)
+			} else if res.TotalRuns == 0 {
+				t.Error("permeability: no runs")
+			}
+			if res, err := InputCoverage(ctx, opts, 2, nil); err != nil {
+				t.Errorf("input coverage: %v", err)
+			} else if res.All.Injected == 0 {
+				t.Error("input coverage: no runs")
+			}
+			if res, err := InternalCoverage(ctx, opts, 2, 2); err != nil {
+				t.Errorf("internal coverage: %v", err)
+			} else if res.RAM.Runs == 0 {
+				t.Error("internal coverage: no RAM runs")
+			}
+			if res, err := ErrorModelSensitivity(ctx, opts, 2); err != nil {
+				t.Errorf("model sensitivity: %v", err)
+			} else if len(res.Models) == 0 {
+				t.Error("model sensitivity: no models")
+			}
+			if res, err := RecoveryStudy(ctx, opts, 1, 1, nil); err != nil {
+				t.Errorf("recovery: %v", err)
+			} else if res.Total.Baseline.Runs == 0 {
+				t.Error("recovery: no runs")
+			}
+			if res, err := EATightnessStudy(ctx, opts, 2, []model.Word{8, 16}); err != nil {
+				t.Errorf("tightness: %v", err)
+			} else if len(res) != 2 {
+				t.Errorf("tightness: %d points, want 2", len(res))
+			}
+			if res, err := EAIntegrationStudy(ctx, opts, 2); err != nil {
+				t.Errorf("integration: %v", err)
+			} else if res.InjectedRuns == 0 {
+				t.Error("integration: no runs")
+			}
+		})
+	}
+}
+
+// TestPlacementMatrixSmoke crosses the two non-default library targets
+// with the full error-model menu and checks shape, accounting and
+// executor invariance of the robustness matrix.
+func TestPlacementMatrixSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix campaign")
+	}
+	opts := DefaultOptions(5)
+	opts.Workers = 2
+	names := []string{"tank", "multiout"}
+	res, err := PlacementMatrix(context.Background(), opts, names, nil, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != len(names)*len(MatrixErrorModels()) {
+		t.Fatalf("cells = %d, want %d", len(res.Cells), len(names)*len(MatrixErrorModels()))
+	}
+	for _, cell := range res.Cells {
+		if cell.Runs == 0 {
+			t.Errorf("cell %s/%s: no runs", cell.Target, cell.Model)
+		}
+		if cell.Active > cell.Runs {
+			t.Errorf("cell %s/%s: active %d > runs %d", cell.Target, cell.Model, cell.Active, cell.Runs)
+		}
+		for set, p := range cell.PerSet {
+			if p.Trials != cell.Active {
+				t.Errorf("cell %s/%s set %s: trials %d, want active %d",
+					cell.Target, cell.Model, set, p.Trials, cell.Active)
+			}
+		}
+	}
+	if cell := res.Cell("tank", MatrixTransient); cell == nil {
+		t.Error("Cell lookup failed for tank/transient")
+	}
+
+	opts.Workers = 5
+	again, err := PlacementMatrix(context.Background(), opts, names, nil, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cell := range res.Cells {
+		b := again.Cells[i]
+		if cell.Runs != b.Runs || cell.Active != b.Active {
+			t.Errorf("cell %s/%s: accounting differs across executors", cell.Target, cell.Model)
+		}
+		for set, p := range cell.PerSet {
+			if q := b.PerSet[set]; p != q {
+				t.Errorf("cell %s/%s set %s: %+v vs %+v across executors", cell.Target, cell.Model, set, p, q)
+			}
+		}
+	}
+}
+
+// TestUnknownTargetAndModelValidation pins the fail-before-work
+// contract of the name-shaped knobs.
+func TestUnknownTargetAndModelValidation(t *testing.T) {
+	opts := DefaultOptions(1)
+	opts.Target = "no-such-system"
+	if _, err := EstimatePermeability(context.Background(), opts, 1); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if _, err := DefaultOptionsFor("also-missing", 1); err == nil {
+		t.Error("DefaultOptionsFor accepted an unknown target")
+	}
+	good := DefaultOptions(1)
+	if _, err := PlacementMatrix(context.Background(), good, []string{"arrestment"}, []string{"cosmic-ray"}, 1); err == nil {
+		t.Error("unknown error model accepted")
+	}
+	if _, err := PlacementMatrix(context.Background(), good, []string{"ghost"}, nil, 1); err == nil {
+		t.Error("unknown matrix target accepted")
+	}
+}
+
+// TestAuditLivenessOnArrestment exercises the pruning-soundness audit
+// where masked classes actually exist: the arrestment memmap has dead
+// and write-before-read cells, every one of which must be proved
+// unobservable by its witness run.
+func TestAuditLivenessOnArrestment(t *testing.T) {
+	opts := DefaultOptions(1)
+	opts.Cases = opts.Cases[:2]
+	opts.Workers = 2
+	res, err := AuditLiveness(context.Background(), opts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RAMMasked == 0 {
+		t.Error("arrestment profile found no masked RAM classes; the audit proved nothing")
+	}
+	if res.Proofs == 0 {
+		t.Error("no witness runs executed")
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+}
+
+// TestAuditLivenessOnLibraryTargets runs the audit on the non-default
+// targets the adaptive layer may prune: any masked classification they
+// ever produce must be witness-proved sound.
+func TestAuditLivenessOnLibraryTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiles every case")
+	}
+	for _, name := range []string{"tank", "multiout"} {
+		opts, err := DefaultOptionsFor(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Cases = opts.Cases[:1]
+		opts.Workers = 1
+		res, err := AuditLiveness(context.Background(), opts, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("%s violation: %s", name, v)
+		}
+		if res.RAMTargets == 0 || res.StackTargets == 0 {
+			t.Errorf("%s: empty memory map (ram %d, stack %d)", name, res.RAMTargets, res.StackTargets)
+		}
+	}
+}
+
+// TestRegistryListsLibraryTargets pins the registry contents and the
+// helpful-error contract of Lookup.
+func TestRegistryListsLibraryTargets(t *testing.T) {
+	names := sut.Names()
+	want := map[string]bool{"arrestment": true, "tank": true, "multiout": true}
+	for n := range want {
+		found := false
+		for _, got := range names {
+			if got == n {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("registry is missing %q (have %v)", n, names)
+		}
+	}
+	if _, err := sut.Lookup(""); err != nil {
+		t.Errorf("empty lookup must resolve the default target: %v", err)
+	}
+}

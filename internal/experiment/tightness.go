@@ -10,7 +10,7 @@ import (
 	"repro/internal/fi"
 	"repro/internal/model"
 	"repro/internal/stats"
-	"repro/internal/target"
+	"repro/internal/sut"
 )
 
 // TightnessPoint is one setting of the EA-tightness ablation
@@ -49,6 +49,7 @@ type tightOutcome struct {
 type tightnessCampaign struct {
 	campaign.JSONWire[tightOutcome]
 	opts    Options
+	t       sut.Target
 	perStep int
 	steps   []model.Word
 	golds   []*golden
@@ -75,25 +76,34 @@ func (c *tightnessCampaign) Plan() ([]tightJob, error) {
 	return plan, nil
 }
 
+// spec derives the swept assertion from the target's probe guard: the
+// guard with its step budget replaced by the setting under test. For the
+// arrestment target this reproduces the original hardcoded "EA4t"
+// counter spec (EA4 with MaxStep swept).
 func (c *tightnessCampaign) spec(maxStep model.Word) ea.Spec {
-	return ea.Spec{
-		Name: "EA4t", Signal: target.SigPulscnt, Kind: ea.KindCounter,
-		MinStep: 0, MaxStep: maxStep, WrapWidth: 16, WarmupChecks: 2,
+	spec := c.t.Probe().Guard
+	spec.Name += "t"
+	if spec.Kind == ea.KindCounter {
+		spec.MaxStep = maxStep
+	} else {
+		spec.MaxUp = maxStep
+		spec.MaxDown = maxStep
 	}
+	return spec
 }
 
 func (c *tightnessCampaign) Execute(_ context.Context, j tightJob, _ int) (tightOutcome, error) {
 	g := c.golds[j.caseIdx]
-	rig, err := target.AcquireRig(g.tc.Config(caseSeed(c.opts, g.tc)))
+	rig, err := c.t.Acquire(g.tc, c.t.CaseSeed(c.opts.Seed, g.tc), sut.Variant{})
 	if err != nil {
 		return tightOutcome{}, err
 	}
-	defer target.ReleaseRig(rig)
-	bank, err := ea.NewBank(rig.Bus, target.ControlPeriodMs, []ea.Spec{c.spec(c.steps[j.stepIdx])})
+	defer c.t.Release(rig)
+	bank, err := ea.NewBank(rig.Bus(), c.t.ControlPeriodMs(), []ea.Spec{c.spec(c.steps[j.stepIdx])})
 	if err != nil {
 		return tightOutcome{}, err
 	}
-	rig.Sched.OnPostSlot(bank.Hook)
+	rig.Sched().OnPostSlot(bank.Hook)
 
 	active := true
 	if !j.golden {
@@ -101,15 +111,15 @@ func (c *tightnessCampaign) Execute(_ context.Context, j tightJob, _ int) (tight
 		// the case and iteration only, so every budget is evaluated
 		// against the same error set and coverage is exactly monotone
 		// in the budget.
-		rng := rand.New(rand.NewSource(runSeed(c.opts, "tight", j.caseIdx*1_000_000+j.k)))
+		rng := rand.New(rand.NewSource(c.t.RunSeed(c.opts.Seed, "tight", j.caseIdx*1_000_000+j.k)))
 		flip := &fi.ReadFlip{
 			Port:   c.port,
 			Bit:    uint8(rng.Intn(int(c.sig.Type.Width))),
-			FromMs: rng.Int63n(g.arrestMs),
+			FromMs: rng.Int63n(c.t.InjectWindow(g.arrestMs)),
 		}
 		inj := fi.NewInjector(flip)
-		rig.Sched.OnPreSlot(inj.Hook)
-		rig.Bus.OnRead(inj.ReadHook())
+		rig.Sched().OnPreSlot(inj.Hook)
+		rig.Bus().OnRead(inj.ReadHook())
 		if err := rig.RunFor(g.horizonMs); err != nil {
 			return tightOutcome{}, err
 		}
@@ -153,7 +163,7 @@ func (c *tightnessCampaign) Describe(j tightJob, index int) string {
 	if j.golden {
 		kind = "golden"
 	}
-	return describeRun(c.opts, "tight", index, j.caseIdx) +
+	return describeRun(c.t, c.opts, "tight", index, j.caseIdx) +
 		fmt.Sprintf(" step=%d %s", c.steps[j.stepIdx], kind)
 }
 
@@ -180,18 +190,20 @@ func newTightnessCampaign(ctx context.Context, opts Options, perStep int, steps 
 	if len(steps) == 0 {
 		return nil, fmt.Errorf("experiment: no step settings")
 	}
-	golds, err := goldens(ctx, opts)
+	t, err := resolvedTarget(opts)
 	if err != nil {
 		return nil, err
 	}
-	sys := target.SharedSystem()
-	consumers := sys.ConsumersOf(target.SigPACNT)
-	if len(consumers) != 1 {
-		return nil, fmt.Errorf("experiment: PACNT has %d consumers", len(consumers))
+	golds, err := goldens(ctx, opts, t)
+	if err != nil {
+		return nil, err
 	}
-	sig, _ := sys.Signal(target.SigPACNT)
+	port, sig, err := probePort(t)
+	if err != nil {
+		return nil, err
+	}
 	return &tightnessCampaign{
-		opts: opts, perStep: perStep, steps: steps, golds: golds,
-		port: consumers[0], sig: sig,
+		opts: opts, t: t, perStep: perStep, steps: steps, golds: golds,
+		port: port, sig: sig,
 	}, nil
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/erm"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/sut"
 )
 
 // WorkerSpecEnv is the environment variable through which the parent
@@ -40,6 +41,14 @@ type WorkerSpec struct {
 	RecoveryStack  int              `json:"recovery_stack,omitempty"`   // recovery
 	Specs          []erm.Spec       `json:"specs,omitempty"`            // recovery (nil = defaults)
 	IntegPerSignal int              `json:"integ_per_signal,omitempty"` // integration
+	MatrixTargets  []string         `json:"matrix_targets,omitempty"`   // matrix (nil = all registered)
+	MatrixModels   []string         `json:"matrix_models,omitempty"`    // matrix (nil = all error models)
+	MatrixPerCell  int              `json:"matrix_per_cell,omitempty"`  // matrix
+
+	// ModelJSON carries the raw system descriptions of JSON-loaded
+	// targets (cmd/inject -model), so worker subprocesses re-register
+	// them in their own sut registry before rebuilding the campaign.
+	ModelJSON []json.RawMessage `json:"model_json,omitempty"`
 
 	// Round carries the cursor state of the adaptive round this worker
 	// pool serves (round campaigns are named "<base>@<round>"); nil for
@@ -142,6 +151,12 @@ func (s WorkerSpec) buildWorker(ctx context.Context, name string) (dispatch.Work
 			return nil, err
 		}
 		return dispatch.Adapt[integJob, integOutcome, *IntegrationPoint](c)
+	case "matrix":
+		c, err := newMatrixCampaign(ctx, opts, s.MatrixTargets, s.MatrixModels, s.MatrixPerCell)
+		if err != nil {
+			return nil, err
+		}
+		return dispatch.Adapt[matrixJob, matrixOutcome, *MatrixResult](c)
 	}
 	return nil, fmt.Errorf("experiment: no campaign named %q", name)
 }
@@ -158,6 +173,11 @@ func ServeWorker(ctx context.Context, specJSON string, r io.Reader, w io.Writer)
 	var spec WorkerSpec
 	if err := json.Unmarshal([]byte(specJSON), &spec); err != nil {
 		return fmt.Errorf("experiment: decoding worker spec: %w", err)
+	}
+	for _, data := range spec.ModelJSON {
+		if _, err := sut.EnsureModelJSON(data); err != nil {
+			return fmt.Errorf("experiment: registering worker model target: %w", err)
+		}
 	}
 	// Workers always run with a (registry-only) telemetry so rig-pool,
 	// golden-cache and per-run counts exist to forward to the parent

@@ -1,0 +1,292 @@
+package fi
+
+import (
+	"testing"
+
+	"repro/internal/memmap"
+	"repro/internal/model"
+)
+
+func TestStuckAtRAMCell(t *testing.T) {
+	_, bus := fiSystem(t)
+	var mem memmap.Map
+	v := mem.AllocRAM("M", "x", model.Uint(8), 0)
+
+	si, err := NewStuckAtInjector(StuckAt{
+		Target: MemTarget{Kind: TargetRAMCell, Cell: v.ID(), Bit: 2},
+		Value:  1,
+		FromMs: 10,
+	}, bus, &mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si.Hook(0)
+	if got := v.Get(); got != 0 {
+		t.Errorf("forced before FromMs: %d", got)
+	}
+	si.Hook(10)
+	if got := v.Get(); got != 4 {
+		t.Errorf("after FromMs = %d, want 4", got)
+	}
+	// A program rewrite clears the bit; the next slot re-forces it.
+	v.Set(0)
+	si.Hook(11)
+	if got := v.Get(); got != 4 {
+		t.Errorf("rewrite survived a slot = %d, want 4", got)
+	}
+	// Already-forced slots do not count as new corruptions.
+	si.Hook(12)
+	if n, first := si.Applied(); n != 2 || first != 10 {
+		t.Errorf("Applied() = %d,%d want 2,10", n, first)
+	}
+}
+
+func TestStuckAtZeroClearsBit(t *testing.T) {
+	_, bus := fiSystem(t)
+	var mem memmap.Map
+	v := mem.AllocRAM("M", "x", model.Uint(8), 0)
+	v.Set(0xFF)
+
+	si, err := NewStuckAtInjector(StuckAt{
+		Target: MemTarget{Kind: TargetRAMCell, Cell: v.ID(), Bit: 0},
+		Value:  0,
+	}, bus, &mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si.Hook(0)
+	if got := v.Get(); got != 0xFE {
+		t.Errorf("stuck-at-0 = %#x, want 0xFE", got)
+	}
+}
+
+func TestStuckAtBusSignal(t *testing.T) {
+	_, bus := fiSystem(t)
+	var mem memmap.Map
+	bus.Poke("mid", 0)
+	si, err := NewStuckAtInjector(StuckAt{
+		Target: MemTarget{Kind: TargetBusSignal, Signal: "mid", Bit: 7},
+		Value:  1,
+	}, bus, &mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si.Hook(0)
+	if got := bus.Peek("mid"); got != 128 {
+		t.Errorf("bus signal = %d, want 128", got)
+	}
+}
+
+func TestStuckAtStackCellForcesReads(t *testing.T) {
+	_, bus := fiSystem(t)
+	var mem memmap.Map
+	v := mem.AllocStack("M", "tmp", model.Uint(8))
+
+	si, err := NewStuckAtInjector(StuckAt{
+		Target: MemTarget{Kind: TargetStackCell, Cell: v.ID(), Bit: 1},
+		Value:  1,
+		FromMs: 5,
+	}, bus, &mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem.OnRead(si.MemHook())
+	si.Hook(0)
+	if got := v.Get(); got != 0 {
+		t.Errorf("stack read forced before FromMs: %d", got)
+	}
+	si.Hook(5)
+	if got := v.Get(); got != 2 {
+		t.Errorf("stack read = %d, want 2", got)
+	}
+	// The stored value stays pristine; only reads are forced.
+	if raw := mem.PeekRaw(v.ID()); raw != 0 {
+		t.Errorf("stored value corrupted: %d", raw)
+	}
+	if n, first := si.Applied(); n != 1 || first != 5 {
+		t.Errorf("Applied() = %d,%d want 1,5", n, first)
+	}
+}
+
+func TestStuckAtValidation(t *testing.T) {
+	_, bus := fiSystem(t)
+	var mem memmap.Map
+	v := mem.AllocRAM("M", "x", model.Uint(8), 0)
+	tgt := MemTarget{Kind: TargetRAMCell, Cell: v.ID(), Bit: 2}
+	if _, err := NewStuckAtInjector(StuckAt{Target: tgt, Value: 2}, bus, &mem); err == nil {
+		t.Error("value 2 accepted")
+	}
+	bad := tgt
+	bad.Bit = 8
+	if _, err := NewStuckAtInjector(StuckAt{Target: bad}, bus, &mem); err == nil {
+		t.Error("bit outside width accepted")
+	}
+	if _, err := NewStuckAtInjector(StuckAt{
+		Target: MemTarget{Kind: TargetBusSignal, Signal: "ghost"},
+	}, bus, &mem); err == nil {
+		t.Error("unknown signal accepted")
+	}
+}
+
+func TestBurstFlipRAMOneShot(t *testing.T) {
+	_, bus := fiSystem(t)
+	var mem memmap.Map
+	v := mem.AllocRAM("M", "x", model.Uint(8), 0)
+
+	bi, err := NewBurstFlipInjector(BurstFlip{
+		Target: MemTarget{Kind: TargetRAMCell, Cell: v.ID(), Bit: 1},
+		Width:  3,
+		FromMs: 10,
+	}, bus, &mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi.Hook(0)
+	if got := v.Get(); got != 0 {
+		t.Errorf("burst before FromMs: %d", got)
+	}
+	bi.Hook(10)
+	if got := v.Get(); got != 0b1110 {
+		t.Errorf("burst = %#b, want bits 1..3 flipped", got)
+	}
+	bi.Hook(11)
+	if got := v.Get(); got != 0b1110 {
+		t.Errorf("burst fired twice: %#b", got)
+	}
+	if n, first := bi.Applied(); n != 1 || first != 10 {
+		t.Errorf("Applied() = %d,%d want 1,10", n, first)
+	}
+}
+
+func TestBurstFlipStackArmsNextRead(t *testing.T) {
+	_, bus := fiSystem(t)
+	var mem memmap.Map
+	v := mem.AllocStack("M", "tmp", model.Uint(8))
+	v.Set(0b1000)
+
+	bi, err := NewBurstFlipInjector(BurstFlip{
+		Target: MemTarget{Kind: TargetStackCell, Cell: v.ID(), Bit: 0},
+		Width:  2,
+	}, bus, &mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem.OnRead(bi.MemHook())
+	bi.Hook(0)
+	if got := v.Get(); got != 0b1011 {
+		t.Errorf("armed read = %#b, want low bits flipped", got)
+	}
+	if got := v.Get(); got != 0b1000 {
+		t.Errorf("second read corrupted: %#b (burst must be one-shot)", got)
+	}
+	if n, first := bi.Applied(); n != 1 || first != 0 {
+		t.Errorf("Applied() = %d,%d want 1,0", n, first)
+	}
+}
+
+func TestBurstFlipValidation(t *testing.T) {
+	_, bus := fiSystem(t)
+	var mem memmap.Map
+	v := mem.AllocRAM("M", "x", model.Uint(8), 0)
+	tgt := MemTarget{Kind: TargetRAMCell, Cell: v.ID(), Bit: 6}
+	if _, err := NewBurstFlipInjector(BurstFlip{Target: tgt, Width: 0}, bus, &mem); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := NewBurstFlipInjector(BurstFlip{Target: tgt, Width: 3}, bus, &mem); err == nil {
+		t.Error("burst past the cell width accepted")
+	}
+}
+
+func TestSlotFaultValidation(t *testing.T) {
+	sys, _ := fiSystem(t)
+	if _, err := NewSlotFaultInjector(SlotFault{Module: "GHOST", Mode: SlotOmission}, sys); err == nil {
+		t.Error("unknown module accepted")
+	}
+	if _, err := NewSlotFaultInjector(SlotFault{Module: "A"}, sys); err == nil {
+		t.Error("zero mode accepted")
+	}
+	if _, err := NewSlotFaultInjector(SlotFault{Module: "A", Mode: SlotDelay, FromMs: 10, UntilMs: 10}, sys); err == nil {
+		t.Error("empty window accepted")
+	}
+}
+
+func TestSlotFaultFilterWindow(t *testing.T) {
+	sys, _ := fiSystem(t)
+	sf, err := NewSlotFaultInjector(SlotFault{
+		Module: "A", Mode: SlotOmission, FromMs: 10, UntilMs: 30,
+	}, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := sf.Filter()
+	if got := f("A", 0); got != 0 { // sched.StepRun
+		t.Errorf("verdict before window = %d, want run", got)
+	}
+	if got := f("B", 15); got != 0 {
+		t.Errorf("other module disturbed: %d", got)
+	}
+	if got := f("A", 10); got == 0 {
+		t.Error("fault window start not honored")
+	}
+	if got := f("A", 30); got != 0 {
+		t.Errorf("verdict at UntilMs = %d, want run (window is half-open)", got)
+	}
+	if n, first := sf.Applied(); n != 1 || first != 10 {
+		t.Errorf("Applied() = %d,%d want 1,10", n, first)
+	}
+}
+
+func TestSlotFaultModesDistinct(t *testing.T) {
+	sys, _ := fiSystem(t)
+	for mode, name := range map[SlotFaultMode]string{SlotOmission: "omission", SlotDelay: "delay"} {
+		if got := mode.String(); got != name {
+			t.Errorf("%d.String() = %q, want %q", int(mode), got, name)
+		}
+		if _, err := NewSlotFaultInjector(SlotFault{Module: "A", Mode: mode}, sys); err != nil {
+			t.Errorf("mode %s rejected: %v", name, err)
+		}
+	}
+}
+
+// TestStrategiesDeterministic replays each strategy twice over the same
+// access pattern and requires identical corruption accounting — the
+// engine's determinism invariant extends to the new error models.
+func TestStrategiesDeterministic(t *testing.T) {
+	run := func() [4]int64 {
+		_, bus := fiSystem(t)
+		var mem memmap.Map
+		r := mem.AllocRAM("M", "x", model.Uint(16), 3)
+		s := mem.AllocStack("M", "tmp", model.Uint(8))
+
+		si, err := NewStuckAtInjector(StuckAt{
+			Target: MemTarget{Kind: TargetRAMCell, Cell: r.ID(), Bit: 5}, Value: 1, FromMs: 4,
+		}, bus, &mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bi, err := NewBurstFlipInjector(BurstFlip{
+			Target: MemTarget{Kind: TargetStackCell, Cell: s.ID(), Bit: 2}, Width: 2, FromMs: 6,
+		}, bus, &mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem.OnRead(si.MemHook())
+		mem.OnRead(bi.MemHook())
+		for now := int64(0); now < 20; now++ {
+			si.Hook(now)
+			bi.Hook(now)
+			r.Set(r.Get() + 1)
+			_ = s.Get()
+		}
+		sn, sfirst := si.Applied()
+		bn, bfirst := bi.Applied()
+		return [4]int64{int64(sn), sfirst, int64(bn), bfirst}
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("replay diverged: %v vs %v", a, b)
+	}
+	if a[0] == 0 || a[2] == 0 {
+		t.Errorf("strategies never fired: %v", a)
+	}
+}

@@ -180,6 +180,22 @@ func (m *Map) FlipBit(id CellID, bit uint8) error {
 	return nil
 }
 
+// PeekRaw returns the stored bit pattern of a cell without hooks.
+// Fault-injection strategies that force individual bits (stuck-at,
+// burst) work in the raw domain so signed encodings cannot distort the
+// corruption.
+func (m *Map) PeekRaw(id CellID) model.Word {
+	m.check(id)
+	return m.cells[id].raw
+}
+
+// PokeRaw overwrites a cell's stored bit pattern without hooks. The
+// pattern is masked to the cell width.
+func (m *Map) PokeRaw(id CellID, raw model.Word) {
+	m.check(id)
+	m.cells[id].raw = raw & m.cells[id].info.Type.Mask()
+}
+
 // Peek returns the interpreted value of a cell without hooks.
 func (m *Map) Peek(id CellID) model.Word {
 	m.check(id)

@@ -89,6 +89,144 @@ func TestUnmarshalSystemRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestMultiOutputCriticalityRoundTrip serializes a system with several
+// weighted outputs (Eq. 3/4 inputs) and checks every weight survives,
+// including the endpoints 0 and 1.
+func TestMultiOutputCriticalityRoundTrip(t *testing.T) {
+	weights := map[SignalID]float64{
+		"primary":   1.0,
+		"secondary": 0.25,
+		"telemetry": 0.0625,
+		"scrap":     0,
+	}
+	b := NewBuilder("weighted").
+		AddSignal("in", Uint(8), AsSystemInput()).
+		AddSignal("primary", Uint(16), AsSystemOutput(weights["primary"])).
+		AddSignal("secondary", Int(12), AsSystemOutput(weights["secondary"])).
+		AddSignal("telemetry", Uint(8), AsSystemOutput(weights["telemetry"])).
+		AddSignal("scrap", Bool(), AsSystemOutput(weights["scrap"])).
+		AddModule("M", In("in"), Out("primary", "secondary", "telemetry", "scrap"))
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := sys.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSystem(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(got.SystemOutputs()); n != 4 {
+		t.Fatalf("system outputs = %d, want 4", n)
+	}
+	for id, want := range weights {
+		sig, ok := got.Signal(id)
+		if !ok {
+			t.Fatalf("output %s lost", id)
+		}
+		if sig.Criticality != want {
+			t.Errorf("criticality(%s) = %v, want %v", id, sig.Criticality, want)
+		}
+	}
+}
+
+// TestModulePortOrderStable checks module port bindings keep their
+// declared order and indices across a marshal/unmarshal cycle — the
+// runtime addresses ports positionally, so a reordering would silently
+// rewire a JSON-loaded target.
+func TestModulePortOrderStable(t *testing.T) {
+	sys, err := NewBuilder("ports").
+		AddSignal("s1", Uint(8), AsSystemInput()).
+		AddSignal("s2", Uint(8), AsSystemInput()).
+		AddSignal("s3", Uint(8), AsSystemInput()).
+		AddSignal("o1", Uint(8)).
+		AddSignal("o2", Uint(8)).
+		AddSignal("out", Uint(8), AsSystemOutput(1)).
+		AddModule("M", In("s3", "s1", "s2"), Out("o2", "o1")).
+		AddModule("N", In("o1", "o2"), Out("out")).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := sys.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSystem(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, ok := got.Module("M")
+	if !ok {
+		t.Fatal("module M lost")
+	}
+	wantIn := []SignalID{"s3", "s1", "s2"}
+	for i, want := range wantIn {
+		if mod.Inputs[i].Index != i+1 || mod.Inputs[i].Signal != want {
+			t.Errorf("input port %d = %+v, want index %d signal %s",
+				i, mod.Inputs[i], i+1, want)
+		}
+	}
+	wantOut := []SignalID{"o2", "o1"}
+	for i, want := range wantOut {
+		if mod.Outputs[i].Index != i+1 || mod.Outputs[i].Signal != want {
+			t.Errorf("output port %d = %+v, want index %d signal %s",
+				i, mod.Outputs[i], i+1, want)
+		}
+	}
+	// A second cycle must be byte-stable (canonical ordering).
+	again, err := got.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Error("second marshal not byte-identical to the first")
+	}
+}
+
+// TestUnmarshalRejectsDanglingPorts covers dangling signal references
+// in both directions of a module's port lists.
+func TestUnmarshalRejectsDanglingPorts(t *testing.T) {
+	sys, err := NewBuilder("ok").
+		AddSignal("in", Uint(8), AsSystemInput()).
+		AddSignal("out", Uint(8), AsSystemOutput(1)).
+		AddModule("M", In("in"), Out("out")).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := sys.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ name, from, to string }{
+		{"dangling-input", `"in"`, `"missing_in"`},
+		{"dangling-output", `"out"`, `"missing_out"`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// Corrupt only the module port list, leaving the signal
+			// table intact: replace the second occurrence (the port
+			// reference), not the signal declaration.
+			s := string(data)
+			i := strings.Index(s, tc.from)
+			if i < 0 {
+				t.Fatal("fixture missing signal reference")
+			}
+			j := strings.Index(s[i+len(tc.from):], tc.from)
+			if j < 0 {
+				t.Fatal("fixture has only one occurrence")
+			}
+			pos := i + len(tc.from) + j
+			bad := s[:pos] + tc.to + s[pos+len(tc.from):]
+			if _, err := UnmarshalSystem([]byte(bad)); err == nil {
+				t.Errorf("dangling port reference accepted:\n%s", bad)
+			}
+		})
+	}
+}
+
 // Property: signed/unsigned/bool types of any width survive the round
 // trip.
 func TestQuickSignalTypeRoundTrip(t *testing.T) {

@@ -1,0 +1,43 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+// MatrixTable renders the placement-robustness matrix: one block per
+// target, one row per error model, detection coverage per placement set
+// over the errors that were live before the run's natural completion.
+func MatrixTable(res *experiment.MatrixResult) string {
+	sets := []string{experiment.SetEH, experiment.SetPA, experiment.SetExtended}
+	var b strings.Builder
+	b.WriteString("Placement robustness: detection coverage per target x error model\n")
+	for _, target := range res.Targets {
+		fmt.Fprintf(&b, "\ntarget %s\n", target)
+		fmt.Fprintf(&b, "  %-10s %6s %7s", "model", "runs", "active")
+		for _, s := range sets {
+			fmt.Fprintf(&b, " %9s", s)
+		}
+		b.WriteString("\n")
+		for _, m := range res.Models {
+			cell := res.Cell(target, m)
+			if cell == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-10s %6d %7d", m, cell.Runs, cell.Active)
+			for _, s := range sets {
+				p, ok := cell.PerSet[s]
+				if !ok || p.Trials == 0 {
+					fmt.Fprintf(&b, " %9s", "-")
+					continue
+				}
+				fmt.Fprintf(&b, " %8.1f%%", 100*p.Estimate())
+			}
+			b.WriteString("\n")
+		}
+	}
+	b.WriteString("\ncoverage over active errors; '-' means the target declares no assertions in that set\n")
+	return b.String()
+}

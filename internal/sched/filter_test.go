@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// orderRec records the global dispatch order of its steps.
+type orderRec struct {
+	id    model.ModuleID
+	order *[]model.ModuleID
+}
+
+func (o *orderRec) ModuleID() model.ModuleID { return o.id }
+func (o *orderRec) Reset()                   {}
+func (o *orderRec) Step(e *model.Exec)       { *o.order = append(*o.order, o.id) }
+
+func TestStepFilterSkipOmitsModule(t *testing.T) {
+	sys := testSystem(t)
+	bus := model.NewBus(sys)
+	a := &counter{id: "A"}
+	b := &counter{id: "B"}
+	s := newSched(t, bus, Table{SlotMs: 1, Slots: [][]model.ModuleID{{"A", "B"}}}, a, b)
+	s.OnStep(func(id model.ModuleID, nowMs int64) StepAction {
+		if id == "A" {
+			return StepSkip
+		}
+		return StepRun
+	})
+	if err := s.RunFor(3); err != nil {
+		t.Fatal(err)
+	}
+	if a.steps != 0 {
+		t.Errorf("A stepped %d times under omission, want 0", a.steps)
+	}
+	if b.steps != 3 {
+		t.Errorf("B stepped %d times, want 3", b.steps)
+	}
+	if got := s.Invocations("A"); got != 0 {
+		t.Errorf("Invocations(A) = %d, want 0 (skipped steps must not count)", got)
+	}
+}
+
+func TestStepFilterDeferRunsAtSlotEnd(t *testing.T) {
+	sys := testSystem(t)
+	bus := model.NewBus(sys)
+	var order []model.ModuleID
+	a := &orderRec{id: "A", order: &order}
+	b := &orderRec{id: "B", order: &order}
+	s := newSched(t, bus, Table{SlotMs: 1, Slots: [][]model.ModuleID{{"A", "B"}}}, a, b)
+	s.OnStep(func(id model.ModuleID, nowMs int64) StepAction {
+		if id == "A" && nowMs >= 1 {
+			return StepDefer
+		}
+		return StepRun
+	})
+	if err := s.RunFor(2); err != nil {
+		t.Fatal(err)
+	}
+	want := []model.ModuleID{"A", "B", "B", "A"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v (deferred steps run after the slot's entries)", order, want)
+		}
+	}
+	if got := s.Invocations("A"); got != 2 {
+		t.Errorf("Invocations(A) = %d, want 2 (deferred steps still run)", got)
+	}
+}
+
+func TestStepFilterFirstVerdictWins(t *testing.T) {
+	sys := testSystem(t)
+	bus := model.NewBus(sys)
+	a := &counter{id: "A"}
+	s := newSched(t, bus, Table{SlotMs: 1, Slots: [][]model.ModuleID{{"A"}}}, a)
+	s.OnStep(func(id model.ModuleID, nowMs int64) StepAction { return StepRun })
+	s.OnStep(func(id model.ModuleID, nowMs int64) StepAction { return StepSkip })
+	if err := s.RunFor(2); err != nil {
+		t.Fatal(err)
+	}
+	if a.steps != 0 {
+		t.Errorf("A stepped %d times, want 0 (later filter's skip must win over run)", a.steps)
+	}
+}
+
+func TestResetHooksClearsFilters(t *testing.T) {
+	sys := testSystem(t)
+	bus := model.NewBus(sys)
+	a := &counter{id: "A"}
+	s := newSched(t, bus, Table{SlotMs: 1, Slots: [][]model.ModuleID{{"A"}}}, a)
+	s.OnStep(func(id model.ModuleID, nowMs int64) StepAction { return StepSkip })
+	s.ResetHooks()
+	if err := s.RunFor(2); err != nil {
+		t.Fatal(err)
+	}
+	if a.steps != 2 {
+		t.Errorf("A stepped %d times after ResetHooks, want 2", a.steps)
+	}
+}

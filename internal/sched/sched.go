@@ -69,6 +69,30 @@ func (t Table) Validate(sys *model.System) error {
 // trace bookkeeping, fault-injection ticks).
 type Hook func(nowMs int64)
 
+// StepAction is a StepFilter verdict for one scheduled module step.
+type StepAction int
+
+const (
+	// StepRun executes the step normally.
+	StepRun StepAction = iota
+	// StepSkip omits the step entirely this slot (omission fault). The
+	// module's invocation counter does not advance.
+	StepSkip
+	// StepDefer postpones the step to the end of the slot: deferred
+	// steps run after the slot's normal entries, in their original
+	// order, before the post-slot hooks fire (timing/late-dispatch
+	// fault).
+	StepDefer
+)
+
+// StepFilter inspects a scheduled module step before it executes and
+// decides whether it runs, is skipped, or is deferred to the end of the
+// slot. Filters are the seam fault-injection strategies use to model
+// timing and omission errors in the executive itself; when no filter is
+// installed the scheduler's dispatch path is unchanged. With several
+// filters installed, the first verdict other than StepRun wins.
+type StepFilter func(id model.ModuleID, nowMs int64) StepAction
+
 // entry is a pre-resolved dispatch slot: the registered behaviour, its
 // declaration, and a pointer to its invocation counter. Resolving these
 // once (on first RunSlot) removes the per-step map lookups from the
@@ -89,6 +113,8 @@ type Scheduler struct {
 	slot    int
 	pre     []Hook
 	post    []Hook
+	filters []StepFilter
+	defers  []*entry                  // scratch for StepDefer verdicts, reused across slots
 	invoked map[model.ModuleID]*int64 // invocation counts, for accounting
 
 	// Compiled dispatch state, built lazily on the first RunSlot after
@@ -136,11 +162,17 @@ func (s *Scheduler) OnPreSlot(h Hook) { s.pre = append(s.pre, h) }
 // OnPostSlot installs a monitor hook run after each slot.
 func (s *Scheduler) OnPostSlot(h Hook) { s.post = append(s.post, h) }
 
-// ResetHooks removes all pre- and post-slot hooks, keeping the backing
-// arrays so re-installation after a rig reset does not allocate.
+// OnStep installs a step filter consulted before every scheduled module
+// step (see StepFilter).
+func (s *Scheduler) OnStep(f StepFilter) { s.filters = append(s.filters, f) }
+
+// ResetHooks removes all pre- and post-slot hooks and step filters,
+// keeping the backing arrays so re-installation after a rig reset does
+// not allocate.
 func (s *Scheduler) ResetHooks() {
 	s.pre = s.pre[:0]
 	s.post = s.post[:0]
+	s.filters = s.filters[:0]
 }
 
 // NowMs returns the elapsed scheduler time in milliseconds.
@@ -228,17 +260,37 @@ func (s *Scheduler) RunSlot() error {
 	for _, h := range s.pre {
 		h(s.nowMs)
 	}
-	for i := range s.every {
-		s.step(&s.every[i])
-	}
-	idx := s.slot
-	if s.selIdx >= 0 {
-		n := s.selModulo
-		idx = int(((s.bus.PeekIdx(s.selIdx) % n) + n) % n)
-	}
-	slot := s.slots[idx]
-	for i := range slot {
-		s.step(&slot[i])
+	if len(s.filters) == 0 {
+		// Fast path: no step filters installed, dispatch directly.
+		for i := range s.every {
+			s.step(&s.every[i])
+		}
+		idx := s.slot
+		if s.selIdx >= 0 {
+			n := s.selModulo
+			idx = int(((s.bus.PeekIdx(s.selIdx) % n) + n) % n)
+		}
+		slot := s.slots[idx]
+		for i := range slot {
+			s.step(&slot[i])
+		}
+	} else {
+		s.defers = s.defers[:0]
+		for i := range s.every {
+			s.filteredStep(&s.every[i])
+		}
+		idx := s.slot
+		if s.selIdx >= 0 {
+			n := s.selModulo
+			idx = int(((s.bus.PeekIdx(s.selIdx) % n) + n) % n)
+		}
+		slot := s.slots[idx]
+		for i := range slot {
+			s.filteredStep(&slot[i])
+		}
+		for _, e := range s.defers {
+			s.step(e)
+		}
 	}
 	for _, h := range s.post {
 		h(s.nowMs)
@@ -252,6 +304,21 @@ func (s *Scheduler) step(e *entry) {
 	s.exec.Bind(e.decl, s.nowMs)
 	e.run.Step(s.exec)
 	*e.invoked++
+}
+
+// filteredStep consults the installed step filters and runs, skips or
+// defers the entry accordingly. The first non-StepRun verdict wins.
+func (s *Scheduler) filteredStep(e *entry) {
+	for _, f := range s.filters {
+		switch f(e.decl.ID, s.nowMs) {
+		case StepSkip:
+			return
+		case StepDefer:
+			s.defers = append(s.defers, e)
+			return
+		}
+	}
+	s.step(e)
 }
 
 // RunFor runs slots until durationMs of scheduler time has elapsed.

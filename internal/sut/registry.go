@@ -1,0 +1,116 @@
+package sut
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// DefaultTarget is the registry key campaigns fall back to when no
+// target is named — the paper's arrestment system.
+const DefaultTarget = "arrestment"
+
+var registry = struct {
+	mu sync.RWMutex
+	m  map[string]Target
+}{m: make(map[string]Target)}
+
+// Register adds a target to the process-wide registry. Registering a
+// name twice is an error: targets are immutable library entries, and a
+// silent replacement would change campaign results behind a cache key.
+func Register(t Target) error {
+	name := t.Name()
+	if name == "" {
+		return fmt.Errorf("sut: target with empty name")
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if _, dup := registry.m[name]; dup {
+		return fmt.Errorf("sut: target %q already registered", name)
+	}
+	registry.m[name] = t
+	return nil
+}
+
+// MustRegister is Register for init-time library entries.
+func MustRegister(t Target) {
+	if err := Register(t); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup resolves a target name; the empty string resolves to
+// DefaultTarget. Unknown names error with the registered names listed,
+// so command-line validation can fail helpfully before any work.
+func Lookup(name string) (Target, error) {
+	if name == "" {
+		name = DefaultTarget
+	}
+	registry.mu.RLock()
+	t, ok := registry.m[name]
+	registry.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("sut: unknown target %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return t, nil
+}
+
+// Names returns the registered target names, sorted.
+func Names() []string {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	out := make([]string, 0, len(registry.m))
+	for n := range registry.m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegisterModelJSON builds a generic interpreter-backed target from an
+// internal/model JSON system description and registers it under the
+// system's name. It is how `cmd/inject -model system.json` promotes a
+// JSON file into a runnable target.
+func RegisterModelJSON(data []byte) (Target, error) {
+	t, err := NewGenericTarget(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := Register(t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// EnsureModelJSON is RegisterModelJSON that tolerates the target
+// already being registered (worker subprocesses re-register the parent
+// campaign's -model target on every spawn).
+func EnsureModelJSON(data []byte) (Target, error) {
+	t, err := NewGenericTarget(data)
+	if err != nil {
+		return nil, err
+	}
+	registry.mu.Lock()
+	if existing, ok := registry.m[t.Name()]; ok {
+		registry.mu.Unlock()
+		return existing, nil
+	}
+	registry.m[t.Name()] = t
+	registry.mu.Unlock()
+	return t, nil
+}
+
+// singleConsumerInput returns the first system input with exactly one
+// consumer — the canonical probe input for read-corruption campaigns.
+func singleConsumerInput(sys *model.System) (model.SignalID, error) {
+	for _, sig := range sys.SystemInputs() {
+		if len(sys.ConsumersOf(sig)) == 1 {
+			return sig, nil
+		}
+	}
+	return "", fmt.Errorf("sut: system %s has no single-consumer input to probe", sys.Name())
+}

@@ -3,7 +3,6 @@ package tank
 import (
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/model"
 )
 
@@ -138,145 +137,11 @@ func TestAlarmRaisesOnOverfill(t *testing.T) {
 	}
 }
 
-func TestConfigAndOptionsValidate(t *testing.T) {
+func TestConfigValidate(t *testing.T) {
 	if err := (Config{}).Validate(); err == nil {
 		t.Error("zero config accepted")
 	}
 	if err := (Config{InflowBase: 0.09, SetpointUnits: 50}).Validate(); err == nil {
 		t.Error("setpoint outside band accepted")
-	}
-	if err := DefaultCampaignOptions(1).Validate(); err != nil {
-		t.Fatal(err)
-	}
-	bad := DefaultCampaignOptions(1)
-	bad.PerInput = 0
-	if err := bad.Validate(); err == nil {
-		t.Error("zero PerInput accepted")
-	}
-	bad = DefaultCampaignOptions(1)
-	bad.RunMs = 10
-	if err := bad.Validate(); err == nil {
-		t.Error("tiny RunMs accepted")
-	}
-	bad = DefaultCampaignOptions(1)
-	bad.Cases = nil
-	if err := bad.Validate(); err == nil {
-		t.Error("no cases accepted")
-	}
-}
-
-func TestCampaignSmall(t *testing.T) {
-	opts := DefaultCampaignOptions(1)
-	opts.Cases = DefaultTestCases()[:1]
-	opts.PerInput = 6
-	opts.RunMs = 20_000
-	res, err := EstimatePermeability(opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Runs != 8*6 { // 8 module input ports
-		t.Errorf("runs = %d, want 48", res.Runs)
-	}
-	for _, e := range NewSystem().Edges() {
-		v := res.Matrix.Get(e)
-		if v < 0 || v > 1 {
-			t.Errorf("edge %v = %v outside [0,1]", e, v)
-		}
-	}
-}
-
-func TestRuntimeCriticalityDivergence(t *testing.T) {
-	if testing.Short() {
-		t.Skip("medium campaign")
-	}
-	opts := DefaultCampaignOptions(1)
-	opts.Cases = DefaultTestCases()[:2]
-	opts.PerInput = 24
-	opts.RunMs = 30_000
-	res, err := EstimatePermeability(opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ranks, err := RankCriticality(res.Matrix)
-	if err != nil {
-		t.Fatal(err)
-	}
-	byName := map[model.SignalID]CriticalityReport{}
-	for _, r := range ranks {
-		byName[r.Signal] = r
-	}
-
-	// cmd and inflow reach only the valve; trend and level reach both
-	// outputs — the runtime realization of the paper's Section 8 point.
-	if r := byName[SigCmd]; r.ImpactAlarm != 0 || r.ImpactValve <= 0 {
-		t.Errorf("cmd impacts = %+v, want valve-only", r)
-	}
-	if r := byName[SigInflow]; r.ImpactAlarm != 0 {
-		t.Errorf("inflow impacts alarm: %+v", r)
-	}
-	if r := byName[SigTrend]; r.ImpactAlarm <= 0 || r.ImpactValve <= 0 {
-		t.Errorf("trend impacts = %+v, want both outputs", r)
-	}
-	// Criticality must order consistently with Eq. 4 given the declared
-	// output criticalities (valve 1.0, alarm 0.25).
-	for _, r := range ranks {
-		want := 1 - (1-1.0*r.ImpactValve)*(1-0.25*r.ImpactAlarm)
-		if diff := r.Criticality - want; diff > 1e-9 || diff < -1e-9 {
-			t.Errorf("%s criticality %v, want %v", r.Signal, r.Criticality, want)
-		}
-	}
-}
-
-func TestCampaignDeterministic(t *testing.T) {
-	opts := DefaultCampaignOptions(7)
-	opts.Cases = DefaultTestCases()[:1]
-	opts.PerInput = 4
-	opts.RunMs = 15_000
-	a, err := EstimatePermeability(opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := EstimatePermeability(opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, e := range NewSystem().Edges() {
-		if a.Matrix.Get(e) != b.Matrix.Get(e) {
-			t.Errorf("edge %v differs across identical campaigns", e)
-		}
-	}
-}
-
-func TestPASelectionOnTank(t *testing.T) {
-	if testing.Short() {
-		t.Skip("medium campaign")
-	}
-	opts := DefaultCampaignOptions(1)
-	opts.Cases = DefaultTestCases()[:2]
-	opts.PerInput = 24
-	opts.RunMs = 30_000
-	res, err := EstimatePermeability(opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pr, err := core.BuildProfile(res.Matrix)
-	if err != nil {
-		t.Fatal(err)
-	}
-	sel := core.SelectPA(pr, core.DefaultThresholds())
-	picked := map[model.SignalID]bool{}
-	for _, s := range sel.Selected() {
-		picked[s] = true
-	}
-	// The placement rules transfer: guarded signals must be internal,
-	// non-boolean, exposed and consequential.
-	for s := range picked {
-		sig, _ := NewSystem().Signal(s)
-		if sig.Kind != model.KindIntermediate {
-			t.Errorf("PA selected boundary signal %s", s)
-		}
-	}
-	if len(picked) == 0 {
-		t.Error("PA selected nothing on the tank target")
 	}
 }
