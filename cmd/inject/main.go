@@ -35,6 +35,15 @@
 // hidden worker mode — with per-shard deadlines, retries and integrity
 // checks; -checkpoint journals finished shards so a killed campaign
 // resumes where it stopped. Results are byte-identical either way.
+//
+// With -fleet (a comma-separated list of worker-agent addresses,
+// started with inject -worker-listen) shards are dispatched over the
+// network instead, with heartbeats, straggler re-dispatch and
+// reconnect on top of the same deadlines, retries and integrity
+// checks; -fleet-listen additionally accepts agents that register
+// themselves (inject -worker-connect). An unreachable fleet degrades
+// to subprocess and then in-process execution. Results remain
+// byte-identical, and a -checkpoint journal resumes across transports.
 package main
 
 import (
@@ -149,6 +158,16 @@ func run() error {
 		"shard retry budget (0 = default, -1 disables)")
 	workerShard := flag.Bool("worker-shard", false,
 		"internal: serve campaign shards to a parent dispatcher on stdin/stdout")
+	fleet := flag.String("fleet", "",
+		"comma-separated worker-agent addresses (host:port) for networked shard dispatch (implies -dispatch)")
+	fleetListen := flag.String("fleet-listen", "",
+		"also accept worker-agent registrations on this address (coordinator side of -worker-connect)")
+	heartbeat := flag.Duration("heartbeat", 0,
+		"fleet worker heartbeat interval, e.g. 500ms (0 = default, negative disables)")
+	workerListen := flag.String("worker-listen", "",
+		"run as a networked worker agent serving campaign shards on this address")
+	workerConnect := flag.String("worker-connect", "",
+		"run as a networked worker agent registering with a coordinator at this address")
 	obsAddr := flag.String("obs-addr", "",
 		"serve /metrics, /healthz, /debug/vars and /debug/pprof on this address (e.g. localhost:9090)")
 	eventsOut := flag.String("events-out", "",
@@ -160,10 +179,24 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if err := experiment.ValidateFleetFlags(*fleet, *fleetListen, *workerListen, *workerConnect, *heartbeat, *workerShard); err != nil {
+		return err
+	}
 	if *workerShard {
 		return experiment.ServeWorker(ctx, os.Getenv(experiment.WorkerSpecEnv), os.Stdin, os.Stdout)
 	}
-	if err := experiment.ValidateDispatchFlags(*workers, *shards, *shardTimeout, *retries, *checkpoint, *dispatchMode); err != nil {
+	if *workerListen != "" || *workerConnect != "" {
+		stopTelemetry, err := experiment.StartTelemetry(experiment.TelemetryFlags{
+			ObsAddr: *obsAddr, EventsOut: *eventsOut, Progress: *progress,
+		}, os.Stderr)
+		if err != nil {
+			return err
+		}
+		defer stopTelemetry()
+		return experiment.RunWorkerAgent(ctx, *workerListen, *workerConnect, os.Stderr)
+	}
+	fleetMode := *fleet != "" || *fleetListen != ""
+	if err := experiment.ValidateDispatchFlags(*workers, *shards, *shardTimeout, *retries, *checkpoint, *dispatchMode || fleetMode); err != nil {
 		return err
 	}
 
@@ -212,7 +245,7 @@ func run() error {
 	opts.Shards = *shards
 	opts.Adaptive = !*exact // before SelfDispatch: the worker spec snapshots opts
 	opts.Timings = campaign.NewCollector()
-	if *dispatchMode || *checkpoint != "" {
+	if *dispatchMode || *checkpoint != "" || fleetMode {
 		steps := tightnessSteps()
 		spec := experiment.WorkerSpec{
 			PerSignal: *perSignal, RAMLocations: *ram, StackLocations: *stack,
@@ -221,7 +254,16 @@ func run() error {
 			MatrixTargets: matrixTargets, MatrixModels: matrixModels, MatrixPerCell: *perCell,
 			ModelJSON: modelJSON,
 		}
-		if err := experiment.SelfDispatch(&opts, spec, "-worker-shard",
+		if fleetMode {
+			addrs, err := experiment.ParseFleet(*fleet)
+			if err != nil {
+				return err
+			}
+			if err := experiment.FleetDispatch(&opts, spec, "-worker-shard", addrs, *fleetListen,
+				*heartbeat, *checkpoint, *shardTimeout, *retries, os.Stderr); err != nil {
+				return err
+			}
+		} else if err := experiment.SelfDispatch(&opts, spec, "-worker-shard",
 			*checkpoint, *shardTimeout, *retries, os.Stderr); err != nil {
 			return err
 		}

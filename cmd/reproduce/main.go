@@ -18,6 +18,12 @@
 // and integrity checks; -checkpoint journals finished shards so a
 // killed reproduction resumes where it stopped. Results are
 // byte-identical either way.
+//
+// With -fleet (worker-agent addresses, started with reproduce
+// -worker-listen) the shards are dispatched over the network with
+// heartbeats, straggler re-dispatch and reconnect; an unreachable
+// fleet degrades to subprocess and then in-process execution, and a
+// -checkpoint journal resumes across transports.
 package main
 
 import (
@@ -80,6 +86,16 @@ func run() error {
 		"shard retry budget (0 = default, -1 disables)")
 	workerShard := flag.Bool("worker-shard", false,
 		"internal: serve campaign shards to a parent dispatcher on stdin/stdout")
+	fleet := flag.String("fleet", "",
+		"comma-separated worker-agent addresses (host:port) for networked shard dispatch (implies -dispatch)")
+	fleetListen := flag.String("fleet-listen", "",
+		"also accept worker-agent registrations on this address (coordinator side of -worker-connect)")
+	heartbeat := flag.Duration("heartbeat", 0,
+		"fleet worker heartbeat interval, e.g. 500ms (0 = default, negative disables)")
+	workerListen := flag.String("worker-listen", "",
+		"run as a networked worker agent serving campaign shards on this address")
+	workerConnect := flag.String("worker-connect", "",
+		"run as a networked worker agent registering with a coordinator at this address")
 	obsAddr := flag.String("obs-addr", "",
 		"serve /metrics, /healthz, /debug/vars and /debug/pprof on this address (e.g. localhost:9090)")
 	eventsOut := flag.String("events-out", "",
@@ -91,10 +107,24 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if err := experiment.ValidateFleetFlags(*fleet, *fleetListen, *workerListen, *workerConnect, *heartbeat, *workerShard); err != nil {
+		return err
+	}
 	if *workerShard {
 		return experiment.ServeWorker(ctx, os.Getenv(experiment.WorkerSpecEnv), os.Stdin, os.Stdout)
 	}
-	if err := experiment.ValidateDispatchFlags(*workers, *shards, *shardTimeout, *retries, *checkpoint, *dispatchMode); err != nil {
+	if *workerListen != "" || *workerConnect != "" {
+		stopTelemetry, err := experiment.StartTelemetry(experiment.TelemetryFlags{
+			ObsAddr: *obsAddr, EventsOut: *eventsOut, Progress: *progress,
+		}, os.Stderr)
+		if err != nil {
+			return err
+		}
+		defer stopTelemetry()
+		return experiment.RunWorkerAgent(ctx, *workerListen, *workerConnect, os.Stderr)
+	}
+	fleetMode := *fleet != "" || *fleetListen != ""
+	if err := experiment.ValidateDispatchFlags(*workers, *shards, *shardTimeout, *retries, *checkpoint, *dispatchMode || fleetMode); err != nil {
 		return err
 	}
 	if tgt, err := sut.Lookup(*targetName); err != nil {
@@ -132,10 +162,13 @@ func run() error {
 	if *mode == "measured" || *mode == "both" {
 		header("MEASURED MODE: end-to-end reproduction on the reimplemented target")
 		df := dispatchFlags{
-			enabled:    *dispatchMode || *checkpoint != "",
-			checkpoint: *checkpoint,
-			timeout:    *shardTimeout,
-			retries:    *retries,
+			enabled:     *dispatchMode || *checkpoint != "" || fleetMode,
+			checkpoint:  *checkpoint,
+			timeout:     *shardTimeout,
+			retries:     *retries,
+			fleet:       *fleet,
+			fleetListen: *fleetListen,
+			heartbeat:   *heartbeat,
 		}
 		if err := measuredMode(ctx, want, sz, *seed, *workers, *shards, *exact, *benchOut, df); err != nil {
 			return err
@@ -228,10 +261,13 @@ func paperMode(want func(string) bool) error {
 // dispatchFlags carries the subprocess-dispatcher selection from the
 // command line into measured mode.
 type dispatchFlags struct {
-	enabled    bool
-	checkpoint string
-	timeout    time.Duration
-	retries    int
+	enabled     bool
+	checkpoint  string
+	timeout     time.Duration
+	retries     int
+	fleet       string
+	fleetListen string
+	heartbeat   time.Duration
 }
 
 func measuredMode(ctx context.Context, want func(string) bool, sz sizes, seed int64, workers, shards int, exact bool, benchOut string, df dispatchFlags) error {
@@ -246,7 +282,16 @@ func measuredMode(ctx context.Context, want func(string) bool, sz sizes, seed in
 			RAMLocations: sz.ram, StackLocations: sz.stack,
 			PerModel: sz.perSignal / 2, RecoveryRAM: sz.ram / 2, RecoveryStack: sz.stack / 2,
 		}
-		if err := experiment.SelfDispatch(&opts, spec, "-worker-shard",
+		if df.fleet != "" || df.fleetListen != "" {
+			addrs, err := experiment.ParseFleet(df.fleet)
+			if err != nil {
+				return err
+			}
+			if err := experiment.FleetDispatch(&opts, spec, "-worker-shard", addrs, df.fleetListen,
+				df.heartbeat, df.checkpoint, df.timeout, df.retries, os.Stderr); err != nil {
+				return err
+			}
+		} else if err := experiment.SelfDispatch(&opts, spec, "-worker-shard",
 			df.checkpoint, df.timeout, df.retries, os.Stderr); err != nil {
 			return err
 		}

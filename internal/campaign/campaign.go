@@ -116,6 +116,7 @@ func Execute[Run, Result, Out any](ctx context.Context, c Campaign[Run, Result, 
 	var (
 		runsDone                  *obs.Counter
 		preRunRetries, preShRetry int64
+		preReconn, preStrag       int64
 		preShardCounts            []int64
 	)
 	if tel != nil {
@@ -125,6 +126,8 @@ func Execute[Run, Result, Out any](ctx context.Context, c Campaign[Run, Result, 
 		tel.Progress.StartCampaign(c.Name(), len(plan))
 		preRunRetries = tel.RunRetries.Value()
 		preShRetry = tel.DispatchRetries.Value()
+		preReconn = tel.FleetReconnects.Value()
+		preStrag = tel.FleetStragglers.Value()
 		preShardCounts = tel.ShardDur.Counts()
 
 		inner := fn
@@ -184,6 +187,8 @@ func Execute[Run, Result, Out any](ctx context.Context, c Campaign[Run, Result, 
 		if tel != nil {
 			ext.RunRetries = tel.RunRetries.Value() - preRunRetries
 			ext.ShardRetries = tel.DispatchRetries.Value() - preShRetry
+			ext.FleetReconnects = tel.FleetReconnects.Value() - preReconn
+			ext.StragglerRedispatches = tel.FleetStragglers.Value() - preStrag
 			counts := tel.ShardDur.Counts()
 			for i := range counts {
 				if i < len(preShardCounts) {

@@ -1,0 +1,90 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	dnet "repro/internal/campaign/dispatch/net"
+)
+
+func TestNetFaultsDeterministic(t *testing.T) {
+	mk := func() *NetFaults {
+		return &NetFaults{Seed: 7, DropRate: 0.2, CorruptRate: 0.2, ResetRate: 0.1, DelayRate: 0.1, Delay: time.Millisecond}
+	}
+	a, b := mk(), mk()
+	for ord := uint64(0); ord < 200; ord++ {
+		for _, dir := range []dnet.Direction{dnet.Send, dnet.Recv} {
+			if got, want := a.Frame(dir, ord), b.Frame(dir, ord); got != want {
+				t.Fatalf("dir=%v ord=%d: %+v vs %+v — draw is not deterministic", dir, ord, got, want)
+			}
+		}
+	}
+	if a.Faults() == 0 {
+		t.Fatal("rates totalling 0.6 over 400 frames injected no faults")
+	}
+}
+
+func TestNetFaultsDirectionsDrawIndependently(t *testing.T) {
+	nf := &NetFaults{Seed: 11, DropRate: 0.5}
+	same := 0
+	const frames = 200
+	for ord := uint64(0); ord < frames; ord++ {
+		if nf.Frame(dnet.Send, ord).Drop == nf.Frame(dnet.Recv, ord).Drop {
+			same++
+		}
+	}
+	if same == frames {
+		t.Fatal("send and recv draws are identical; direction is not mixed into the draw")
+	}
+}
+
+func TestNetFaultsSkipFrames(t *testing.T) {
+	nf := &NetFaults{Seed: 3, DropRate: 1}
+	if got := nf.Frame(dnet.Send, 0); !got.Drop {
+		t.Fatalf("frame 0 with SkipFrames unset should drop, got %+v", got)
+	}
+	nf2 := &NetFaults{Seed: 3, DropRate: 1, SkipFrames: 4}
+	for ord := uint64(0); ord < 4; ord++ {
+		if got := nf2.Frame(dnet.Send, ord); got != (dnet.Action{}) {
+			t.Fatalf("frame %d inside skip window got fault %+v", ord, got)
+		}
+	}
+	if got := nf2.Frame(dnet.Send, 4); !got.Drop {
+		t.Fatalf("frame 4 past skip window should drop, got %+v", got)
+	}
+}
+
+func TestNetFaultsMaxFaultsCap(t *testing.T) {
+	nf := &NetFaults{Seed: 5, DropRate: 1, MaxFaults: 3}
+	dropped := 0
+	for ord := uint64(0); ord < 50; ord++ {
+		if nf.Frame(dnet.Recv, ord).Drop {
+			dropped++
+		}
+	}
+	if dropped != 3 {
+		t.Fatalf("MaxFaults=3 but %d frames dropped", dropped)
+	}
+	if nf.Faults() != 3 {
+		t.Fatalf("Faults() = %d, want 3", nf.Faults())
+	}
+}
+
+func TestNetFaultsObserver(t *testing.T) {
+	var kinds []Fault
+	nf := &NetFaults{
+		Seed: 9, CorruptRate: 1, MaxFaults: 2,
+		OnFault: func(dir dnet.Direction, ordinal uint64, kind Fault) { kinds = append(kinds, kind) },
+	}
+	for ord := uint64(0); ord < 5; ord++ {
+		nf.Frame(dnet.Send, ord)
+	}
+	if len(kinds) != 2 {
+		t.Fatalf("observer saw %d faults, want 2", len(kinds))
+	}
+	for _, k := range kinds {
+		if k != FaultCorrupt {
+			t.Fatalf("observer saw %s, want %s", k, FaultCorrupt)
+		}
+	}
+}

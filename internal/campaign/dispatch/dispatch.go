@@ -164,13 +164,8 @@ func (e *permanentError) Unwrap() error { return e.err }
 // journaled shards, then dispatch the rest to workers (or run them in
 // process when degraded), retrying infrastructure failures per shard.
 func (s *Subprocess) RunPayload(ctx context.Context, job campaign.PayloadJob) error {
-	tasks := s.partition(job)
-	tel := obs.Active()
-	if tel != nil {
-		tel.DispatchShards.Add(int64(len(tasks)))
-		tel.ShardsPlanned.Add(int64(len(tasks)))
-		tel.Progress.SetShards(len(tasks))
-	}
+	tasks := partition(job, s.shards())
+	markShardsPlanned(len(tasks))
 
 	var j *journal
 	if s.Checkpoint != "" {
@@ -183,6 +178,7 @@ func (s *Subprocess) RunPayload(ctx context.Context, job campaign.PayloadJob) er
 
 	pool := &workerPool{s: s}
 	defer pool.closeAll()
+	tel := obs.Active()
 	degraded := len(s.Command) == 0
 	if !degraded {
 		// Probe: if the very first worker cannot be spawned (missing
@@ -201,28 +197,54 @@ func (s *Subprocess) RunPayload(ctx context.Context, job campaign.PayloadJob) er
 		defer tel.Degraded.Set(0)
 	}
 
+	pending := resumeJournaled(job, tasks, j, s.Checkpoint, s.logf)
+	if len(pending) == 0 {
+		return ctx.Err()
+	}
+	return runShardSlots(ctx, pending, s.workers(), func(ctx context.Context, t task) error {
+		return s.runShard(ctx, job, t, j, pool, degraded)
+	})
+}
+
+// markShardsPlanned records a dispatcher's shard plan in telemetry.
+func markShardsPlanned(n int) {
+	if tel := obs.Active(); tel != nil {
+		tel.DispatchShards.Add(int64(n))
+		tel.ShardsPlanned.Add(int64(n))
+		tel.Progress.SetShards(n)
+	}
+}
+
+// resumeJournaled replays every journaled shard of the plan and
+// returns the pending remainder in plan order. The journal is keyed by
+// (campaign, plan hash, shard id) — pure functions of campaign
+// identity — so a checkpoint written under one dispatcher resumes
+// under any other.
+func resumeJournaled(job campaign.PayloadJob, tasks []task, j *journal, checkpoint string, logf func(string, ...any)) []task {
+	if j == nil {
+		return tasks
+	}
+	tel := obs.Active()
 	pending := tasks[:0]
 	resumed := 0
 	for _, t := range tasks {
-		if j != nil {
-			if payloads, ok := j.lookup(job.Campaign, hex64(job.PlanHash), hex64(t.id)); ok {
-				if replayShard(job, t, payloads) {
-					resumed++
-					if tel != nil {
-						tel.DispatchResumed.Inc()
-						tel.DispatchDone.Inc()
-						tel.ShardsDone.Inc()
-						tel.Progress.ShardDone()
-					}
-					continue
+		if payloads, ok := j.lookup(job.Campaign, hex64(job.PlanHash), hex64(t.id)); ok {
+			if replayShard(job, t, payloads) {
+				resumed++
+				if tel != nil {
+					tel.DispatchResumed.Inc()
+					tel.DispatchDone.Inc()
+					tel.ShardsDone.Inc()
+					tel.Progress.ShardDone()
 				}
-				s.logf("dispatch: journaled shard %s failed to replay; re-running it", hex64(t.id))
+				continue
 			}
+			logf("dispatch: journaled shard %s failed to replay; re-running it", hex64(t.id))
 		}
 		pending = append(pending, t)
 	}
-	if j != nil && resumed > 0 {
-		s.logf("dispatch: resumed %d/%d shards of %s from checkpoint %s", resumed, len(tasks), job.Campaign, s.Checkpoint)
+	if resumed > 0 {
+		logf("dispatch: resumed %d/%d shards of %s from checkpoint %s", resumed, len(tasks), job.Campaign, checkpoint)
 		if tel != nil {
 			tel.Events.Emit("dispatch.resume", map[string]string{
 				"campaign": job.Campaign,
@@ -230,10 +252,12 @@ func (s *Subprocess) RunPayload(ctx context.Context, job campaign.PayloadJob) er
 			})
 		}
 	}
-	if len(pending) == 0 {
-		return ctx.Err()
-	}
+	return pending
+}
 
+// runShardSlots drives the pending shards through `slots` concurrent
+// workers, stopping at the first shard failure.
+func runShardSlots(ctx context.Context, pending []task, slots int, run func(ctx context.Context, t task) error) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
@@ -251,7 +275,6 @@ func (s *Subprocess) RunPayload(ctx context.Context, job campaign.PayloadJob) er
 
 	work := make(chan task)
 	var wg sync.WaitGroup
-	slots := s.workers()
 	if slots > len(pending) {
 		slots = len(pending)
 	}
@@ -263,7 +286,7 @@ func (s *Subprocess) RunPayload(ctx context.Context, job campaign.PayloadJob) er
 				if ctx.Err() != nil {
 					return
 				}
-				if err := s.runShard(ctx, job, t, j, pool, degraded); err != nil {
+				if err := run(ctx, t); err != nil {
 					fail(err)
 					return
 				}
@@ -292,8 +315,7 @@ feed:
 
 // partition buckets the plan exactly like campaign.Sharded: run i in
 // bucket keys[i] % shards, ascending plan order within a bucket.
-func (s *Subprocess) partition(job campaign.PayloadJob) []task {
-	shards := s.shards()
+func partition(job campaign.PayloadJob, shards int) []task {
 	buckets := make([][]int, shards)
 	for i := 0; i < job.N; i++ {
 		k := uint64(i)
@@ -345,7 +367,36 @@ func indicesMatch(payloads []runPayload, indices []int) bool {
 // process), verify, store, journal — retrying infrastructure failures
 // with backoff on a fresh worker until the attempt budget is gone.
 func (s *Subprocess) runShard(ctx context.Context, job campaign.PayloadJob, t task, j *journal, pool *workerPool, degraded bool) error {
-	attempts := s.attempts()
+	rt := retrier{
+		attempts: s.attempts(),
+		base:     s.BackoffBase,
+		cap:      s.BackoffCap,
+		seed:     s.Seed,
+		logf:     s.logf,
+	}
+	return rt.runShard(ctx, job, t, j, func(ctx context.Context) ([]runPayload, error) {
+		if degraded {
+			return runShardInProcess(ctx, job, t, j != nil)
+		}
+		return s.runShardOnWorker(ctx, job, t, pool)
+	})
+}
+
+// retrier is the per-shard retry policy shared by the subprocess and
+// fleet dispatchers: attempt budget, capped exponential backoff with
+// deterministic jitter, permanent-vs-retryable classification, journal
+// append on success.
+type retrier struct {
+	attempts  int
+	base, cap time.Duration
+	seed      int64
+	logf      func(string, ...any)
+}
+
+// runShard drives one shard through attempt() until it succeeds, fails
+// permanently, or the budget is gone.
+func (rt retrier) runShard(ctx context.Context, job campaign.PayloadJob, t task, j *journal, try func(ctx context.Context) ([]runPayload, error)) error {
+	attempts := rt.attempts
 	tel := obs.Active()
 	var shardStart time.Time
 	if tel != nil {
@@ -357,13 +408,7 @@ func (s *Subprocess) runShard(ctx context.Context, job campaign.PayloadJob, t ta
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		var payloads []runPayload
-		var err error
-		if degraded {
-			payloads, err = s.runShardInProcess(ctx, job, t, j != nil)
-		} else {
-			payloads, err = s.runShardOnWorker(ctx, job, t, pool)
-		}
+		payloads, err := try(ctx)
 		if err == nil {
 			if j != nil {
 				if aerr := j.append(job.Campaign, hex64(job.PlanHash), hex64(t.id), payloads); aerr != nil {
@@ -371,7 +416,7 @@ func (s *Subprocess) runShard(ctx context.Context, job campaign.PayloadJob, t ta
 				}
 			}
 			if attempt > 1 {
-				s.logf("dispatch: shard %s (%d runs) completed on attempt %d/%d", hex64(t.id), len(t.indices), attempt, attempts)
+				rt.logf("dispatch: shard %s (%d runs) completed on attempt %d/%d", hex64(t.id), len(t.indices), attempt, attempts)
 			}
 			if tel != nil {
 				tel.ShardDur.ObserveSince(shardStart)
@@ -385,7 +430,7 @@ func (s *Subprocess) runShard(ctx context.Context, job campaign.PayloadJob, t ta
 		if errors.As(err, &perm) {
 			// Classification is logged exactly once per failure, here:
 			// permanent failures never reach the retry loop below.
-			s.logf("dispatch: shard %s: permanent failure (campaign-level error; re-dispatch cannot heal it): %v", hex64(t.id), err)
+			rt.logf("dispatch: shard %s: permanent failure (campaign-level error; re-dispatch cannot heal it): %v", hex64(t.id), err)
 			if tel != nil {
 				tel.DispatchPermanent.Inc()
 				tel.Events.Emit("dispatch.permanent", map[string]string{
@@ -399,16 +444,16 @@ func (s *Subprocess) runShard(ctx context.Context, job campaign.PayloadJob, t ta
 		}
 		lastErr = err
 		if attempt < attempts {
-			d := campaign.BackoffDelay(s.BackoffBase, s.BackoffCap, s.Seed, t.id, attempt)
+			d := campaign.BackoffDelay(rt.base, rt.cap, rt.seed, t.id, attempt)
 			// The retryable classification (with the error) is logged on
 			// the shard's first failure only; later attempts log the
 			// bare retry so a flapping shard cannot flood the log.
 			if !classified {
 				classified = true
-				s.logf("dispatch: shard %s attempt %d/%d failed: %v (classified retryable); retrying on a fresh worker in %s",
+				rt.logf("dispatch: shard %s attempt %d/%d failed: %v (classified retryable); retrying on a fresh worker in %s",
 					hex64(t.id), attempt, attempts, err, d)
 			} else {
-				s.logf("dispatch: shard %s attempt %d/%d failed; retrying in %s", hex64(t.id), attempt, attempts, d)
+				rt.logf("dispatch: shard %s attempt %d/%d failed; retrying in %s", hex64(t.id), attempt, attempts, d)
 			}
 			if tel != nil {
 				tel.DispatchRetries.Inc()
@@ -433,7 +478,7 @@ func (s *Subprocess) runShard(ctx context.Context, job campaign.PayloadJob, t ta
 // runShardInProcess is the degraded path: execute the shard's runs in
 // this process (results land via job.Exec) and, when journaling,
 // encode them for the checkpoint. Campaign errors are permanent.
-func (s *Subprocess) runShardInProcess(ctx context.Context, job campaign.PayloadJob, t task, journaling bool) ([]runPayload, error) {
+func runShardInProcess(ctx context.Context, job campaign.PayloadJob, t task, journaling bool) ([]runPayload, error) {
 	var payloads []runPayload
 	for _, i := range t.indices {
 		if err := ctx.Err(); err != nil {
@@ -474,12 +519,34 @@ func (s *Subprocess) runShardOnWorker(ctx context.Context, job campaign.PayloadJ
 		pool.destroy(w)
 		return nil, err
 	}
+	payloads, err := verifyAndStore(job, t, resp)
+	if err != nil {
+		// A worker-reported campaign error is deterministic — the worker
+		// itself is healthy; anything else produced a corrupt result and
+		// the worker is not trusted again.
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			pool.release(w)
+		} else {
+			pool.destroy(w)
+		}
+		return nil, err
+	}
+	pool.release(w)
+	return payloads, nil
+}
+
+// verifyAndStore checks one shard response end to end — worker-side
+// campaign error, index set, integrity hash — and stores its payloads.
+// A campaign-level error comes back as a permanentError; any mismatch
+// or decode failure is a retryable corruption. Shared by the
+// subprocess and fleet dispatchers so both enforce identical trust in
+// worker results.
+func verifyAndStore(job campaign.PayloadJob, t task, resp response) ([]runPayload, error) {
 	if resp.Error != "" {
-		pool.release(w)
 		return nil, &permanentError{fmt.Errorf("worker reported: %s", resp.Error)}
 	}
 	if !indicesMatch(resp.Results, t.indices) || resp.Hash != hex64(payloadHash(t.id, resp.Results)) {
-		pool.destroy(w)
 		if tel := obs.Active(); tel != nil {
 			tel.DispatchIntegrity.Inc()
 			tel.Events.Emit("dispatch.integrity", map[string]string{"shard": hex64(t.id)})
@@ -488,7 +555,6 @@ func (s *Subprocess) runShardOnWorker(ctx context.Context, job campaign.PayloadJ
 	}
 	for _, rp := range resp.Results {
 		if serr := job.Store(rp.Index, rp.Payload); serr != nil {
-			pool.destroy(w)
 			if tel := obs.Active(); tel != nil {
 				tel.DispatchIntegrity.Inc()
 				tel.Events.Emit("dispatch.integrity", map[string]string{"shard": hex64(t.id)})
@@ -496,7 +562,6 @@ func (s *Subprocess) runShardOnWorker(ctx context.Context, job campaign.PayloadJ
 			return nil, fmt.Errorf("corrupted shard result (run %d failed to decode): %w", rp.Index, serr)
 		}
 	}
-	pool.release(w)
 	return resp.Results, nil
 }
 

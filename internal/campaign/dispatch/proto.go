@@ -13,16 +13,22 @@
 // campaign identity, so a dispatched campaign reduces byte-identically
 // to a serial one; internal/campaign/chaos injects faults into this
 // very seam to prove it.
+//
+// The same frame protocol also runs over TCP/TLS connections: ServeNet
+// and DialAndServe turn a process into a networked worker agent, and
+// the Fleet executor coordinates shards across a fleet of them with
+// heartbeats, straggler re-dispatch and capped-backoff reconnect —
+// degrading to Subprocess and then to in-process execution when the
+// fleet is empty. See the dnet sub-package for the transport.
 package dispatch
 
 import (
-	"bufio"
 	"encoding/binary"
-	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"io"
 
+	dnet "repro/internal/campaign/dispatch/net"
 	"repro/internal/obs"
 )
 
@@ -33,8 +39,9 @@ const protoVersion = 2
 
 // maxFrame bounds a frame body so a corrupted length prefix cannot ask
 // the reader to allocate unbounded memory (a detected data error, in
-// the paper's terms, not a crash).
-const maxFrame = 256 << 20
+// the paper's terms, not a crash). The limit lives with the codec in
+// the dnet sub-package; pipes and sockets share it.
+const maxFrame = dnet.MaxFrame
 
 // hello is the first frame a worker writes after starting, proving the
 // process came up and speaks our protocol version.
@@ -87,6 +94,32 @@ type response struct {
 type envelope struct {
 	Resp    *response    `json:"resp,omitempty"`
 	Metrics []obs.Series `json:"metrics,omitempty"`
+	// Ping is a worker-agent heartbeat on network transports: proof of
+	// life while a long shard computes. Subprocess workers never send
+	// it (pipes cannot half-fail the way sockets do), so proto-v2
+	// parents and workers interoperate unchanged.
+	Ping *pingFrame `json:"ping,omitempty"`
+}
+
+// pingFrame is the heartbeat body; the sequence number only aids
+// debugging — any arriving frame refreshes the peer's read deadline.
+type pingFrame struct {
+	Seq uint64 `json:"seq"`
+}
+
+// netConfig is the coordinator→worker frame that follows the hello on
+// network connections: worker agents start independently of any
+// campaign (unlike subprocess workers, whose spec rides in their
+// environment), so the coordinator ships the campaign spec and the
+// heartbeat interval at handshake. The worker acknowledges with a
+// response envelope (Seq 0; Error carries a spec the agent cannot
+// serve) before the first shard request.
+type netConfig struct {
+	// Spec is the opaque campaign spec (the experiment layer's encoded
+	// WorkerSpec) the agent builds its campaign lookup from.
+	Spec string `json:"spec"`
+	// HeartbeatMs is the agent's ping interval; 0 disables heartbeats.
+	HeartbeatMs int64 `json:"heartbeat_ms"`
 }
 
 // hex64 renders a 64-bit id the way every frame and journal entry
@@ -130,46 +163,11 @@ func shardID(planHash uint64, bucket int, indices []int) uint64 {
 }
 
 // writeFrame marshals v and writes it as one length-prefixed frame.
-func writeFrame(w io.Writer, v any) error {
-	body, err := json.Marshal(v)
-	if err != nil {
-		return fmt.Errorf("dispatch: marshaling frame: %w", err)
-	}
-	var pre [4]byte
-	binary.BigEndian.PutUint32(pre[:], uint32(len(body)))
-	if _, err := w.Write(pre[:]); err != nil {
-		return err
-	}
-	if _, err := w.Write(body); err != nil {
-		return err
-	}
-	if bw, ok := w.(*bufio.Writer); ok {
-		return bw.Flush()
-	}
-	return nil
-}
+// The codec lives in the dnet sub-package so pipe and socket
+// transports move identical bytes.
+func writeFrame(w io.Writer, v any) error { return dnet.WriteFrame(w, v) }
 
 // readFrame reads one length-prefixed frame into v. io.EOF at a frame
 // boundary is returned as-is (clean shutdown); anything else that cuts
 // a frame short is an unexpected-EOF error.
-func readFrame(r io.Reader, v any) error {
-	var pre [4]byte
-	if _, err := io.ReadFull(r, pre[:]); err != nil {
-		if err == io.EOF {
-			return io.EOF
-		}
-		return fmt.Errorf("dispatch: reading frame length: %w", err)
-	}
-	n := binary.BigEndian.Uint32(pre[:])
-	if n > maxFrame {
-		return fmt.Errorf("dispatch: frame of %d bytes exceeds limit", n)
-	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return fmt.Errorf("dispatch: reading %d-byte frame: %w", n, err)
-	}
-	if err := json.Unmarshal(body, v); err != nil {
-		return fmt.Errorf("dispatch: decoding frame: %w", err)
-	}
-	return nil
-}
+func readFrame(r io.Reader, v any) error { return dnet.ReadFrame(r, v) }

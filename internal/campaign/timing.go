@@ -31,6 +31,12 @@ type Timing struct {
 	// ShardRetries counts shard re-dispatches by the subprocess
 	// dispatcher during this campaign.
 	ShardRetries int64 `json:"shard_retries,omitempty"`
+	// FleetReconnects counts reconnects to lost fleet workers during
+	// this campaign; StragglerRedispatches counts duplicate shard
+	// dispatches racing stragglers. Both zero (and omitted) outside
+	// fleet dispatch.
+	FleetReconnects       int64 `json:"fleet_reconnects,omitempty"`
+	StragglerRedispatches int64 `json:"straggler_redispatches,omitempty"`
 	// ShardP50Ms / ShardP99Ms estimate per-shard wall-time percentiles
 	// (milliseconds) from the shard-duration histogram's movement.
 	ShardP50Ms float64 `json:"shard_p50_ms,omitempty"`
@@ -45,10 +51,12 @@ type Timing struct {
 
 // Extras carries the telemetry-derived additions to a timing row.
 type Extras struct {
-	RunRetries   int64
-	ShardRetries int64
-	ShardP50Ms   float64
-	ShardP99Ms   float64
+	RunRetries            int64
+	ShardRetries          int64
+	FleetReconnects       int64
+	StragglerRedispatches int64
+	ShardP50Ms            float64
+	ShardP99Ms            float64
 	// RunsPlanned, when positive, records the exact-grid size an
 	// adaptive campaign stands for; the row's RunsSaved becomes
 	// RunsPlanned - runs.
@@ -97,6 +105,8 @@ func (c *Collector) ObserveExt(campaign string, runs int, wall time.Duration, ex
 	row := NewTiming(campaign, runs, wall)
 	row.RunRetries = ext.RunRetries
 	row.ShardRetries = ext.ShardRetries
+	row.FleetReconnects = ext.FleetReconnects
+	row.StragglerRedispatches = ext.StragglerRedispatches
 	row.ShardP50Ms = ext.ShardP50Ms
 	row.ShardP99Ms = ext.ShardP99Ms
 	row.AllocsPerOp = ext.AllocsPerOp

@@ -84,21 +84,33 @@ func (o Options) withRound(st AdaptiveRound) (Options, error) {
 	}
 	d := *o.Dispatch
 	d.Env = append([]string(nil), d.Env...)
+	reencode := func(specJSON string) (string, error) {
+		var spec WorkerSpec
+		if err := json.Unmarshal([]byte(specJSON), &spec); err != nil {
+			return "", fmt.Errorf("experiment: decoding worker spec for round state: %w", err)
+		}
+		spec.Round = &st
+		return spec.Encode()
+	}
 	prefix := WorkerSpecEnv + "="
 	for i, e := range d.Env {
 		if !strings.HasPrefix(e, prefix) {
 			continue
 		}
-		var spec WorkerSpec
-		if err := json.Unmarshal([]byte(e[len(prefix):]), &spec); err != nil {
-			return o, fmt.Errorf("experiment: decoding worker spec for round state: %w", err)
-		}
-		spec.Round = &st
-		enc, err := spec.Encode()
+		enc, err := reencode(e[len(prefix):])
 		if err != nil {
 			return o, err
 		}
 		d.Env[i] = prefix + enc
+	}
+	// The fleet handshake ships Spec directly; keep it in step with the
+	// worker environment so network agents see the same round state.
+	if d.Spec != "" {
+		enc, err := reencode(d.Spec)
+		if err != nil {
+			return o, err
+		}
+		d.Spec = enc
 	}
 	o.Dispatch = &d
 	return o, nil
@@ -174,10 +186,11 @@ func (c *roundCampaign[Run, Result]) Describe(run Run, index int) string {
 // benchBracket aggregates a whole round loop into one BENCH timing row,
 // mirroring the engine's per-campaign telemetry deltas.
 type benchBracket struct {
-	start          time.Time
-	tel            *obs.Telemetry
-	preRun, preDis int64
-	preShard       []int64
+	start              time.Time
+	tel                *obs.Telemetry
+	preRun, preDis     int64
+	preReconn, preStrg int64
+	preShard           []int64
 }
 
 func startBenchBracket() *benchBracket {
@@ -185,6 +198,8 @@ func startBenchBracket() *benchBracket {
 	if b.tel != nil {
 		b.preRun = b.tel.RunRetries.Value()
 		b.preDis = b.tel.DispatchRetries.Value()
+		b.preReconn = b.tel.FleetReconnects.Value()
+		b.preStrg = b.tel.FleetStragglers.Value()
 		b.preShard = b.tel.ShardDur.Counts()
 	}
 	return b
@@ -198,6 +213,8 @@ func (b *benchBracket) observe(col *campaign.Collector, name string, executed, p
 	if b.tel != nil {
 		ext.RunRetries = b.tel.RunRetries.Value() - b.preRun
 		ext.ShardRetries = b.tel.DispatchRetries.Value() - b.preDis
+		ext.FleetReconnects = b.tel.FleetReconnects.Value() - b.preReconn
+		ext.StragglerRedispatches = b.tel.FleetStragglers.Value() - b.preStrg
 		counts := b.tel.ShardDur.Counts()
 		for i := range counts {
 			if i < len(b.preShard) {

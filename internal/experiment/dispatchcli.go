@@ -3,8 +3,10 @@ package experiment
 import (
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 )
 
@@ -51,6 +53,7 @@ func SelfDispatch(opts *Options, spec WorkerSpec, workerFlag, checkpoint string,
 	}
 	cfg := &DispatchConfig{
 		Env:          []string{WorkerSpecEnv + "=" + specJSON},
+		Spec:         specJSON,
 		Checkpoint:   checkpoint,
 		ShardTimeout: shardTimeout,
 		Retries:      retries,
@@ -63,5 +66,79 @@ func SelfDispatch(opts *Options, spec WorkerSpec, workerFlag, checkpoint string,
 		fmt.Fprintf(log, "dispatch: cannot resolve current executable (%v); shards will run in-process\n", err)
 	}
 	opts.Dispatch = cfg
+	return nil
+}
+
+// FleetDispatch switches opts onto the networked fleet coordinator:
+// shards go to worker agents at addrs (and to agents registering on
+// listen, when set), with the subprocess dispatcher as the degradation
+// fallback when no agent is reachable. The worker spec is shipped to
+// agents at handshake, so agents need no pre-arranged environment.
+func FleetDispatch(opts *Options, spec WorkerSpec, workerFlag string, addrs []string, listen string, heartbeat time.Duration, checkpoint string, shardTimeout time.Duration, retries int, log io.Writer) error {
+	if err := SelfDispatch(opts, spec, workerFlag, checkpoint, shardTimeout, retries, log); err != nil {
+		return err
+	}
+	opts.Dispatch.Fleet = addrs
+	opts.Dispatch.FleetListen = listen
+	opts.Dispatch.Heartbeat = heartbeat
+	return nil
+}
+
+// ParseFleet splits a -fleet flag value (comma-separated host:port
+// endpoints) and validates each address shape.
+func ParseFleet(fleet string) ([]string, error) {
+	var addrs []string
+	for _, a := range strings.Split(fleet, ",") {
+		if a = strings.TrimSpace(a); a == "" {
+			continue
+		}
+		if _, _, err := net.SplitHostPort(a); err != nil {
+			return nil, fmt.Errorf("-fleet %q: %v (want host:port)", a, err)
+		}
+		addrs = append(addrs, a)
+	}
+	return addrs, nil
+}
+
+// ValidateFleetFlags checks the networked-dispatch flags of cmd/inject
+// and cmd/reproduce before any campaign work: the worker-agent flags
+// (-worker-listen / -worker-connect) are mutually exclusive with each
+// other, with the coordinator flags (-fleet / -fleet-listen) and with
+// the subprocess worker mode (-worker-shard); -fleet cannot combine
+// with -worker-shard either (a worker must never re-dispatch); and
+// -heartbeat only means something to a coordinator.
+func ValidateFleetFlags(fleet, fleetListen, workerListen, workerConnect string, heartbeat time.Duration, workerShard bool) error {
+	agent := workerListen != "" || workerConnect != ""
+	coordinator := fleet != "" || fleetListen != ""
+	switch {
+	case workerListen != "" && workerConnect != "":
+		return fmt.Errorf("-worker-listen and -worker-connect are mutually exclusive (serve or register, not both)")
+	case agent && coordinator:
+		return fmt.Errorf("worker-agent flags (-worker-listen/-worker-connect) cannot combine with coordinator flags (-fleet/-fleet-listen)")
+	case agent && workerShard:
+		return fmt.Errorf("-worker-shard (subprocess worker mode) cannot combine with -worker-listen/-worker-connect")
+	case coordinator && workerShard:
+		return fmt.Errorf("-fleet/-fleet-listen cannot combine with -worker-shard (workers never re-dispatch)")
+	case heartbeat != 0 && !coordinator:
+		return fmt.Errorf("-heartbeat requires -fleet or -fleet-listen (agents take the interval from their coordinator)")
+	}
+	if _, err := ParseFleet(fleet); err != nil {
+		return err
+	}
+	if fleetListen != "" {
+		if _, _, err := net.SplitHostPort(fleetListen); err != nil {
+			return fmt.Errorf("-fleet-listen %q: %v (want host:port)", fleetListen, err)
+		}
+	}
+	if workerListen != "" {
+		if _, _, err := net.SplitHostPort(workerListen); err != nil {
+			return fmt.Errorf("-worker-listen %q: %v (want host:port)", workerListen, err)
+		}
+	}
+	if workerConnect != "" {
+		if _, _, err := net.SplitHostPort(workerConnect); err != nil {
+			return fmt.Errorf("-worker-connect %q: %v (want host:port)", workerConnect, err)
+		}
+	}
 	return nil
 }

@@ -57,6 +57,20 @@ type DispatchConfig struct {
 	Log io.Writer `json:"-"`
 	// WorkerStderr receives worker-process stderr (nil discards it).
 	WorkerStderr io.Writer `json:"-"`
+
+	// Fleet lists networked worker-agent addresses; FleetListen
+	// additionally accepts incoming agent registrations. Either being
+	// set moves execution onto the fleet coordinator (with the
+	// subprocess dispatcher as its degradation fallback).
+	Fleet       []string `json:"-"`
+	FleetListen string   `json:"-"`
+	// Heartbeat is the fleet worker ping interval (0 selects the
+	// default; negative disables heartbeats).
+	Heartbeat time.Duration `json:"-"`
+	// Spec is the encoded WorkerSpec the fleet coordinator ships to
+	// worker agents at handshake (the same JSON Env carries for
+	// subprocess workers).
+	Spec string `json:"-"`
 }
 
 // Options configures a campaign.
@@ -180,7 +194,7 @@ func (o Options) executor() campaign.Executor {
 		return o.execOverride
 	}
 	if d := o.Dispatch; d != nil {
-		return &dispatch.Subprocess{
+		sub := &dispatch.Subprocess{
 			Command:      d.Command,
 			Env:          d.Env,
 			WorkerStderr: d.WorkerStderr,
@@ -192,6 +206,23 @@ func (o Options) executor() campaign.Executor {
 			Checkpoint:   d.Checkpoint,
 			Log:          d.Log,
 		}
+		if len(d.Fleet) > 0 || d.FleetListen != "" {
+			return &dispatch.Fleet{
+				Addrs:        d.Fleet,
+				Listen:       d.FleetListen,
+				Spec:         d.Spec,
+				Workers:      o.Workers,
+				Shards:       o.Shards,
+				ShardTimeout: d.ShardTimeout,
+				Heartbeat:    d.Heartbeat,
+				Retries:      d.Retries,
+				Seed:         o.Seed,
+				Checkpoint:   d.Checkpoint,
+				Log:          d.Log,
+				Fallback:     sub,
+			}
+		}
+		return sub
 	}
 	if o.Workers <= 1 {
 		return campaign.Serial{}

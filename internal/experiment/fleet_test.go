@@ -1,0 +1,197 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/campaign/dispatch"
+)
+
+// startTestAgents runs count in-process networked worker agents on the
+// real experiment LookupFactory (the one cmd/inject -worker-listen
+// uses) and returns their dial addresses. The campaign spec reaches
+// each agent over the wire at handshake, exactly as in a two-terminal
+// deployment.
+func startTestAgents(t *testing.T, count int) []string {
+	t.Helper()
+	addrs := make([]string, count)
+	for i := range addrs {
+		ctx, cancel := context.WithCancel(context.Background())
+		addrCh := make(chan net.Addr, 1)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			dispatch.ServeNet(ctx, "127.0.0.1:0", LookupFromSpec, dispatch.NetServeOptions{
+				Ready: func(a net.Addr) { addrCh <- a },
+			})
+		}()
+		t.Cleanup(func() {
+			cancel()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Error("worker agent did not shut down")
+			}
+		})
+		select {
+		case a := <-addrCh:
+			addrs[i] = a.String()
+		case <-time.After(5 * time.Second):
+			t.Fatal("worker agent did not start")
+		}
+	}
+	return addrs
+}
+
+// fleetDispatchOpts attaches a fleet coordinator to opts, shipping the
+// encoded worker spec at handshake. No subprocess Command is set, so a
+// dead fleet would degrade straight to in-process execution — which
+// would still pass the byte-identity checks, hence the log assertions
+// where liveness matters.
+func fleetDispatchOpts(t *testing.T, opts Options, spec WorkerSpec, addrs []string, log *bytes.Buffer) Options {
+	t.Helper()
+	spec.Options = opts
+	specJSON, err := spec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Dispatch = &DispatchConfig{
+		Fleet:        addrs,
+		Spec:         specJSON,
+		Heartbeat:    200 * time.Millisecond,
+		ShardTimeout: 60 * time.Second,
+		Log:          log,
+	}
+	return opts
+}
+
+// TestFleetPermeabilityMatchesSerial pins the experiment-level fleet
+// determinism claim on the paper's Table 1 campaign: permeability
+// estimated across two networked worker agents is byte-identical to
+// the serial run, with the adaptive early-stopping rounds riding the
+// per-round fleet handshake.
+func TestFleetPermeabilityMatchesSerial(t *testing.T) {
+	const perInput = 6
+	for _, adaptive := range []bool{false, true} {
+		name := "exact"
+		if adaptive {
+			name = "adaptive"
+		}
+		ClearGoldenCache()
+		serialOpts := determinismOpts(1)
+		serialOpts.Adaptive = adaptive
+		want, err := EstimatePermeability(context.Background(), serialOpts, perInput)
+		if err != nil {
+			t.Fatalf("%s serial baseline: %v", name, err)
+		}
+
+		ClearGoldenCache()
+		addrs := startTestAgents(t, 2)
+		var log bytes.Buffer
+		opts := determinismOpts(2)
+		opts.Adaptive = adaptive
+		opts = fleetDispatchOpts(t, opts, WorkerSpec{PerInput: perInput}, addrs, &log)
+		got, err := EstimatePermeability(context.Background(), opts, perInput)
+		if err != nil {
+			t.Fatalf("%s fleet campaign: %v\nlog:\n%s", name, err, log.String())
+		}
+		if g, w := permeabilityFingerprint(t, got), permeabilityFingerprint(t, want); g != w {
+			t.Errorf("%s: fleet permeability diverged from serial\n--- serial ---\n%s\n--- fleet ---\n%s", name, w, g)
+		}
+		if !bytes.Contains(log.Bytes(), []byte("joined")) {
+			t.Errorf("%s: no worker ever joined; the fleet path was not exercised:\n%s", name, log.String())
+		}
+		if bytes.Contains(log.Bytes(), []byte("degrading")) {
+			t.Errorf("%s: the campaign degraded instead of using the fleet:\n%s", name, log.String())
+		}
+	}
+}
+
+// TestFleetInputCoverageOnTankMatchesSerial pins the same claim on a
+// second campaign and a second target: Table 4 input coverage on the
+// tank system, dispatched across a fleet, byte-identical to serial.
+func TestFleetInputCoverageOnTankMatchesSerial(t *testing.T) {
+	const perSignal = 4
+	serialOpts := tankOpts(t, 5)
+	serialOpts.Workers = 1
+	serialOpts.Cases = serialOpts.Cases[:1]
+	ClearGoldenCache()
+	want, err := InputCoverage(context.Background(), serialOpts, perSignal, nil)
+	if err != nil {
+		t.Fatalf("serial baseline: %v", err)
+	}
+
+	ClearGoldenCache()
+	addrs := startTestAgents(t, 2)
+	var log bytes.Buffer
+	opts := tankOpts(t, 5)
+	opts.Cases = opts.Cases[:1]
+	opts = fleetDispatchOpts(t, opts, WorkerSpec{PerSignal: perSignal}, addrs, &log)
+	got, err := InputCoverage(context.Background(), opts, perSignal, nil)
+	if err != nil {
+		t.Fatalf("fleet campaign: %v\nlog:\n%s", err, log.String())
+	}
+	if g, w := coverageFingerprint(t, got), coverageFingerprint(t, want); g != w {
+		t.Errorf("fleet tank coverage diverged from serial\n--- serial ---\n%s\n--- fleet ---\n%s", w, g)
+	}
+	if !bytes.Contains(log.Bytes(), []byte("joined")) {
+		t.Errorf("no worker ever joined; the fleet path was not exercised:\n%s", log.String())
+	}
+	if bytes.Contains(log.Bytes(), []byte("degrading")) {
+		t.Errorf("the campaign degraded instead of using the fleet:\n%s", log.String())
+	}
+}
+
+// TestValidateFleetFlags pins the CLI flag validation: bad
+// combinations and malformed addresses fail before any campaign work.
+func TestValidateFleetFlags(t *testing.T) {
+	cases := []struct {
+		name                                            string
+		fleet, fleetListen, workerListen, workerConnect string
+		heartbeat                                       time.Duration
+		workerShard                                     bool
+		wantErr                                         bool
+	}{
+		{name: "all off"},
+		{name: "fleet ok", fleet: "127.0.0.1:9000,127.0.0.1:9001"},
+		{name: "fleet listen ok", fleetListen: "127.0.0.1:9000"},
+		{name: "agent listen ok", workerListen: "127.0.0.1:9000"},
+		{name: "agent connect ok", workerConnect: "127.0.0.1:9000"},
+		{name: "heartbeat with fleet ok", fleet: "127.0.0.1:9000", heartbeat: time.Second},
+		{name: "listen and connect", workerListen: "a:1", workerConnect: "b:2", wantErr: true},
+		{name: "agent with coordinator", fleet: "127.0.0.1:9000", workerListen: "a:1", wantErr: true},
+		{name: "agent with worker-shard", workerConnect: "a:1", workerShard: true, wantErr: true},
+		{name: "fleet with worker-shard", fleet: "127.0.0.1:9000", workerShard: true, wantErr: true},
+		{name: "heartbeat without fleet", heartbeat: time.Second, wantErr: true},
+		{name: "malformed fleet addr", fleet: "no-port", wantErr: true},
+		{name: "malformed fleet-listen", fleetListen: "no-port", wantErr: true},
+		{name: "malformed worker-listen", workerListen: "no-port", wantErr: true},
+		{name: "malformed worker-connect", workerConnect: "no-port", wantErr: true},
+	}
+	for _, tc := range cases {
+		err := ValidateFleetFlags(tc.fleet, tc.fleetListen, tc.workerListen, tc.workerConnect, tc.heartbeat, tc.workerShard)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: err = %v, wantErr = %v", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestParseFleet pins the -fleet list parser.
+func TestParseFleet(t *testing.T) {
+	addrs, err := ParseFleet(" 127.0.0.1:9000, host:9001 ,,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 2 || addrs[0] != "127.0.0.1:9000" || addrs[1] != "host:9001" {
+		t.Errorf("addrs = %v", addrs)
+	}
+	if _, err := ParseFleet("missing-port"); err == nil {
+		t.Error("malformed address accepted")
+	}
+	if addrs, err := ParseFleet(""); err != nil || addrs != nil {
+		t.Errorf("empty flag: addrs=%v err=%v", addrs, err)
+	}
+}

@@ -91,19 +91,36 @@ func PrintRetrySummary(w io.Writer, col *campaign.Collector) {
 		return
 	}
 	var parts []string
-	var runRetries, shardRetries int64
+	var runRetries, shardRetries, reconnects, stragglers int64
 	for _, r := range rows {
 		runRetries += r.RunRetries
 		shardRetries += r.ShardRetries
-		if r.RunRetries > 0 || r.ShardRetries > 0 {
-			parts = append(parts, fmt.Sprintf("%s: %d run retries, %d shard re-dispatches",
-				r.Campaign, r.RunRetries, r.ShardRetries))
+		reconnects += r.FleetReconnects
+		stragglers += r.StragglerRedispatches
+		if r.RunRetries > 0 || r.ShardRetries > 0 || r.FleetReconnects > 0 || r.StragglerRedispatches > 0 {
+			line := fmt.Sprintf("%s: %d run retries, %d shard re-dispatches",
+				r.Campaign, r.RunRetries, r.ShardRetries)
+			// Fleet movement appends only when present, so non-fleet
+			// invocations keep the original summary shape exactly.
+			if r.FleetReconnects > 0 {
+				line += fmt.Sprintf(", %d fleet reconnects", r.FleetReconnects)
+			}
+			if r.StragglerRedispatches > 0 {
+				line += fmt.Sprintf(", %d straggler re-dispatches", r.StragglerRedispatches)
+			}
+			parts = append(parts, line)
 		}
 	}
 	if len(parts) == 0 {
 		fmt.Fprintln(w, "retry summary: no run retries or shard re-dispatches")
 		return
 	}
-	fmt.Fprintf(w, "retry summary: %s (total: %d run retries, %d shard re-dispatches)\n",
-		strings.Join(parts, "; "), runRetries, shardRetries)
+	total := fmt.Sprintf("%d run retries, %d shard re-dispatches", runRetries, shardRetries)
+	if reconnects > 0 {
+		total += fmt.Sprintf(", %d fleet reconnects", reconnects)
+	}
+	if stragglers > 0 {
+		total += fmt.Sprintf(", %d straggler re-dispatches", stragglers)
+	}
+	fmt.Fprintf(w, "retry summary: %s (total: %s)\n", strings.Join(parts, "; "), total)
 }

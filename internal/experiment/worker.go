@@ -161,6 +161,33 @@ func (s WorkerSpec) buildWorker(ctx context.Context, name string) (dispatch.Work
 	return nil, fmt.Errorf("experiment: no campaign named %q", name)
 }
 
+// LookupFromSpec builds the campaign lookup a worker serves shards
+// from: decode the spec, register any JSON-loaded model targets, and
+// return a lazy per-campaign builder. It is a dispatch.LookupFactory,
+// so network worker agents rebuild their lookup per coordinator
+// connection from the spec the handshake ships.
+func LookupFromSpec(ctx context.Context, specJSON string) (func(name string) (dispatch.Worker, error), error) {
+	if specJSON == "" {
+		return nil, fmt.Errorf("experiment: worker mode requires a campaign spec")
+	}
+	var spec WorkerSpec
+	if err := json.Unmarshal([]byte(specJSON), &spec); err != nil {
+		return nil, fmt.Errorf("experiment: decoding worker spec: %w", err)
+	}
+	for _, data := range spec.ModelJSON {
+		if _, err := sut.EnsureModelJSON(data); err != nil {
+			return nil, fmt.Errorf("experiment: registering worker model target: %w", err)
+		}
+	}
+	// Workers always run with a (registry-only) telemetry so rig-pool,
+	// golden-cache and per-run counts exist to forward to the parent
+	// over the shard protocol's metrics frames.
+	obs.EnsureActive()
+	return func(name string) (dispatch.Worker, error) {
+		return spec.buildWorker(ctx, name)
+	}, nil
+}
+
 // ServeWorker runs the hidden worker mode of the campaign commands:
 // decode the spec the parent put in the environment and answer shard
 // requests on stdin/stdout until the parent closes the pipe. Campaign
@@ -170,20 +197,24 @@ func ServeWorker(ctx context.Context, specJSON string, r io.Reader, w io.Writer)
 	if specJSON == "" {
 		return fmt.Errorf("experiment: worker mode requires a spec in $%s", WorkerSpecEnv)
 	}
-	var spec WorkerSpec
-	if err := json.Unmarshal([]byte(specJSON), &spec); err != nil {
-		return fmt.Errorf("experiment: decoding worker spec: %w", err)
+	lookup, err := LookupFromSpec(ctx, specJSON)
+	if err != nil {
+		return err
 	}
-	for _, data := range spec.ModelJSON {
-		if _, err := sut.EnsureModelJSON(data); err != nil {
-			return fmt.Errorf("experiment: registering worker model target: %w", err)
-		}
-	}
-	// Workers always run with a (registry-only) telemetry so rig-pool,
-	// golden-cache and per-run counts exist to forward to the parent
-	// over the shard protocol's metrics frames.
+	return dispatch.Serve(ctx, lookup, r, w)
+}
+
+// RunWorkerAgent runs the networked worker-agent mode of the campaign
+// commands: serve shard requests on a listen address (-worker-listen),
+// or register with a coordinator and serve over the dialed connection
+// (-worker-connect). The campaign spec arrives per connection at
+// handshake, so one agent serves many campaigns in sequence; the agent
+// runs until ctx is canceled.
+func RunWorkerAgent(ctx context.Context, listen, connect string, log io.Writer) error {
 	obs.EnsureActive()
-	return dispatch.Serve(ctx, func(name string) (dispatch.Worker, error) {
-		return spec.buildWorker(ctx, name)
-	}, r, w)
+	o := dispatch.NetServeOptions{Log: log}
+	if listen != "" {
+		return dispatch.ServeNet(ctx, listen, LookupFromSpec, o)
+	}
+	return dispatch.DialAndServe(ctx, connect, LookupFromSpec, o)
 }

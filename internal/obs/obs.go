@@ -69,6 +69,12 @@ type Telemetry struct {
 	WorkerKills       *Counter // worker processes killed/destroyed
 	Degraded          *Gauge   // 1 while the dispatcher runs shards in-process
 
+	// Networked fleet dispatcher.
+	FleetWorkers       *Gauge   // live fleet worker connections
+	FleetRegistrations *Counter // fleet workers joined (dialed or registered)
+	FleetReconnects    *Counter // reconnects to workers that were lost
+	FleetStragglers    *Counter // duplicate dispatches racing straggler shards
+
 	// Golden cache (internal/experiment).
 	GoldenHits   *Counter
 	GoldenMisses *Counter
@@ -118,6 +124,11 @@ func New(cfg Config) *Telemetry {
 		WorkerSpawns:      r.Counter("repro_dispatch_worker_spawns_total"),
 		WorkerKills:       r.Counter("repro_dispatch_worker_kills_total"),
 		Degraded:          r.Gauge("repro_dispatch_degraded"),
+
+		FleetWorkers:       r.Gauge("repro_fleet_workers"),
+		FleetRegistrations: r.Counter("repro_fleet_registrations_total"),
+		FleetReconnects:    r.Counter("repro_fleet_reconnects_total"),
+		FleetStragglers:    r.Counter("repro_fleet_straggler_redispatches_total"),
 
 		GoldenHits:   r.Counter("repro_golden_cache_hits_total"),
 		GoldenMisses: r.Counter("repro_golden_cache_misses_total"),
