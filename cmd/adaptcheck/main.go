@@ -23,6 +23,13 @@
 // run — same completion time and no difference on any recorded signal.
 // Any divergence is a pruning unsoundness and fails the audit.
 //
+// With -mode trace the tool analyzes the NDJSON event log written by a
+// campaign's -events-out flag: it reconstructs the merged span trees
+// (including worker-side spans folded in over the dispatch protocols),
+// prints each campaign trace's critical path and the slowest shards
+// with queue/exec/network phase attribution, and with -flame-out
+// writes folded stacks for flamegraph renderers.
+//
 // With -mode analytic the tool instead validates the analytic
 // propagation engine (internal/analytic) in-process:
 //
@@ -43,6 +50,7 @@
 //	adaptcheck -exact exact.json -adaptive adaptive.json [-bench BENCH_adaptive.json] [-z 1.96]
 //	adaptcheck -mode liveness [-target tank,multiout] [-per-class 8]
 //	adaptcheck -mode analytic [-bench BENCH_analytic.json]
+//	adaptcheck -mode trace -events events.ndjson [-flame-out stacks.folded] [-top 5]
 package main
 
 import (
@@ -120,7 +128,7 @@ func edgeKey(e sampleEdge) string {
 
 func run() error {
 	mode := flag.String("mode", "samples",
-		"what to check: samples (adaptive vs exact campaign), liveness (pruning soundness per target) or analytic (solver equivalence and speed)")
+		"what to check: samples (adaptive vs exact campaign), liveness (pruning soundness per target), analytic (solver equivalence and speed) or trace (campaign event-log analysis)")
 	exactPath := flag.String("exact", "", "samples JSON from the exact campaign")
 	adaptivePath := flag.String("adaptive", "", "samples JSON from the adaptive campaign")
 	benchPath := flag.String("bench", "", "adaptive BENCH_campaigns.json to audit (optional)")
@@ -129,6 +137,9 @@ func run() error {
 		"liveness mode: comma-separated registered targets (empty = every non-arrestment entry)")
 	perClass := flag.Int("per-class", 8, "liveness mode: masked targets proven per region per case")
 	seed := flag.Int64("seed", 1, "liveness mode: campaign seed")
+	eventsPath := flag.String("events", "", "trace mode: NDJSON event log from a campaign's -events-out")
+	flameOut := flag.String("flame-out", "", "trace mode: write folded flamegraph stacks to this file")
+	top := flag.Int("top", 5, "trace mode: how many straggler shards to report")
 	flag.Parse()
 
 	switch *mode {
@@ -138,8 +149,10 @@ func run() error {
 		return runLiveness(*targets, *perClass, *seed)
 	case "analytic":
 		return runAnalytic(*benchPath)
+	case "trace":
+		return runTrace(*eventsPath, *flameOut, *top)
 	default:
-		return fmt.Errorf("unknown -mode %q (want samples, liveness or analytic)", *mode)
+		return fmt.Errorf("unknown -mode %q (want samples, liveness, analytic or trace)", *mode)
 	}
 
 	if *exactPath == "" || *adaptivePath == "" {

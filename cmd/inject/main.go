@@ -169,9 +169,9 @@ func run() error {
 	workerConnect := flag.String("worker-connect", "",
 		"run as a networked worker agent registering with a coordinator at this address")
 	obsAddr := flag.String("obs-addr", "",
-		"serve /metrics, /healthz, /debug/vars and /debug/pprof on this address (e.g. localhost:9090)")
+		"serve /metrics, /healthz, the live /dash dashboard, the /events SSE stream, /debug/vars and /debug/pprof on this address (e.g. localhost:9090)")
 	eventsOut := flag.String("events-out", "",
-		"stream NDJSON span/event records to this file (- for stderr)")
+		"stream NDJSON trace span/event records to this file (- for stderr); analyze with adaptcheck -mode trace")
 	progress := flag.Bool("progress", false,
 		"live campaign progress line on stderr (~1 Hz)")
 	flag.Parse()

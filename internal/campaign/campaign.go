@@ -100,6 +100,19 @@ func Execute[Run, Result, Out any](ctx context.Context, c Campaign[Run, Result, 
 		}
 	}
 
+	// The campaign's trace id is its plan hash: deterministic, derived
+	// from identity alone, and independently computable by every process
+	// that handles a shard — traces from the whole fleet correlate with
+	// no id handshake.
+	var trace string
+	var live *obs.LiveCampaign
+	if tel != nil {
+		trace = obs.TraceID(PlanHash(c.Name(), len(plan), keys))
+		root.SetTrace(trace)
+		live = tel.Live.StartCampaign(c.Name(), ex.Name(), trace, len(plan))
+		defer tel.Live.EndCampaign(live)
+	}
+
 	results := make([]Result, len(plan))
 	fn := func(i int) error {
 		res, err := c.Execute(ctx, plan[i], i)
@@ -138,11 +151,18 @@ func Execute[Run, Result, Out any](ctx context.Context, c Campaign[Run, Result, 
 			if err == nil {
 				runsDone.Inc()
 				tel.Progress.RunDone(1)
+				live.RunDone()
 			}
 			return err
 		}
 	}
 	execSpan := root.Child("execute", map[string]string{"runs": strconv.Itoa(len(plan))})
+	if tel != nil {
+		// Carry the execute span and trace id to executors and
+		// dispatchers. Gated on telemetry so the disabled path never
+		// pays the context allocation.
+		ctx = obs.WithTrace(ctx, execSpan, trace)
+	}
 	start := time.Now()
 	// Executors that can source results from worker processes or a
 	// checkpoint journal get the payload path, provided the campaign's
@@ -168,6 +188,7 @@ func Execute[Run, Result, Out any](ctx context.Context, c Campaign[Run, Result, 
 					runsDone.Inc()
 					if tel != nil {
 						tel.Progress.RunDone(1)
+						live.RunDone()
 					}
 					return nil
 				},

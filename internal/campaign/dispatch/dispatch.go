@@ -212,6 +212,7 @@ func markShardsPlanned(n int) {
 		tel.DispatchShards.Add(int64(n))
 		tel.ShardsPlanned.Add(int64(n))
 		tel.Progress.SetShards(n)
+		tel.Live.SetShards(n)
 	}
 }
 
@@ -423,6 +424,7 @@ func (rt retrier) runShard(ctx context.Context, job campaign.PayloadJob, t task,
 				tel.DispatchDone.Inc()
 				tel.ShardsDone.Inc()
 				tel.Progress.ShardDone()
+				tel.Live.ShardDone()
 			}
 			return nil
 		}
@@ -458,6 +460,10 @@ func (rt retrier) runShard(ctx context.Context, job campaign.PayloadJob, t task,
 			if tel != nil {
 				tel.DispatchRetries.Inc()
 				tel.Progress.Retry()
+				tel.Live.UpdateShard(obs.ShardStatus{
+					ID: hex64(t.id), State: "retrying",
+					Runs: len(t.indices), Attempts: attempt,
+				})
 				tel.Events.Emit("dispatch.retry", map[string]string{
 					"shard":      hex64(t.id),
 					"attempt":    strconv.Itoa(attempt),
@@ -479,6 +485,17 @@ func (rt retrier) runShard(ctx context.Context, job campaign.PayloadJob, t task,
 // this process (results land via job.Exec) and, when journaling,
 // encode them for the checkpoint. Campaign errors are permanent.
 func runShardInProcess(ctx context.Context, job campaign.PayloadJob, t task, journaling bool) ([]runPayload, error) {
+	tel := obs.Active()
+	var sp *obs.Span
+	var start time.Time
+	if tel != nil {
+		start = time.Now()
+		sp = obs.SpanFromContext(ctx).Child("dispatch.shard", map[string]string{
+			"shard": hex64(t.id), "worker": "inproc",
+			"runs": strconv.Itoa(len(t.indices)),
+		})
+		defer sp.End()
+	}
 	var payloads []runPayload
 	for _, i := range t.indices {
 		if err := ctx.Err(); err != nil {
@@ -495,6 +512,14 @@ func runShardInProcess(ctx context.Context, job campaign.PayloadJob, t task, jou
 			payloads = append(payloads, runPayload{Index: i, Payload: p})
 		}
 	}
+	if tel != nil {
+		wall := time.Since(start).Milliseconds()
+		sp.SetAttr("exec_ms", strconv.FormatInt(wall, 10))
+		tel.Live.UpdateShard(obs.ShardStatus{
+			ID: hex64(t.id), Worker: "inproc", State: "done",
+			Runs: len(t.indices), WallMs: wall, ExecMs: wall,
+		})
+	}
 	return payloads, nil
 }
 
@@ -503,9 +528,25 @@ func runShardInProcess(ctx context.Context, job campaign.PayloadJob, t task, jou
 // corruption) are retryable; the worker that produced one is destroyed
 // so the retry lands on a fresh process.
 func (s *Subprocess) runShardOnWorker(ctx context.Context, job campaign.PayloadJob, t task, pool *workerPool) ([]runPayload, error) {
+	tel := obs.Active()
+	trace := obs.TraceFromContext(ctx)
+	var sp *obs.Span
+	var start time.Time
+	if tel != nil {
+		start = time.Now()
+		sp = obs.SpanFromContext(ctx).Child("dispatch.shard", map[string]string{
+			"shard": hex64(t.id), "worker": "subprocess",
+			"runs": strconv.Itoa(len(t.indices)),
+		})
+		defer sp.End()
+	}
 	w, err := pool.acquire()
 	if err != nil {
 		return nil, fmt.Errorf("spawning worker: %w", err)
+	}
+	queueMs := int64(0)
+	if tel != nil {
+		queueMs = time.Since(start).Milliseconds()
 	}
 	req := request{
 		Seq:      s.seq.Add(1),
@@ -513,7 +554,10 @@ func (s *Subprocess) runShardOnWorker(ctx context.Context, job campaign.PayloadJ
 		PlanHash: hex64(job.PlanHash),
 		Shard:    hex64(t.id),
 		Indices:  t.indices,
+		Trace:    trace,
+		Span:     sp.ID(),
 	}
+	tripStart := time.Now()
 	resp, err := w.roundTrip(ctx, req, s.shardTimeout())
 	if err != nil {
 		pool.destroy(w)
@@ -532,9 +576,35 @@ func (s *Subprocess) runShardOnWorker(ctx context.Context, job campaign.PayloadJ
 		}
 		return nil, err
 	}
+	if tel != nil {
+		// Attribute the shard's wall time: queue (waiting for a worker
+		// slot), exec (the worker's own measurement, from its returned
+		// root span), net (round trip minus exec — framing, pipes and
+		// scheduling).
+		tripMs := time.Since(tripStart).Milliseconds()
+		execMs := obs.RootDurMs(resp.Spans)
+		netMs := tripMs - execMs
+		if netMs < 0 {
+			netMs = 0
+		}
+		sp.SetAttr("queue_ms", strconv.FormatInt(queueMs, 10))
+		sp.SetAttr("exec_ms", strconv.FormatInt(execMs, 10))
+		sp.SetAttr("net_ms", strconv.FormatInt(netMs, 10))
+		tel.Events.FoldSpans(sp, trace, resp.Spans)
+		tel.TraceWorkerSpans.Add(int64(len(resp.Spans)))
+		tel.Live.UpdateShard(obs.ShardStatus{
+			ID: hex64(t.id), Worker: workerID(w.cmd.Process.Pid),
+			State: "done", Runs: len(t.indices),
+			WallMs:  time.Since(start).Milliseconds(),
+			QueueMs: queueMs, ExecMs: execMs, NetMs: netMs,
+		})
+	}
 	pool.release(w)
 	return payloads, nil
 }
+
+// workerID names a subprocess worker in live views and span attributes.
+func workerID(pid int) string { return fmt.Sprintf("pid:%d", pid) }
 
 // verifyAndStore checks one shard response end to end — worker-side
 // campaign error, index set, integrity hash — and stores its payloads.
@@ -635,6 +705,7 @@ func (p *workerPool) spawn() (*workerProc, error) {
 		if tel := obs.Active(); tel != nil {
 			tel.WorkerSpawns.Inc()
 			tel.Events.Emit("dispatch.spawn", map[string]string{"pid": strconv.Itoa(cmd.Process.Pid)})
+			tel.Live.WorkerJoin(workerID(cmd.Process.Pid), cmd.Process.Pid)
 		}
 		return w, nil
 	case <-w.done:
@@ -655,6 +726,7 @@ type workerProc struct {
 	done    chan struct{}
 	killed  atomic.Bool
 	err     error
+	token   string
 }
 
 // read drains the worker's stdout: the hello frame first, then one
@@ -672,6 +744,7 @@ func (w *workerProc) read(stdout io.Reader) {
 		w.err = fmt.Errorf("worker speaks protocol %d, want %d", h.Proto, protoVersion)
 		return
 	}
+	w.token = h.Token
 	close(w.helloOK)
 	for {
 		var env envelope
@@ -683,8 +756,10 @@ func (w *workerProc) read(stdout io.Reader) {
 		}
 		// Telemetry frames are merged as they arrive (the worker sends
 		// them ahead of the response they describe); only responses are
-		// handed to the shard slot.
-		if env.Metrics != nil {
+		// handed to the shard slot. A worker sharing this process (its
+		// hello carried our own token) already counted its movement in
+		// our registry — merging it again would double count.
+		if env.Metrics != nil && w.token != obs.ProcessToken() {
 			if tel := obs.Active(); tel != nil {
 				tel.Reg.Merge(env.Metrics)
 			}
@@ -734,6 +809,9 @@ func (w *workerProc) kill() {
 	if w.killed.CompareAndSwap(false, true) {
 		if tel := obs.Active(); tel != nil {
 			tel.WorkerKills.Inc()
+			if w.cmd.Process != nil {
+				tel.Live.WorkerLost(workerID(w.cmd.Process.Pid))
+			}
 		}
 	}
 	w.stdin.Close()

@@ -103,6 +103,10 @@ type Fleet struct {
 
 	logMu sync.Mutex
 	seq   atomic.Uint64
+	// trace is the running campaign's trace id, captured from the
+	// context at RunPayload entry (before connection goroutines start)
+	// so handshakes can announce it to joining workers.
+	trace string
 }
 
 func (f *Fleet) workers() int {
@@ -229,6 +233,7 @@ func (f *Fleet) fallback() *Subprocess {
 // With no reachable worker the whole campaign degrades to the fallback
 // dispatcher — same partition, same journal, same output.
 func (f *Fleet) RunPayload(ctx context.Context, job campaign.PayloadJob) error {
+	f.trace = obs.TraceFromContext(ctx)
 	reg, err := f.connect(ctx)
 	if err != nil {
 		return err
@@ -284,9 +289,10 @@ func (f *Fleet) runShard(ctx context.Context, job campaign.PayloadJob, t task, j
 
 // flight is one in-flight dispatch of a shard to one worker.
 type flight struct {
-	w    *netWorker
-	resp response
-	err  error
+	w      *netWorker
+	resp   response
+	err    error
+	wallMs int64 // round-trip time of this dispatch, for phase attribution
 }
 
 // attemptShard performs one attempt of one shard against the fleet.
@@ -298,6 +304,18 @@ type flight struct {
 // are destroyed (their dial loops reconnect fresh); healthy ones
 // return to the rotation.
 func (f *Fleet) attemptShard(ctx context.Context, job campaign.PayloadJob, t task, journaling bool, reg *fleetRegistry) ([]runPayload, error) {
+	tel := obs.Active()
+	trace := obs.TraceFromContext(ctx)
+	var sp *obs.Span
+	var start time.Time
+	if tel != nil {
+		start = time.Now()
+		sp = obs.SpanFromContext(ctx).Child("dispatch.shard", map[string]string{
+			"shard": hex64(t.id), "worker": "fleet",
+			"runs": strconv.Itoa(len(t.indices)),
+		})
+		defer sp.End()
+	}
 	w, err := reg.acquire(ctx, f.shardTimeout())
 	if err != nil {
 		if errors.Is(err, errNoWorkers) {
@@ -305,6 +323,14 @@ func (f *Fleet) attemptShard(ctx context.Context, job campaign.PayloadJob, t tas
 			return runShardInProcess(ctx, job, t, journaling)
 		}
 		return nil, err
+	}
+	queueMs := int64(0)
+	if tel != nil {
+		queueMs = time.Since(start).Milliseconds()
+		tel.Live.UpdateShard(obs.ShardStatus{
+			ID: hex64(t.id), Worker: w.id, State: "running",
+			Runs: len(t.indices), QueueMs: queueMs,
+		})
 	}
 
 	results := make(chan flight, 2)
@@ -315,9 +341,12 @@ func (f *Fleet) attemptShard(ctx context.Context, job campaign.PayloadJob, t tas
 			PlanHash: hex64(job.PlanHash),
 			Shard:    hex64(t.id),
 			Indices:  t.indices,
+			Trace:    trace,
+			Span:     sp.ID(),
 		}
+		tripStart := time.Now()
 		resp, err := w.roundTrip(ctx, req, f.shardTimeout())
-		results <- flight{w: w, resp: resp, err: err}
+		results <- flight{w: w, resp: resp, err: err, wallMs: time.Since(tripStart).Milliseconds()}
 	}
 	inflight := 1
 	go dispatch(w)
@@ -341,6 +370,28 @@ func (f *Fleet) attemptShard(ctx context.Context, job campaign.PayloadJob, t tas
 			}
 			payloads, verr := verifyAndStore(job, t, fl.resp)
 			if verr == nil {
+				if tel != nil {
+					// Attribute the winning flight: queue (waiting for a
+					// worker), exec (the worker's own root-span time), net
+					// (round trip minus exec — framing, TCP, scheduling).
+					execMs := obs.RootDurMs(fl.resp.Spans)
+					netMs := fl.wallMs - execMs
+					if netMs < 0 {
+						netMs = 0
+					}
+					sp.SetAttr("worker_id", fl.w.id)
+					sp.SetAttr("queue_ms", strconv.FormatInt(queueMs, 10))
+					sp.SetAttr("exec_ms", strconv.FormatInt(execMs, 10))
+					sp.SetAttr("net_ms", strconv.FormatInt(netMs, 10))
+					tel.Events.FoldSpans(sp, trace, fl.resp.Spans)
+					tel.TraceWorkerSpans.Add(int64(len(fl.resp.Spans)))
+					tel.Live.UpdateShard(obs.ShardStatus{
+						ID: hex64(t.id), Worker: fl.w.id, State: "done",
+						Runs:    len(t.indices),
+						WallMs:  time.Since(start).Milliseconds(),
+						QueueMs: queueMs, ExecMs: execMs, NetMs: netMs,
+					})
+				}
 				reg.release(fl.w)
 				drainFlights(reg, results, inflight)
 				return payloads, nil
@@ -362,10 +413,14 @@ func (f *Fleet) attemptShard(ctx context.Context, job campaign.PayloadJob, t tas
 			if dup, ok := reg.tryAcquire(); ok {
 				inflight++
 				f.logf("fleet: shard %s unanswered after %s; re-dispatching to %s", hex64(t.id), f.stragglerAfter(), dup.id)
-				if tel := obs.Active(); tel != nil {
+				if tel != nil {
 					tel.FleetStragglers.Inc()
 					tel.Events.Emit("fleet.straggler", map[string]string{
 						"shard": hex64(t.id), "worker": dup.id,
+					})
+					tel.Live.UpdateShard(obs.ShardStatus{
+						ID: hex64(t.id), Worker: dup.id, State: "retrying",
+						Runs: len(t.indices), QueueMs: queueMs,
 					})
 				}
 				go dispatch(dup)
@@ -441,7 +496,7 @@ func (f *Fleet) handshake(c *dnet.Conn, id string) (*netWorker, error) {
 	if h.Proto != protoVersion {
 		return nil, fmt.Errorf("worker speaks protocol %d, want %d", h.Proto, protoVersion)
 	}
-	if err := c.WriteFrame(netConfig{Spec: f.Spec, HeartbeatMs: f.heartbeat().Milliseconds()}); err != nil {
+	if err := c.WriteFrame(netConfig{Spec: f.Spec, HeartbeatMs: f.heartbeat().Milliseconds(), Trace: f.trace}); err != nil {
 		return nil, fmt.Errorf("sending spec: %w", err)
 	}
 	for {
@@ -460,6 +515,7 @@ func (f *Fleet) handshake(c *dnet.Conn, id string) (*netWorker, error) {
 	w := &netWorker{
 		id:     id,
 		pid:    h.PID,
+		token:  h.Token,
 		conn:   c,
 		frames: make(chan response, 2),
 		done:   make(chan struct{}),
@@ -472,6 +528,7 @@ func (f *Fleet) handshake(c *dnet.Conn, id string) (*netWorker, error) {
 type netWorker struct {
 	id     string
 	pid    int
+	token  string
 	conn   *dnet.Conn
 	frames chan response
 	done   chan struct{}
@@ -493,7 +550,11 @@ func (w *netWorker) read() {
 			}
 			return
 		}
-		if env.Metrics != nil {
+		// Skip the merge for a worker that shares this process (its hello
+		// carried our own token — in-process test agents do this): its
+		// movement already landed in our registry, and merging the deltas
+		// again would double count every metric it touched.
+		if env.Metrics != nil && w.token != obs.ProcessToken() {
 			if tel := obs.Active(); tel != nil {
 				tel.Reg.Merge(env.Metrics)
 			}
@@ -599,6 +660,7 @@ func (r *fleetRegistry) add(w *netWorker) bool {
 		tel.Events.Emit("fleet.join", map[string]string{
 			"worker": w.id, "pid": strconv.Itoa(w.pid),
 		})
+		tel.Live.WorkerJoin(w.id, w.pid)
 	}
 	r.wake()
 	return true
@@ -623,6 +685,7 @@ func (r *fleetRegistry) remove(w *netWorker) {
 	r.mu.Unlock()
 	if tel := obs.Active(); tel != nil {
 		tel.FleetWorkers.Set(int64(live))
+		tel.Live.WorkerLost(w.id)
 	}
 	r.wake()
 }

@@ -48,6 +48,11 @@ const maxFrame = dnet.MaxFrame
 type hello struct {
 	Proto int `json:"proto"`
 	PID   int `json:"pid"`
+	// Token identifies the worker's process instance (obs.ProcessToken).
+	// A parent that reads its own token knows the "worker" runs in the
+	// same process and shares its metric registry, so the parent skips
+	// merging that worker's telemetry deltas (they are already counted).
+	Token string `json:"token,omitempty"`
 }
 
 // request asks a worker to execute one shard of a campaign's plan.
@@ -61,6 +66,14 @@ type request struct {
 	Shard string `json:"shard"`
 	// Indices are the plan indices of the shard, ascending.
 	Indices []int `json:"indices"`
+	// Trace, when non-empty, is the parent campaign's trace id: the
+	// worker records spans for this shard and ships them back on the
+	// response. Empty means tracing is off and the worker records
+	// nothing.
+	Trace string `json:"trace,omitempty"`
+	// Span is the parent-side dispatch span id, carried for diagnostics
+	// (the parent re-parents returned spans itself when folding).
+	Span uint64 `json:"span,omitempty"`
 }
 
 // runPayload is one run's encoded result inside a response.
@@ -83,6 +96,11 @@ type response struct {
 	// corruption in transit is detected by the parent and the shard is
 	// re-run.
 	Hash string `json:"hash,omitempty"`
+	// Spans are the worker-side spans recorded while serving this shard
+	// (only when the request carried a trace id). They ride outside the
+	// integrity hash — trace data is observational and must never gate
+	// result acceptance.
+	Spans []obs.SpanRec `json:"spans,omitempty"`
 }
 
 // envelope is one worker→parent frame after the hello: either a shard
@@ -120,6 +138,10 @@ type netConfig struct {
 	Spec string `json:"spec"`
 	// HeartbeatMs is the agent's ping interval; 0 disables heartbeats.
 	HeartbeatMs int64 `json:"heartbeat_ms"`
+	// Trace, when non-empty, is the coordinator's campaign trace id,
+	// logged by the agent so operators can grep a fleet's logs by trace.
+	// Per-shard tracing is governed by request.Trace, not this field.
+	Trace string `json:"trace,omitempty"`
 }
 
 // hex64 renders a 64-bit id the way every frame and journal entry

@@ -144,7 +144,7 @@ func serveNetConn(ctx context.Context, c *dnet.Conn, factory LookupFactory, log 
 		c.Close()
 	}()
 
-	if err := c.WriteFrame(hello{Proto: protoVersion, PID: os.Getpid()}); err != nil {
+	if err := c.WriteFrame(hello{Proto: protoVersion, PID: os.Getpid(), Token: obs.ProcessToken()}); err != nil {
 		return
 	}
 	var cfg netConfig
@@ -153,6 +153,12 @@ func serveNetConn(ctx context.Context, c *dnet.Conn, factory LookupFactory, log 
 			logf("worker agent: handshake with %s failed: %v", c.RemoteAddr(), err)
 		}
 		return
+	}
+	if cfg.Trace != "" {
+		// Announce the campaign trace id so a fleet's scattered agent
+		// logs can be correlated by grep; per-shard tracing rides each
+		// request frame.
+		logf("worker agent: serving campaign trace %s for %s", cfg.Trace, c.RemoteAddr())
 	}
 	lookup, err := factory(ctx, cfg.Spec)
 	ack := response{}

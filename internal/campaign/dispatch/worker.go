@@ -120,7 +120,7 @@ func (a *adapter[Run, Result, Out]) ExecuteEncoded(ctx context.Context, i int) (
 // its plan (and reference state such as golden runs) once.
 func Serve(ctx context.Context, lookup func(name string) (Worker, error), r io.Reader, w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if err := writeFrame(bw, hello{Proto: protoVersion, PID: os.Getpid()}); err != nil {
+	if err := writeFrame(bw, hello{Proto: protoVersion, PID: os.Getpid(), Token: obs.ProcessToken()}); err != nil {
 		return err
 	}
 	br := bufio.NewReader(r)
@@ -155,9 +155,27 @@ func Serve(ctx context.Context, lookup func(name string) (Worker, error), r io.R
 }
 
 // serveShard executes one shard request; failures become the
-// response's Error field rather than killing the serve loop.
-func serveShard(ctx context.Context, workers map[string]Worker, lookup func(string) (Worker, error), req request) response {
-	resp := response{Seq: req.Seq, Shard: req.Shard}
+// response's Error field rather than killing the serve loop. When the
+// request carries a trace id, the worker records its spans (shard root,
+// plan resolution, run execution with golden-cache attribution) into a
+// TraceRecorder and ships them on the response, where the parent folds
+// them into the campaign trace. Recording is observational only: it
+// touches nothing the integrity hash covers.
+func serveShard(ctx context.Context, workers map[string]Worker, lookup func(string) (Worker, error), req request) (resp response) {
+	resp = response{Seq: req.Seq, Shard: req.Shard}
+	var rec *obs.TraceRecorder
+	var shardSpan *obs.RecSpan
+	if req.Trace != "" {
+		rec = obs.NewTraceRecorder()
+		shardSpan = rec.Start("worker.shard", 0, map[string]string{
+			"campaign": req.Campaign,
+			"shard":    req.Shard,
+			"runs":     fmt.Sprintf("%d", len(req.Indices)),
+		})
+		// resp is a named result: the deferred drain runs after every
+		// return below, so error responses carry their spans too.
+		defer func() { shardSpan.End(); resp.Spans = rec.Drain() }()
+	}
 	wk, ok := workers[req.Campaign]
 	if !ok {
 		var err error
@@ -167,7 +185,9 @@ func serveShard(ctx context.Context, workers map[string]Worker, lookup func(stri
 		}
 		workers[req.Campaign] = wk
 	}
+	planSpan := rec.Start("worker.plan", shardSpan.ID(), nil)
 	n, hash, err := wk.Plan()
+	planSpan.End()
 	if err != nil {
 		resp.Error = err.Error()
 		return resp
@@ -177,15 +197,29 @@ func serveShard(ctx context.Context, workers map[string]Worker, lookup func(stri
 			req.Campaign, got, req.PlanHash, n)
 		return resp
 	}
+	tel := obs.Active()
+	execSpan := rec.Start("worker.exec", shardSpan.ID(), nil)
+	var preHits int64
+	if tel != nil {
+		preHits = tel.GoldenHits.Value()
+	}
 	results := make([]runPayload, 0, len(req.Indices))
 	for _, i := range req.Indices {
 		payload, err := wk.ExecuteEncoded(ctx, i)
 		if err != nil {
+			execSpan.End()
 			resp.Error = err.Error()
 			return resp
 		}
 		results = append(results, runPayload{Index: i, Payload: payload})
 	}
+	if execSpan != nil {
+		execSpan.SetAttr("runs", fmt.Sprintf("%d", len(results)))
+		if tel != nil {
+			execSpan.SetAttr("golden_hits", fmt.Sprintf("%d", tel.GoldenHits.Value()-preHits))
+		}
+	}
+	execSpan.End()
 	resp.Results = results
 	resp.Hash = hex64(payloadHash(parseHex64(req.Shard), results))
 	return resp

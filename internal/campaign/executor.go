@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"time"
 
@@ -71,23 +72,37 @@ func (Serial) Run(ctx context.Context, n int, _ []uint64, fn func(i int) error) 
 	// mode without changing execution in any way.
 	tel := obs.Active()
 	var start time.Time
+	var sp *obs.Span
 	if tel != nil && n > 0 {
 		tel.ShardsPlanned.Inc()
 		tel.Progress.SetShards(1)
+		tel.Live.SetShards(1)
+		sp = obs.SpanFromContext(ctx).Child("shard", map[string]string{
+			"shard": "0", "runs": strconv.Itoa(n),
+		})
 		start = time.Now()
 	}
 	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {
+			sp.End()
 			return err
 		}
 		if err := call(fn, i); err != nil {
+			sp.End()
 			return err
 		}
 	}
 	if tel != nil && n > 0 {
-		tel.ShardDur.ObserveSince(start)
+		sp.End()
+		wall := time.Since(start)
+		tel.ShardDur.Observe(wall.Seconds())
 		tel.ShardsDone.Inc()
 		tel.Progress.ShardDone()
+		tel.Live.ShardDone()
+		tel.Live.UpdateShard(obs.ShardStatus{
+			ID: "0", Worker: "local", State: "done", Runs: n,
+			WallMs: wall.Milliseconds(), ExecMs: wall.Milliseconds(),
+		})
 	}
 	return nil
 }
@@ -152,7 +167,9 @@ func (s Sharded) Run(ctx context.Context, n int, keys []uint64, fn func(i int) e
 		}
 		tel.ShardsPlanned.Add(int64(planned))
 		tel.Progress.SetShards(planned)
+		tel.Live.SetShards(planned)
 	}
+	parent := obs.SpanFromContext(ctx)
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -170,41 +187,60 @@ func (s Sharded) Run(ctx context.Context, n int, keys []uint64, fn func(i int) e
 		mu.Unlock()
 	}
 
-	work := make(chan []int)
+	type job struct {
+		bucket int
+		runs   []int
+	}
+	work := make(chan job)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for shard := range work {
+			for j := range work {
 				var shardStart time.Time
+				var sp *obs.Span
 				if tel != nil {
 					shardStart = time.Now()
+					sp = parent.Child("shard", map[string]string{
+						"shard": strconv.Itoa(j.bucket),
+						"runs":  strconv.Itoa(len(j.runs)),
+					})
 				}
-				for _, i := range shard {
+				for _, i := range j.runs {
 					if ctx.Err() != nil {
+						sp.End()
 						return
 					}
 					if err := call(fn, i); err != nil {
+						sp.End()
 						fail(err)
 						return
 					}
 				}
 				if tel != nil {
-					tel.ShardDur.ObserveSince(shardStart)
+					sp.End()
+					wall := time.Since(shardStart)
+					tel.ShardDur.Observe(wall.Seconds())
 					tel.ShardsDone.Inc()
 					tel.Progress.ShardDone()
+					tel.Live.ShardDone()
+					tel.Live.UpdateShard(obs.ShardStatus{
+						ID: strconv.Itoa(j.bucket), Worker: "local",
+						State: "done", Runs: len(j.runs),
+						WallMs: wall.Milliseconds(), ExecMs: wall.Milliseconds(),
+					})
 				}
 			}
 		}()
 	}
 feed:
-	for _, b := range buckets {
+	for bi, b := range buckets {
 		if len(b) == 0 {
 			continue
 		}
 		select {
-		case work <- b:
+		case work <- job{bucket: bi, runs: b}:
 		case <-ctx.Done():
 			// Stop feeding: after cancellation no worker will accept
 			// another bucket, so iterating the remainder only spins.

@@ -117,6 +117,7 @@ func (r Retry) Run(ctx context.Context, n int, keys []uint64, fn func(i int) err
 			if tel := obs.Active(); tel != nil {
 				tel.RunRetries.Inc()
 				tel.Progress.Retry()
+				tel.Live.Retry()
 				tel.Events.Emit("run.retry", map[string]string{
 					"run":     strconv.Itoa(i),
 					"attempt": strconv.Itoa(attempt),

@@ -64,7 +64,7 @@ func StartTelemetry(f TelemetryFlags, stderr io.Writer) (func(), error) {
 			return nil, fmt.Errorf("-obs-addr %q: %w", f.ObsAddr, err)
 		}
 		stopServer = stop
-		fmt.Fprintf(stderr, "telemetry: serving /metrics /healthz /debug/vars /debug/pprof on http://%s\n", addr)
+		fmt.Fprintf(stderr, "telemetry: serving /metrics /healthz /dash /events /debug/vars /debug/pprof on http://%s\n", addr)
 	}
 
 	return func() {
@@ -123,4 +123,29 @@ func PrintRetrySummary(w io.Writer, col *campaign.Collector) {
 		total += fmt.Sprintf(", %d straggler re-dispatches", stragglers)
 	}
 	fmt.Fprintf(w, "retry summary: %s (total: %s)\n", strings.Join(parts, "; "), total)
+	printStragglerAttribution(w)
+}
+
+// printStragglerAttribution appends one line naming the slowest shard
+// of the last campaign and where its time went (queue wait vs worker
+// execution vs network), derived from the merged trace's phase
+// attribution. Silent when no dispatch recorded phase data — plain
+// serial runs keep the summary shape unchanged.
+func printStragglerAttribution(w io.Writer) {
+	tel := obs.Active()
+	if tel == nil {
+		return
+	}
+	s, ok := tel.Live.SlowestShard()
+	if !ok || (s.QueueMs == 0 && s.NetMs == 0) {
+		// Without a queue/exec/net split (in-process execution) the wall
+		// time alone adds nothing the timing table doesn't already say.
+		return
+	}
+	where := s.Worker
+	if where == "" {
+		where = "local"
+	}
+	fmt.Fprintf(w, "slowest shard: %s (%s) %d ms on %s — queue %d ms, exec %d ms, net %d ms\n",
+		s.ID, s.Campaign, s.WallMs, where, s.QueueMs, s.ExecMs, s.NetMs)
 }

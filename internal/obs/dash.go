@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// SSE stream and live dashboard for the -obs-addr endpoint.
+//
+// GET /events is a Server-Sent Events stream: a full "snapshot" event
+// on connect, an "update" event whenever shard/worker/campaign state
+// changes, and a heartbeat "snapshot" every second so run counters
+// advance even between state transitions. GET /dash is a self-contained
+// HTML page consuming that stream — no assets, no dependencies, usable
+// from curl's sibling, a browser, over an SSH tunnel.
+
+// eventsHandler serves the SSE stream from the Live view.
+func (t *Telemetry) eventsHandler(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	send := func(event string, data []byte) bool {
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+
+	sub := t.Live.Subscribe()
+	defer t.Live.Unsubscribe(sub)
+
+	if !send("snapshot", t.Live.SnapshotJSON()) {
+		return
+	}
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case b := <-sub:
+			if !send("update", b) {
+				return
+			}
+		case <-tick.C:
+			if !send("snapshot", t.Live.SnapshotJSON()) {
+				return
+			}
+		}
+	}
+}
+
+// dashHandler serves the live dashboard page.
+func dashHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(dashHTML))
+}
+
+const dashHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>campaign dashboard</title>
+<style>
+  body { font: 13px/1.5 ui-monospace, SFMono-Regular, Menlo, monospace;
+         background: #11151a; color: #c9d1d9; margin: 1.5rem; }
+  h1 { font-size: 15px; color: #e6edf3; }
+  h2 { font-size: 13px; color: #8b949e; margin: 1.2rem 0 .4rem; }
+  table { border-collapse: collapse; width: 100%; }
+  th, td { text-align: left; padding: 2px 10px 2px 0; white-space: nowrap; }
+  th { color: #8b949e; font-weight: normal; border-bottom: 1px solid #30363d; }
+  .bar { background: #21262d; border-radius: 3px; height: 10px; width: 260px;
+         display: inline-block; vertical-align: middle; overflow: hidden; }
+  .bar i { background: #2ea043; display: block; height: 100%; width: 0; }
+  .state-running  { color: #d29922; }
+  .state-done     { color: #3fb950; }
+  .state-retrying { color: #f85149; }
+  .state-failed   { color: #f85149; }
+  .state-up       { color: #3fb950; }
+  .state-lost     { color: #f85149; }
+  .dim { color: #8b949e; }
+  #status { float: right; }
+</style>
+</head>
+<body>
+<h1>campaign dashboard <span id="status" class="dim">connecting…</span></h1>
+<div id="campaign" class="dim">no campaign running</div>
+<h2>shards</h2>
+<table><thead><tr>
+  <th>shard</th><th>worker</th><th>state</th><th>runs</th><th>att</th>
+  <th>wall</th><th>queue</th><th>exec</th><th>net</th>
+</tr></thead><tbody id="shards"></tbody></table>
+<h2>workers</h2>
+<table><thead><tr><th>worker</th><th>pid</th><th>state</th></tr></thead>
+<tbody id="workers"></tbody></table>
+<h2>completed</h2>
+<table><thead><tr><th>campaign</th><th>executor</th><th>runs</th>
+<th>retries</th><th>wall</th><th>trace</th></tr></thead>
+<tbody id="done"></tbody></table>
+<script>
+function esc(s) {
+  return String(s == null ? "" : s).replace(/[&<>"]/g, function (c) {
+    return {"&":"&amp;","<":"&lt;",">":"&gt;","\"":"&quot;"}[c];
+  });
+}
+function ms(v) { return v == null ? "" : v + "ms"; }
+function render(snap) {
+  var c = snap.campaign;
+  var el = document.getElementById("campaign");
+  if (c) {
+    var pct = c.runs_total ? Math.round(100 * c.runs_done / c.runs_total) : 0;
+    el.className = "";
+    el.innerHTML = "<b>" + esc(c.campaign) + "</b> on " + esc(c.executor) +
+      (c.trace ? " <span class=dim>trace " + esc(c.trace) + "</span>" : "") +
+      "<br>runs " + c.runs_done + "/" + c.runs_total +
+      " <span class=bar><i style=\"width:" + pct + "%\"></i></span> " + pct + "%" +
+      (c.shards_total ? " · shards " + (c.shards_done||0) + "/" + c.shards_total : "") +
+      (c.retries ? " · retries " + c.retries : "") +
+      " · " + Math.round(c.elapsed_ms/1000) + "s";
+  } else {
+    el.className = "dim";
+    el.textContent = "no campaign running";
+  }
+  var rows = "";
+  (snap.shards || []).forEach(function (s) {
+    rows += "<tr><td>" + esc(s.id) + "</td><td>" + esc(s.worker) +
+      "</td><td class=state-" + esc(s.state) + ">" + esc(s.state) +
+      "</td><td>" + s.runs + "</td><td>" + (s.attempts||"") +
+      "</td><td>" + ms(s.wall_ms) + "</td><td>" + ms(s.queue_ms) +
+      "</td><td>" + ms(s.exec_ms) + "</td><td>" + ms(s.net_ms) + "</td></tr>";
+  });
+  document.getElementById("shards").innerHTML = rows;
+  rows = "";
+  (snap.workers || []).forEach(function (w) {
+    rows += "<tr><td>" + esc(w.id) + "</td><td>" + (w.pid||"") +
+      "</td><td class=state-" + esc(w.state) + ">" + esc(w.state) + "</td></tr>";
+  });
+  document.getElementById("workers").innerHTML = rows;
+  rows = "";
+  (snap.done || []).slice().reverse().forEach(function (d) {
+    rows += "<tr><td>" + esc(d.campaign) + "</td><td>" + esc(d.executor) +
+      "</td><td>" + d.runs + "</td><td>" + (d.retries||0) +
+      "</td><td>" + ms(d.wall_ms) + "</td><td class=dim>" + esc(d.trace) + "</td></tr>";
+  });
+  document.getElementById("done").innerHTML = rows;
+}
+var status = document.getElementById("status");
+var es = new EventSource("/events");
+es.onopen = function () { status.textContent = "live"; };
+es.onerror = function () { status.textContent = "disconnected"; };
+es.addEventListener("snapshot", function (e) { render(JSON.parse(e.data)); });
+es.addEventListener("update", function (e) { render(JSON.parse(e.data)); });
+</script>
+</body>
+</html>
+`

@@ -11,9 +11,11 @@ import (
 
 // Event is one NDJSON record on the -events-out stream. Span records
 // carry a span id (and parent id when nested) plus a duration once the
-// span ends; point events carry neither.
+// span ends; point events carry neither. Spans that belong to a
+// campaign trace additionally carry the campaign's deterministic trace
+// id, so records from many processes fold into one tree.
 //
-//	{"ts_ms":12,"kind":"span","name":"campaign.execute","span":1,"dur_ms":4031,"attrs":{"campaign":"permeability"}}
+//	{"ts_ms":12,"kind":"span","name":"campaign.execute","span":1,"dur_ms":4031,"trace":"8f3a...","attrs":{"campaign":"permeability"}}
 //	{"ts_ms":15,"kind":"event","name":"dispatch.retry","attrs":{"shard":"a1b2","attempt":"2"}}
 type Event struct {
 	// TSMillis is milliseconds since the event log was created,
@@ -24,6 +26,7 @@ type Event struct {
 	Span     uint64            `json:"span,omitempty"`
 	Parent   uint64            `json:"parent,omitempty"`
 	DurMs    int64             `json:"dur_ms,omitempty"`
+	Trace    string            `json:"trace,omitempty"`
 	Attrs    map[string]string `json:"attrs,omitempty"`
 }
 
@@ -51,6 +54,11 @@ func (l *EventLog) write(e Event) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	_ = l.enc.Encode(e)
+	// Flush per record: every complete record reaches the sink as one
+	// NDJSON line, so a process killed mid-campaign leaves a parseable
+	// log (at worst the final line is cut, never an earlier one). Event
+	// rates here are per-shard, not per-run, so the extra write is noise.
+	_ = l.w.Flush()
 }
 
 // Emit records a point event.
@@ -79,6 +87,7 @@ type Span struct {
 	name  string
 	id    uint64
 	par   uint64
+	trace string
 	start time.Time
 	tsMS  int64
 	attrs map[string]string
@@ -98,14 +107,43 @@ func (l *EventLog) StartSpan(name string, attrs map[string]string) *Span {
 	}
 }
 
-// Child opens a span nested under s.
+// Child opens a span nested under s, inheriting s's trace id.
 func (s *Span) Child(name string, attrs map[string]string) *Span {
 	if s == nil {
 		return nil
 	}
 	c := s.log.StartSpan(name, attrs)
 	c.par = s.id
+	c.trace = s.trace
 	return c
+}
+
+// SetTrace stamps the span (and every Child opened afterwards) with a
+// campaign trace id. Safe to call on nil.
+func (s *Span) SetTrace(trace string) {
+	if s != nil {
+		s.trace = trace
+	}
+}
+
+// ID reports the span's id (0 for nil spans).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SetAttr attaches one attribute to the span before it ends. Safe to
+// call on nil.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[key] = value
 }
 
 // End closes the span, emitting its record. Safe to call on nil.
@@ -119,6 +157,7 @@ func (s *Span) End() {
 		Name:     s.name,
 		Span:     s.id,
 		Parent:   s.par,
+		Trace:    s.trace,
 		DurMs:    time.Since(s.start).Milliseconds(),
 		Attrs:    s.attrs,
 	})

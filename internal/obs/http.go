@@ -20,6 +20,8 @@ var publishOnce sync.Once
 //	/healthz      JSON liveness (uptime, series count)
 //	/debug/vars   expvar (Go runtime vars + repro_metrics snapshot)
 //	/debug/pprof  net/http/pprof profiles
+//	/events       Server-Sent Events live campaign stream
+//	/dash         live HTML dashboard consuming /events
 func (t *Telemetry) Handler() http.Handler {
 	publishOnce.Do(func() {
 		expvar.Publish("repro_metrics", expvar.Func(func() any {
@@ -36,6 +38,8 @@ func (t *Telemetry) Handler() http.Handler {
 		fmt.Fprintf(w, `{"status":"ok","uptime_s":%.3f,"series":%d}`+"\n",
 			t.Uptime().Seconds(), len(t.Reg.Snapshot()))
 	})
+	mux.HandleFunc("/events", t.eventsHandler)
+	mux.HandleFunc("/dash", dashHandler)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

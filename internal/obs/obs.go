@@ -45,6 +45,9 @@ type Telemetry struct {
 	Events *EventLog
 	// Progress, when non-nil, renders the live stderr progress line.
 	Progress *Progress
+	// Live is the in-memory operations view behind the /events SSE
+	// stream and the /dash page. Always present on a built Telemetry.
+	Live *Live
 
 	start time.Time
 
@@ -52,6 +55,9 @@ type Telemetry struct {
 	Campaigns  *Counter   // campaigns executed end to end
 	RunRetries *Counter   // campaign.Retry re-attempts
 	RunDur     *Histogram // per-run wall time, seconds
+
+	// Distributed tracing.
+	TraceWorkerSpans *Counter // worker-recorded spans folded into the parent trace
 
 	// In-process sharded executor.
 	ShardsPlanned *Counter   // shards partitioned for execution
@@ -105,11 +111,14 @@ func New(cfg Config) *Telemetry {
 	r := NewRegistry()
 	t := &Telemetry{
 		Reg:   r,
+		Live:  NewLive(),
 		start: time.Now(),
 
 		Campaigns:  r.Counter("repro_campaigns_total"),
 		RunRetries: r.Counter("repro_run_retries_total"),
 		RunDur:     r.Histogram("repro_run_duration_seconds", DurationBuckets),
+
+		TraceWorkerSpans: r.Counter("repro_trace_worker_spans_total"),
 
 		ShardsPlanned: r.Counter("repro_shards_total"),
 		ShardsDone:    r.Counter("repro_shards_done_total"),

@@ -16,6 +16,7 @@ var help = map[string]string{
 	"repro_campaign_runs_done_total":          "Runs completed per campaign.",
 	"repro_run_retries_total":                 "Run re-attempts by the Retry executor.",
 	"repro_run_duration_seconds":              "Per-run wall time.",
+	"repro_trace_worker_spans_total":          "Worker-recorded spans folded into the parent trace.",
 	"repro_shards_total":                      "Shards partitioned for execution.",
 	"repro_shards_done_total":                 "Shards completed.",
 	"repro_shard_duration_seconds":            "Per-shard wall time.",

@@ -152,6 +152,9 @@ func QuantileFromCounts(bounds []float64, counts []int64, q float64) float64 {
 // quantileFromCounts is the bucket-walk shared by live histograms and
 // snapshot deltas.
 func quantileFromCounts(bounds []float64, counts []int64, q float64) float64 {
+	if len(bounds) == 0 {
+		return 0
+	}
 	var total int64
 	for _, c := range counts {
 		total += c

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Distributed tracing for campaigns. Every campaign execution derives a
+// deterministic trace id from its plan hash (the same FNV-1a identity
+// that keys shards, the golden cache and the checkpoint journal), so
+// re-running a campaign yields the same trace id and traces from
+// different processes of one campaign correlate without coordination.
+//
+// The parent process carries its current span and trace id in the
+// context; dispatchers stamp the trace id into shard requests; worker
+// processes record their spans into an in-memory TraceRecorder and ship
+// the completed subtree back with the shard response, where FoldSpans
+// grafts it under the dispatch span — one coherent trace per campaign,
+// no clock synchronization required (worker offsets are re-anchored
+// against the round-trip completion time).
+
+// TraceID renders a campaign plan hash as the campaign's trace id, in
+// the same %016x form every wire frame and journal entry uses.
+func TraceID(planHash uint64) string { return fmt.Sprintf("%016x", planHash) }
+
+// processToken identifies this process instance for telemetry routing:
+// an in-process worker agent shares the parent's registry, so its
+// metric deltas must not be merged back (they would double count).
+var processToken = fmt.Sprintf("%d-%x", os.Getpid(), time.Now().UnixNano())
+
+// ProcessToken identifies this process instance. Workers send it in
+// their hello frame; a coordinator that receives its own token knows
+// the "worker" shares its registry and skips the metrics merge.
+func ProcessToken() string { return processToken }
+
+// traceCtxKey carries the active span and trace id in a context.
+type traceCtxKey struct{}
+
+type traceCtx struct {
+	span  *Span
+	trace string
+}
+
+// WithTrace returns ctx carrying the campaign's execute span and trace
+// id. The engine only calls it when telemetry is installed, so the
+// disabled path never pays the context allocation.
+func WithTrace(ctx context.Context, span *Span, trace string) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, traceCtx{span: span, trace: trace})
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	tc, _ := ctx.Value(traceCtxKey{}).(traceCtx)
+	return tc.span
+}
+
+// TraceFromContext returns the trace id carried by ctx, or "".
+func TraceFromContext(ctx context.Context) string {
+	tc, _ := ctx.Value(traceCtxKey{}).(traceCtx)
+	return tc.trace
+}
+
+// SpanRec is one completed span recorded worker-side and shipped back
+// with a shard response. Offsets are milliseconds since the recorder's
+// anchor; ids are local to the recorder (the parent remaps both when
+// folding the subtree into its own trace).
+type SpanRec struct {
+	Name    string            `json:"name"`
+	ID      uint64            `json:"id"`
+	Parent  uint64            `json:"parent,omitempty"`
+	StartMs int64             `json:"start_ms"`
+	DurMs   int64             `json:"dur_ms"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceRecorder accumulates completed spans in memory. Workers keep one
+// per traced shard request — they may have no event sink of their own,
+// and their spans belong in the parent's trace anyway. All methods are
+// nil-safe, so untraced requests cost one nil check.
+type TraceRecorder struct {
+	mu     sync.Mutex
+	anchor time.Time
+	ids    uint64
+	recs   []SpanRec
+}
+
+// NewTraceRecorder returns an empty recorder anchored at now.
+func NewTraceRecorder() *TraceRecorder {
+	return &TraceRecorder{anchor: time.Now()}
+}
+
+// Start opens a recorded span under parent (0 = subtree root).
+func (r *TraceRecorder) Start(name string, parent uint64, attrs map[string]string) *RecSpan {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	r.ids++
+	id := r.ids
+	r.mu.Unlock()
+	return &RecSpan{
+		r: r, name: name, id: id, parent: parent,
+		start: time.Now(), startMs: time.Since(r.anchor).Milliseconds(),
+		attrs: attrs,
+	}
+}
+
+// Drain returns the recorded spans and resets the recorder.
+func (r *TraceRecorder) Drain() []SpanRec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	recs := r.recs
+	r.recs = nil
+	return recs
+}
+
+// RecSpan is an in-flight recorded span. Nil is inert.
+type RecSpan struct {
+	r       *TraceRecorder
+	name    string
+	id      uint64
+	parent  uint64
+	start   time.Time
+	startMs int64
+	attrs   map[string]string
+}
+
+// ID reports the span's recorder-local id (0 for nil).
+func (s *RecSpan) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SetAttr attaches one attribute before End.
+func (s *RecSpan) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[key] = value
+}
+
+// End completes the span and appends it to the recorder.
+func (s *RecSpan) End() {
+	if s == nil {
+		return
+	}
+	rec := SpanRec{
+		Name: s.name, ID: s.id, Parent: s.parent,
+		StartMs: s.startMs,
+		DurMs:   time.Since(s.start).Milliseconds(),
+		Attrs:   s.attrs,
+	}
+	s.r.mu.Lock()
+	s.r.recs = append(s.r.recs, rec)
+	s.r.mu.Unlock()
+}
+
+// RootDurMs reports the duration of a recorded subtree's root span (the
+// worker's own wall time for the shard), or 0. Dispatchers subtract it
+// from the round-trip time to attribute queue/exec/network phases.
+func RootDurMs(recs []SpanRec) int64 {
+	for _, r := range recs {
+		if r.Parent == 0 {
+			return r.DurMs
+		}
+	}
+	return 0
+}
+
+// FoldSpans grafts a worker-recorded span subtree into this event log,
+// nested under parent and stamped with the campaign trace id. Worker
+// span ids are remapped through this log's id counter (so they can
+// never collide with parent spans) and worker time offsets are
+// re-anchored so the subtree's root ends now — the moment the shard
+// response finished its round trip. Unknown parents (the subtree root)
+// attach to parent.
+func (l *EventLog) FoldSpans(parent *Span, trace string, recs []SpanRec) {
+	if l == nil || len(recs) == 0 {
+		return
+	}
+	// The subtree root's end, on the worker clock, maps to "now" on
+	// ours: that is the one instant both processes observed (response
+	// received ≈ response sent, minus network latency already
+	// attributed to the dispatch span).
+	var rootEnd int64
+	for _, r := range recs {
+		if end := r.StartMs + r.DurMs; end > rootEnd {
+			rootEnd = end
+		}
+	}
+	shift := l.now() - rootEnd
+	ids := make(map[uint64]uint64, len(recs))
+	for _, r := range recs {
+		ids[r.ID] = l.ids.Add(1)
+	}
+	for _, r := range recs {
+		par := parent.ID()
+		if mapped, ok := ids[r.Parent]; ok {
+			par = mapped
+		}
+		l.write(Event{
+			TSMillis: r.StartMs + shift,
+			Kind:     "span",
+			Name:     r.Name,
+			Span:     ids[r.ID],
+			Parent:   par,
+			Trace:    trace,
+			DurMs:    r.DurMs,
+			Attrs:    r.Attrs,
+		})
+	}
+}

@@ -1,0 +1,311 @@
+// Package traceview analyzes the NDJSON event stream a campaign writes
+// via -events-out: it rebuilds the span trees (including worker-side
+// spans folded in from shard responses), walks each campaign trace's
+// critical path, renders a folded-stack flamegraph file (the input
+// format of Brendan Gregg's flamegraph.pl and every tool that learned
+// it), and attributes stragglers — which phase (queue, exec, network)
+// made the slowest shards slow.
+package traceview
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is one NDJSON event-log line, mirroring obs.Event. Point
+// events carry no span id; span records carry id, optional parent,
+// duration, and — for campaign spans — the trace id.
+type Record struct {
+	TSMillis int64             `json:"ts_ms"`
+	Kind     string            `json:"kind"`
+	Name     string            `json:"name"`
+	Span     uint64            `json:"span,omitempty"`
+	Parent   uint64            `json:"parent,omitempty"`
+	DurMs    int64             `json:"dur_ms,omitempty"`
+	Trace    string            `json:"trace,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// Span is one reconstructed span node.
+type Span struct {
+	Record
+	Children []*Span
+}
+
+// End reports the span's end offset.
+func (s *Span) End() int64 { return s.TSMillis + s.DurMs }
+
+// SelfMs is the span's duration minus its children's (clamped at 0) —
+// the time it spent in its own frame, which is what a flamegraph's box
+// widths mean.
+func (s *Span) SelfMs() int64 {
+	self := s.DurMs
+	for _, c := range s.Children {
+		self -= c.DurMs
+	}
+	if self < 0 {
+		self = 0
+	}
+	return self
+}
+
+// Analysis is a parsed event log: the span forest, point events, and
+// per-trace groupings.
+type Analysis struct {
+	// Roots are the parentless spans (campaign roots, plus any orphans
+	// whose parent never closed), in first-seen order.
+	Roots []*Span
+	// Spans indexes every span by id.
+	Spans map[uint64]*Span
+	// Events are the point records, in file order.
+	Events []Record
+	// Lines is how many NDJSON lines parsed; Skipped how many did not
+	// (truncated final line of a killed run, foreign content).
+	Lines, Skipped int
+}
+
+// Parse reads an NDJSON event log. Unparseable lines are counted and
+// skipped, never fatal: a campaign killed mid-write leaves at most one
+// cut line, and the rest of the log must still analyze.
+func Parse(r io.Reader) (*Analysis, error) {
+	a := &Analysis{Spans: make(map[uint64]*Span)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var order []*Span
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		a.Lines++
+		var rec Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			a.Skipped++
+			continue
+		}
+		switch rec.Kind {
+		case "span":
+			s := &Span{Record: rec}
+			a.Spans[rec.Span] = s
+			order = append(order, s)
+		case "event":
+			a.Events = append(a.Events, rec)
+		default:
+			a.Skipped++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading event log: %w", err)
+	}
+	// Link children to parents; spans whose parent is missing (it never
+	// ended, e.g. the root of a killed run) become roots themselves.
+	for _, s := range order {
+		if p, ok := a.Spans[s.Parent]; ok && s.Parent != 0 && p != s {
+			p.Children = append(p.Children, s)
+		} else {
+			a.Roots = append(a.Roots, s)
+		}
+	}
+	// Span records are written at End, so a parent appears after its
+	// children; sort each level back into start order for stable output.
+	for _, s := range a.Spans {
+		sort.SliceStable(s.Children, func(i, j int) bool {
+			return s.Children[i].TSMillis < s.Children[j].TSMillis
+		})
+	}
+	sort.SliceStable(a.Roots, func(i, j int) bool { return a.Roots[i].TSMillis < a.Roots[j].TSMillis })
+	return a, nil
+}
+
+// PathStep is one span on a critical path, with its nesting depth
+// under the path's root.
+type PathStep struct {
+	Span  *Span
+	Depth int
+}
+
+// CriticalPath computes the chain of spans that bounded root's wall
+// clock, walking backwards from root's end: the latest-ending child
+// covers the tail, the walk continues from that child's start, and the
+// procedure recurses into every covering segment. Shortening any span
+// off this path cannot finish the trace sooner. Steps come out in time
+// order.
+func CriticalPath(root *Span) []PathStep {
+	steps := []PathStep{{root, 0}}
+	appendCritical(root, 1, &steps)
+	return steps
+}
+
+func appendCritical(s *Span, depth int, steps *[]PathStep) {
+	// Collect covering segments right to left. A sequential phase chain
+	// (plan → execute → reduce) yields every phase; parallel children
+	// (shards under execute) yield only the one that ended last, since
+	// its siblings all overlap it.
+	var segs []*Span
+	picked := make(map[*Span]bool)
+	cur := s.End() + 1
+	for {
+		var pick *Span
+		for _, c := range s.Children {
+			if picked[c] || c.TSMillis >= cur || c.End() >= cur {
+				continue
+			}
+			if pick == nil || c.End() > pick.End() {
+				pick = c
+			}
+		}
+		if pick == nil {
+			break
+		}
+		picked[pick] = true
+		segs = append(segs, pick)
+		cur = pick.TSMillis + 1
+	}
+	for i := len(segs) - 1; i >= 0; i-- {
+		*steps = append(*steps, PathStep{segs[i], depth})
+		appendCritical(segs[i], depth+1, steps)
+	}
+}
+
+// spanLabel renders a span for stacks and reports: the name plus the
+// attributes that identify the work (campaign, shard, worker).
+func spanLabel(s *Span) string {
+	label := s.Name
+	for _, k := range []string{"campaign", "shard", "worker", "worker_id"} {
+		if v := s.Attrs[k]; v != "" {
+			label += ":" + v
+		}
+	}
+	// Folded-stack syntax reserves ';' as the frame separator.
+	return strings.ReplaceAll(label, ";", ",")
+}
+
+// WriteFolded renders the span forest as folded stacks — one line per
+// span, "root;child;leaf self_ms" — the input format flamegraph
+// renderers consume. Spans with zero self time are omitted (they are
+// pure containers; their children carry the weight).
+func WriteFolded(w io.Writer, a *Analysis) error {
+	var walk func(s *Span, prefix string) error
+	walk = func(s *Span, prefix string) error {
+		stack := spanLabel(s)
+		if prefix != "" {
+			stack = prefix + ";" + stack
+		}
+		if self := s.SelfMs(); self > 0 {
+			if _, err := fmt.Fprintf(w, "%s %d\n", stack, self); err != nil {
+				return err
+			}
+		}
+		for _, c := range s.Children {
+			if err := walk(c, stack); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, root := range a.Roots {
+		if err := walk(root, ""); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ShardPhases is one dispatch.shard span's phase attribution.
+type ShardPhases struct {
+	Shard   string
+	Worker  string
+	WallMs  int64
+	QueueMs int64
+	ExecMs  int64
+	NetMs   int64
+}
+
+// Stragglers collects every dispatch.shard span that carries phase
+// attributes, slowest first.
+func Stragglers(a *Analysis) []ShardPhases {
+	var out []ShardPhases
+	for _, s := range a.Spans {
+		if s.Name != "dispatch.shard" {
+			continue
+		}
+		p := ShardPhases{
+			Shard:   s.Attrs["shard"],
+			Worker:  s.Attrs["worker_id"],
+			WallMs:  s.DurMs,
+			QueueMs: atoi64(s.Attrs["queue_ms"]),
+			ExecMs:  atoi64(s.Attrs["exec_ms"]),
+			NetMs:   atoi64(s.Attrs["net_ms"]),
+		}
+		if p.Worker == "" {
+			p.Worker = s.Attrs["worker"]
+		}
+		out = append(out, p)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].WallMs != out[j].WallMs {
+			return out[i].WallMs > out[j].WallMs
+		}
+		return out[i].Shard < out[j].Shard
+	})
+	return out
+}
+
+func atoi64(s string) int64 {
+	v, _ := strconv.ParseInt(s, 10, 64)
+	return v
+}
+
+// WriteReport renders the human-readable analysis: per-trace span
+// counts, the critical path of every root span, and the top straggler
+// shards with phase attribution.
+func WriteReport(w io.Writer, a *Analysis, top int) error {
+	fmt.Fprintf(w, "trace analysis: %d lines, %d spans, %d events", a.Lines, len(a.Spans), len(a.Events))
+	if a.Skipped > 0 {
+		fmt.Fprintf(w, ", %d skipped", a.Skipped)
+	}
+	fmt.Fprintln(w)
+
+	byTrace := make(map[string]int)
+	for _, s := range a.Spans {
+		if s.Trace != "" {
+			byTrace[s.Trace]++
+		}
+	}
+	traces := make([]string, 0, len(byTrace))
+	for t := range byTrace {
+		traces = append(traces, t)
+	}
+	sort.Strings(traces)
+	for _, t := range traces {
+		fmt.Fprintf(w, "trace %s: %d spans\n", t, byTrace[t])
+	}
+
+	for _, root := range a.Roots {
+		if root.Name != "campaign" {
+			continue
+		}
+		fmt.Fprintf(w, "\ncritical path of %s (%d ms):\n", spanLabel(root), root.DurMs)
+		for _, step := range CriticalPath(root) {
+			fmt.Fprintf(w, "  %s%s %d ms (self %d ms)\n",
+				strings.Repeat("  ", step.Depth), spanLabel(step.Span), step.Span.DurMs, step.Span.SelfMs())
+		}
+	}
+
+	if sh := Stragglers(a); len(sh) > 0 {
+		if top <= 0 || top > len(sh) {
+			top = len(sh)
+		}
+		fmt.Fprintf(w, "\nslowest shards (of %d dispatched):\n", len(sh))
+		for _, p := range sh[:top] {
+			fmt.Fprintf(w, "  shard %s on %s: %d ms wall — queue %d ms, exec %d ms, net %d ms\n",
+				p.Shard, p.Worker, p.WallMs, p.QueueMs, p.ExecMs, p.NetMs)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package traceview
+
+import (
+	"strings"
+	"testing"
+)
+
+// fixture is a miniature merged event log: one campaign root, one
+// dispatch.shard with a folded worker subtree, a second faster shard,
+// and a point event — plus one truncated line, as a killed run leaves.
+const fixture = `{"ts_ms":0,"kind":"span","name":"worker.exec","span":5,"parent":4,"dur_ms":40,"trace":"00ff","attrs":{"runs":"8"}}
+{"ts_ms":0,"kind":"span","name":"worker.shard","span":4,"parent":3,"dur_ms":60,"trace":"00ff","attrs":{"shard":"a1"}}
+{"ts_ms":0,"kind":"span","name":"dispatch.shard","span":3,"parent":1,"dur_ms":80,"trace":"00ff","attrs":{"shard":"a1","worker_id":"pid:7","queue_ms":"5","exec_ms":"60","net_ms":"15"}}
+{"ts_ms":2,"kind":"span","name":"dispatch.shard","span":6,"parent":1,"dur_ms":30,"trace":"00ff","attrs":{"shard":"b2","worker_id":"pid:8","queue_ms":"1","exec_ms":"25","net_ms":"4"}}
+{"ts_ms":1,"kind":"event","name":"dispatch.retry","attrs":{"shard":"b2"}}
+{"ts_ms":0,"kind":"span","name":"campaign","span":1,"dur_ms":100,"trace":"00ff","attrs":{"campaign":"permeability"}}
+{"ts_ms":3,"kind":"span","name":"camp`
+
+func parseFixture(t *testing.T) *Analysis {
+	t.Helper()
+	a, err := Parse(strings.NewReader(fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestParseBuildsForest(t *testing.T) {
+	a := parseFixture(t)
+	if a.Lines != 7 || a.Skipped != 1 {
+		t.Errorf("lines=%d skipped=%d, want 7 lines with 1 skipped (truncated tail)", a.Lines, a.Skipped)
+	}
+	if len(a.Spans) != 5 {
+		t.Fatalf("got %d spans, want 5", len(a.Spans))
+	}
+	if len(a.Events) != 1 || a.Events[0].Name != "dispatch.retry" {
+		t.Errorf("events = %+v", a.Events)
+	}
+	if len(a.Roots) != 1 || a.Roots[0].Name != "campaign" {
+		t.Fatalf("roots = %d, want the single campaign root", len(a.Roots))
+	}
+	root := a.Roots[0]
+	if len(root.Children) != 2 {
+		t.Fatalf("campaign children = %d, want 2 dispatch.shard", len(root.Children))
+	}
+	// Children sorted by start time: a1 (ts 0) before b2 (ts 2).
+	if root.Children[0].Attrs["shard"] != "a1" || root.Children[1].Attrs["shard"] != "b2" {
+		t.Errorf("children out of start order: %v, %v",
+			root.Children[0].Attrs, root.Children[1].Attrs)
+	}
+	shard := root.Children[0]
+	if len(shard.Children) != 1 || shard.Children[0].Name != "worker.shard" {
+		t.Fatalf("dispatch.shard a1 children = %+v, want folded worker.shard", shard.Children)
+	}
+	if len(shard.Children[0].Children) != 1 || shard.Children[0].Children[0].Name != "worker.exec" {
+		t.Errorf("worker.shard children = %+v, want worker.exec", shard.Children[0].Children)
+	}
+}
+
+func TestCriticalPathFollowsLatestEnd(t *testing.T) {
+	a := parseFixture(t)
+	path := CriticalPath(a.Roots[0])
+	var names []string
+	for _, step := range path {
+		names = append(names, step.Span.Name)
+	}
+	// Shard a1 ends at 80, b2 at 32 and overlaps a1 — the critical path
+	// descends through a1's worker subtree only.
+	want := "campaign dispatch.shard worker.shard worker.exec"
+	if got := strings.Join(names, " "); got != want {
+		t.Errorf("critical path = %q, want %q", got, want)
+	}
+	if path[1].Span.Attrs["shard"] != "a1" {
+		t.Errorf("critical shard = %v, want a1", path[1].Span.Attrs)
+	}
+	for i, wantDepth := range []int{0, 1, 2, 3} {
+		if path[i].Depth != wantDepth {
+			t.Errorf("step %d depth = %d, want %d", i, path[i].Depth, wantDepth)
+		}
+	}
+}
+
+func TestCriticalPathCoversSequentialPhases(t *testing.T) {
+	// plan (0-10) → execute (10-90) → reduce (90-100): a backward walk
+	// must surface all three phases, not just the last-ending one.
+	const phases = `{"ts_ms":0,"kind":"span","name":"plan","span":2,"parent":1,"dur_ms":10}
+{"ts_ms":10,"kind":"span","name":"execute","span":3,"parent":1,"dur_ms":80}
+{"ts_ms":90,"kind":"span","name":"reduce","span":4,"parent":1,"dur_ms":10}
+{"ts_ms":0,"kind":"span","name":"campaign","span":1,"dur_ms":100}`
+	a, err := Parse(strings.NewReader(phases))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, step := range CriticalPath(a.Roots[0]) {
+		names = append(names, step.Span.Name)
+	}
+	if got := strings.Join(names, " "); got != "campaign plan execute reduce" {
+		t.Errorf("critical path = %q, want all three phases in time order", got)
+	}
+}
+
+func TestSelfTime(t *testing.T) {
+	a := parseFixture(t)
+	root := a.Roots[0]
+	// campaign 100 − (80 + 30) children = 0 clamped from −10.
+	if got := root.SelfMs(); got != 0 {
+		t.Errorf("campaign self = %d, want 0 (clamped)", got)
+	}
+	// dispatch.shard a1: 80 − 60 worker.shard = 20.
+	if got := root.Children[0].SelfMs(); got != 20 {
+		t.Errorf("dispatch self = %d, want 20", got)
+	}
+}
+
+func TestWriteFolded(t *testing.T) {
+	a := parseFixture(t)
+	var sb strings.Builder
+	if err := WriteFolded(&sb, a); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	wantLines := []string{
+		"campaign:permeability;dispatch.shard:a1:pid:7;worker.shard:a1;worker.exec 40",
+		"campaign:permeability;dispatch.shard:a1:pid:7;worker.shard:a1 20",
+		"campaign:permeability;dispatch.shard:a1:pid:7 20",
+		"campaign:permeability;dispatch.shard:b2:pid:8 30",
+	}
+	for _, want := range wantLines {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("folded output missing %q:\n%s", want, out)
+		}
+	}
+	// Zero-self-time containers (the campaign root) are omitted.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "campaign:permeability ") {
+			t.Errorf("zero-self root emitted: %q", line)
+		}
+	}
+}
+
+func TestStragglersSortedByWall(t *testing.T) {
+	a := parseFixture(t)
+	sh := Stragglers(a)
+	if len(sh) != 2 {
+		t.Fatalf("got %d shards, want 2", len(sh))
+	}
+	if sh[0].Shard != "a1" || sh[0].WallMs != 80 {
+		t.Errorf("slowest = %+v, want a1 at 80 ms", sh[0])
+	}
+	if sh[0].QueueMs != 5 || sh[0].ExecMs != 60 || sh[0].NetMs != 15 {
+		t.Errorf("phase split = %+v, want 5/60/15", sh[0])
+	}
+	if sh[0].Worker != "pid:7" {
+		t.Errorf("worker = %q, want pid:7", sh[0].Worker)
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	a := parseFixture(t)
+	var sb strings.Builder
+	if err := WriteReport(&sb, a, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"5 spans", "1 skipped",
+		"trace 00ff: 5 spans",
+		"critical path of campaign:permeability (100 ms):",
+		"worker.exec 40 ms",
+		"slowest shards (of 2 dispatched):",
+		"shard a1 on pid:7: 80 ms wall — queue 5 ms, exec 60 ms, net 15 ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// top=1 must suppress the second shard.
+	if strings.Contains(out, "shard b2") {
+		t.Errorf("report shows shard b2 despite top=1:\n%s", out)
+	}
+}
+
+func TestParseOrphanBecomesRoot(t *testing.T) {
+	// A killed run: the child span record was written, the parent never
+	// ended. The orphan must surface as a root, not vanish.
+	const cut = `{"ts_ms":5,"kind":"span","name":"dispatch.shard","span":9,"parent":1,"dur_ms":7}`
+	a, err := Parse(strings.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Roots) != 1 || a.Roots[0].Name != "dispatch.shard" {
+		t.Errorf("roots = %+v, want the orphaned span", a.Roots)
+	}
+}
